@@ -1,0 +1,83 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nexus/runtime.hpp"
+#include "util/stats.hpp"
+
+namespace bench {
+
+using nexus::Context;
+using nexus::Runtime;
+using nexus::RuntimeOptions;
+using nexus::Startpoint;
+using nexus::Time;
+
+/// One-way time of a Nexus RSR ping-pong between contexts 0 (responder) and
+/// 1 (driver), in virtual microseconds.  The reply startpoint is shipped
+/// once in a setup RSR; timed pings carry only the payload, matching the
+/// paper's microbenchmark.  `tune` runs in every context after module setup
+/// (skip_poll etc.); pass nullptr for defaults.
+inline double nexus_pingpong_us(RuntimeOptions opts, std::size_t payload,
+                                int rounds,
+                                const std::function<void(Context&)>& tune) {
+  Runtime rt(std::move(opts));
+  double one_way_us = 0.0;
+
+  rt.run(std::vector<std::function<void(Context&)>>{
+      [&](Context& ctx) {  // responder
+        if (tune) tune(ctx);
+        std::uint64_t served = 0;
+        Startpoint reply;
+        ctx.register_handler("setup",
+                             [&](Context& c, nexus::Endpoint&,
+                                 nexus::util::UnpackBuffer& ub) {
+                               reply = c.unpack_startpoint(ub);
+                             });
+        ctx.register_handler(
+            "ping", [&](Context& c, nexus::Endpoint&,
+                        nexus::util::UnpackBuffer& ub) {
+              c.rsr(reply, "pong", ub.get_bytes());
+              ++served;
+            });
+        ctx.wait_count(served, static_cast<std::uint64_t>(rounds));
+      },
+      [&](Context& ctx) {  // driver
+        if (tune) tune(ctx);
+        std::uint64_t got = 0;
+        ctx.register_handler("pong",
+                             [&](Context&, nexus::Endpoint&,
+                                 nexus::util::UnpackBuffer&) { ++got; });
+        Startpoint to_responder = ctx.world_startpoint(0);
+        {
+          Startpoint back = ctx.startpoint_to(ctx.root_endpoint());
+          nexus::util::PackBuffer pb;
+          ctx.pack_startpoint(pb, back);
+          ctx.rsr(to_responder, "setup", pb);
+        }
+        const nexus::util::Bytes data(payload, 0x5a);
+        nexus::util::PackBuffer pb;
+        pb.put_bytes(data);
+
+        const Time t0 = ctx.now();
+        for (int r = 0; r < rounds; ++r) {
+          ctx.rsr(to_responder, "ping", pb);
+          ctx.wait_count(got, static_cast<std::uint64_t>(r) + 1);
+        }
+        const Time elapsed = ctx.now() - t0;
+        one_way_us = nexus::simnet::to_us(elapsed) / (2.0 * rounds);
+      }});
+  return one_way_us;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench

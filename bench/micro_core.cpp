@@ -1,0 +1,145 @@
+// Real-time microbenchmarks of the core data structures, using
+// google-benchmark.  Unlike the figure/table harnesses (which report
+// virtual time), these measure the actual CPU cost of the library's hot
+// paths: canonical pack/unpack, descriptor-table operations, method
+// selection, handler dispatch, and the wrapper codecs.
+#include <benchmark/benchmark.h>
+
+#include "nexus/descriptor.hpp"
+#include "nexus/handler.hpp"
+#include "nexus/runtime.hpp"
+#include "proto/codec.hpp"
+#include "util/pack.hpp"
+#include "util/rng.hpp"
+
+using namespace nexus;
+
+namespace {
+
+void BM_PackDoubles(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> v(n, 3.14159);
+  for (auto _ : state) {
+    util::PackBuffer pb(n * 8 + 4);
+    pb.put_f64_vector(v);
+    benchmark::DoNotOptimize(pb.bytes().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 8);
+}
+BENCHMARK(BM_PackDoubles)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_UnpackDoubles(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::PackBuffer pb;
+  std::vector<double> v(n, 2.5);
+  pb.put_f64_vector(v);
+  for (auto _ : state) {
+    util::UnpackBuffer ub(pb.bytes());
+    benchmark::DoNotOptimize(ub.get_f64_vector().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 8);
+}
+BENCHMARK(BM_UnpackDoubles)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_DescriptorTableRoundtrip(benchmark::State& state) {
+  std::vector<CommDescriptor> entries;
+  for (int i = 0; i < state.range(0); ++i) {
+    entries.push_back(CommDescriptor{
+        "method" + std::to_string(i), static_cast<ContextId>(i),
+        util::Bytes{1, 2, 3, 4}});
+  }
+  DescriptorTable table(entries);
+  for (auto _ : state) {
+    util::PackBuffer pb;
+    table.pack(pb);
+    util::UnpackBuffer ub(pb.bytes());
+    benchmark::DoNotOptimize(DescriptorTable::unpack(ub));
+  }
+}
+BENCHMARK(BM_DescriptorTableRoundtrip)->Arg(3)->Arg(8);
+
+void BM_HandlerLookup(benchmark::State& state) {
+  HandlerTable table;
+  std::vector<HandlerId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(table.add(
+        "handler_" + std::to_string(i),
+        [](Context&, Endpoint&, util::UnpackBuffer&) {}));
+  }
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&table.lookup(ids[rng.next_below(64)]));
+  }
+}
+BENCHMARK(BM_HandlerLookup);
+
+void BM_RleCodec(benchmark::State& state) {
+  util::Bytes data(static_cast<std::size_t>(state.range(0)), 0x55);
+  for (auto _ : state) {
+    auto enc = proto::rle_encode(data);
+    benchmark::DoNotOptimize(proto::rle_decode(enc).data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RleCodec)->Arg(1024)->Arg(65536);
+
+void BM_SealOpen(benchmark::State& state) {
+  util::Bytes data(static_cast<std::size_t>(state.range(0)), 0xaa);
+  for (auto _ : state) {
+    auto sealed = proto::seal(data, 0x1234567890abcdefull);
+    benchmark::DoNotOptimize(
+        proto::open(sealed, 0x1234567890abcdefull).data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SealOpen)->Arg(1024)->Arg(65536);
+
+/// End-to-end: real CPU time for one simulated RSR ping-pong round (the
+/// whole machinery: selection cache hit, pack, mailbox, poll, dispatch).
+void BM_SimulatedRoundtrip(benchmark::State& state) {
+  for (auto _ : state) {
+    RuntimeOptions opts;
+    opts.topology = simnet::Topology::single_partition(2);
+    opts.modules = {"local", "mpl"};
+    Runtime rt(opts);
+    rt.run(std::vector<std::function<void(Context&)>>{
+        [&](Context& ctx) {
+          Startpoint reply;
+          std::uint64_t served = 0;
+          ctx.register_handler("setup", [&](Context& c, Endpoint&,
+                                            util::UnpackBuffer& ub) {
+            reply = c.unpack_startpoint(ub);
+          });
+          ctx.register_handler("ping", [&](Context& c, Endpoint&,
+                                           util::UnpackBuffer&) {
+            c.rsr(reply, "pong");
+            ++served;
+          });
+          ctx.wait_count(served, 50);
+        },
+        [&](Context& ctx) {
+          std::uint64_t got = 0;
+          ctx.register_handler("pong", [&](Context&, Endpoint&,
+                                           util::UnpackBuffer&) { ++got; });
+          Startpoint to0 = ctx.world_startpoint(0);
+          Startpoint back = ctx.startpoint_to(ctx.root_endpoint());
+          util::PackBuffer pb;
+          ctx.pack_startpoint(pb, back);
+          ctx.rsr(to0, "setup", pb);
+          for (int r = 0; r < 50; ++r) {
+            ctx.rsr(to0, "ping");
+            ctx.wait_count(got, static_cast<std::uint64_t>(r) + 1);
+          }
+        }});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 50);
+}
+BENCHMARK(BM_SimulatedRoundtrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

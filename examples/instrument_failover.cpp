@@ -1,0 +1,90 @@
+// Networked-instrument scenario (paper §1: applications that connect
+// scientific instruments to remote computing "need to be able to switch
+// among alternative communication substrates in the event of error or high
+// load").
+//
+// A satellite ground station streams image tiles to a compute cluster over
+// the fast metropolitan ATM path (aal5).  Mid-stream the ATM service
+// degrades; the application reacts by re-selecting the method on the same
+// startpoint -- first by re-running automatic selection with the dead
+// method deleted from the descriptor table, then by switching back when
+// service is restored.  The program text issuing RSRs never changes.
+#include <cstdio>
+
+#include "nexus/runtime.hpp"
+
+using namespace nexus;
+
+int main() {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::two_partitions(1, 1);  // station | cluster
+  opts.modules = {"local", "aal5", "tcp"};
+  Runtime rt(opts);
+
+  constexpr int kTiles = 30;
+  constexpr int kFailAt = 10;
+  constexpr int kRestoreAt = 20;
+  constexpr std::size_t kTileBytes = 64 * 1024;
+
+  rt.run(std::vector<std::function<void(Context&)>>{
+      // Context 0: ground station, streams tiles to the cluster.
+      [&](Context& ctx) {
+        Startpoint cluster = ctx.world_startpoint(1);
+        const util::Bytes tile(kTileBytes, 0x11);
+        std::string current;
+        for (int t = 0; t < kTiles; ++t) {
+          if (t == kFailAt) {
+            // ATM path reported errors: drop it from this link's table and
+            // re-run automatic selection.
+            cluster.table().remove("aal5");
+            cluster.invalidate_selection();
+            std::printf("[station] tile %d: aal5 failed; re-selecting\n", t);
+          }
+          if (t == kRestoreAt) {
+            // Service restored: put the fast descriptor back at the front.
+            cluster.table().insert(
+                0, CommDescriptor{"aal5", 1,
+                                  ctx.runtime().table_of(1)
+                                      .at(*ctx.runtime().table_of(1).find(
+                                          "aal5"))
+                                      .data});
+            cluster.invalidate_selection();
+            std::printf("[station] tile %d: aal5 restored\n", t);
+          }
+          util::PackBuffer pb;
+          pb.put_i32(t);
+          pb.put_bytes(tile);
+          ctx.rsr(cluster, "tile", pb);
+          if (cluster.selected_method() != current) {
+            current = cluster.selected_method();
+            std::printf("[station] tile %d goes via %s\n", t,
+                        current.c_str());
+          }
+          ctx.compute(50 * simnet::kMs);  // instrument frame interval
+        }
+      },
+      // Context 1: compute cluster; processes tiles as they arrive.
+      [&](Context& ctx) {
+        std::uint64_t tiles = 0;
+        Time first = -1, last = -1;
+        ctx.register_handler("tile",
+                             [&](Context& c, Endpoint&,
+                                 util::UnpackBuffer& ub) {
+                               const int id = ub.get_i32();
+                               (void)id;
+                               if (first < 0) first = c.now();
+                               last = c.now();
+                               ++tiles;
+                             });
+        ctx.wait_count(tiles, kTiles);
+        std::printf("[cluster] %llu tiles in %.1f virtual ms; per method: "
+                    "aal5=%llu tcp=%llu\n",
+                    static_cast<unsigned long long>(tiles),
+                    simnet::to_ms(last - first),
+                    static_cast<unsigned long long>(
+                        ctx.method_counters("aal5").recvs),
+                    static_cast<unsigned long long>(
+                        ctx.method_counters("tcp").recvs));
+      }});
+  return 0;
+}

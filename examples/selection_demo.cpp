@@ -1,0 +1,104 @@
+// Figure 3 walk-through: automatic method selection as a startpoint
+// migrates between nodes.
+//
+// Three contexts: 0 is a workstation on its own (partition 1); 1 and 2 are
+// nodes of an SP2 partition (partition 0), so they can talk MPL to each
+// other but only TCP to context 0.  Context 2 creates an endpoint and hands
+// the startpoint to context 0; selection there picks TCP (MPL is
+// inapplicable).  Context 0 then migrates the startpoint to context 1,
+// where re-selection picks MPL.  Finally the demo shows the manual
+// controls: table reordering and forced methods.
+#include <cstdio>
+
+#include "nexus/runtime.hpp"
+
+using namespace nexus;
+
+int main() {
+  RuntimeOptions opts;
+  // contexts 1, 2 share the SP partition; context 0 is the outside node.
+  opts.topology = simnet::Topology(std::vector<int>{1, 0, 0});
+  opts.modules = {"local", "mpl", "tcp"};
+  Runtime rt(opts);
+
+  rt.run(std::vector<std::function<void(Context&)>>{
+      // Context 0: the workstation.  Receives the startpoint, uses it via
+      // TCP, then migrates it to node 1.
+      [](Context& ctx) {
+        std::uint64_t done = 0;
+        ctx.register_handler(
+            "take", [&](Context& c, Endpoint&, util::UnpackBuffer& ub) {
+              Startpoint sp = c.unpack_startpoint(ub);
+              std::printf("[ctx0] received startpoint to ctx%u; table:",
+                          sp.link(0).context);
+              for (const auto& d : sp.table().entries()) {
+                std::printf(" %s", d.method.c_str());
+              }
+              std::printf("\n");
+              c.rsr(sp, "poke");  // automatic selection runs here
+              std::printf("[ctx0] selected: %s (expected tcp: different "
+                          "partition)\n",
+                          sp.selected_method().c_str());
+              // Migrate the startpoint onward to node 1.
+              util::PackBuffer pb;
+              c.pack_startpoint(pb, sp);
+              Startpoint to1 = c.world_startpoint(1);
+              c.rsr(to1, "take", pb);
+              ++done;
+            });
+        ctx.wait_count(done, 1);
+      },
+      // Context 1: SP node.  Receives the migrated startpoint; selection
+      // now finds MPL applicable.
+      [](Context& ctx) {
+        std::uint64_t done = 0;
+        ctx.register_handler(
+            "take", [&](Context& c, Endpoint&, util::UnpackBuffer& ub) {
+              Startpoint sp = c.unpack_startpoint(ub);
+              c.rsr(sp, "poke");
+              std::printf("[ctx1] selected: %s (expected mpl: same "
+                          "partition as ctx2)\n",
+                          sp.selected_method().c_str());
+
+              // Manual control 1: delete the fast entry -> falls to tcp.
+              Startpoint edited = sp;
+              edited.table().remove("mpl");
+              edited.invalidate_selection();
+              c.rsr(edited, "poke");
+              std::printf("[ctx1] after removing mpl: %s\n",
+                          edited.selected_method().c_str());
+
+              // Manual control 2: force a method outright.
+              Startpoint forced = sp;
+              forced.force_method("tcp");
+              c.rsr(forced, "poke");
+              std::printf("[ctx1] forced: %s\n",
+                          forced.selected_method().c_str());
+              ++done;
+            });
+        ctx.wait_count(done, 1);
+      },
+      // Context 2: owns the endpoint; starts the chain.
+      [](Context& ctx) {
+        std::uint64_t pokes = 0;
+        Endpoint& ep = ctx.create_endpoint();
+        ctx.register_handler("poke",
+                             [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                               ++pokes;
+                             });
+        Startpoint sp = ctx.startpoint_to(ep);
+        util::PackBuffer pb;
+        ctx.pack_startpoint(pb, sp);
+        Startpoint to0 = ctx.world_startpoint(0);
+        ctx.rsr(to0, "take", pb);
+        ctx.wait_count(pokes, 4);  // 1 from ctx0 + 3 from ctx1
+        std::printf("[ctx2] endpoint received %llu RSRs over: mpl=%llu "
+                    "tcp=%llu\n",
+                    static_cast<unsigned long long>(pokes),
+                    static_cast<unsigned long long>(
+                        ctx.method_counters("mpl").recvs),
+                    static_cast<unsigned long long>(
+                        ctx.method_counters("tcp").recvs));
+      }});
+  return 0;
+}

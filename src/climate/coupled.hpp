@@ -1,0 +1,62 @@
+// Coupled-run driver: reproduces the Table 1 experiment configurations.
+//
+// 24 contexts in two SP-style partitions (16 atmosphere + 8 ocean).  The
+// driver applies one of the paper's multimethod policies, runs the coupled
+// model for a number of timesteps, and reports virtual seconds per timestep
+// plus diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "climate/model.hpp"
+#include "nexus/runtime.hpp"
+
+namespace climate {
+
+enum class Policy {
+  SelectiveTcp,  ///< TCP polled only inside the coupling section (row 1)
+  Forwarding,    ///< forwarding node embedded in a compute rank (row 2; the
+                 ///< paper's 24-processor budget had no spare node)
+  SkipPoll,      ///< global tcp skip_poll value (rows 3-7)
+  AllTcp,        ///< no multimethod support: everything over TCP (§4 text)
+  ForwardingDedicated,  ///< ablation: one extra, dedicated forwarding
+                        ///< context per partition (§3.3's "dedicated
+                        ///< forwarding processor")
+};
+
+std::string policy_name(Policy p);
+
+struct CoupledConfig {
+  ModelConfig atmosphere;  ///< defaults sized for 16 ranks
+  ModelConfig ocean;       ///< defaults sized for 8 ranks
+  int atmo_ranks = 16;
+  int ocean_ranks = 8;
+  int timesteps = 6;       ///< atmosphere steps to run
+  int couple_every = 2;    ///< atmosphere steps between coupling exchanges
+  /// Ablation hook: override the simulated TCP select cost (0 = default).
+  nexus::Time tcp_poll_cost_override = 0;
+
+  CoupledConfig();
+};
+
+struct CoupledResult {
+  Policy policy = Policy::SelectiveTcp;
+  std::uint64_t skip = 1;
+  double seconds_per_step = 0.0;  ///< virtual seconds, wall per atmo step
+  double total_seconds = 0.0;
+  std::vector<double> step_seconds;    ///< atmosphere leader per-step times
+  double atmo_heat_start = 0.0, atmo_heat_end = 0.0;
+  double ocean_heat_start = 0.0, ocean_heat_end = 0.0;
+  std::uint64_t tcp_polls = 0;   ///< summed over all contexts
+  std::uint64_t tcp_sends = 0;
+  std::uint64_t mpl_sends = 0;
+  int couplings = 0;
+};
+
+/// Run one Table-1 configuration.  `skip` only applies to Policy::SkipPoll.
+CoupledResult run_coupled(const CoupledConfig& cfg, Policy policy,
+                          std::uint64_t skip = 1);
+
+}  // namespace climate

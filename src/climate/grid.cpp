@@ -1,0 +1,32 @@
+#include "climate/grid.hpp"
+
+#include <stdexcept>
+
+namespace climate {
+
+std::vector<double> regrid_profile(std::span<const double> src, int n_dst) {
+  if (src.empty() || n_dst <= 0) {
+    throw std::invalid_argument("regrid_profile: empty input");
+  }
+  const int n_src = static_cast<int>(src.size());
+  std::vector<double> dst(static_cast<std::size_t>(n_dst));
+  if (n_src == 1) {
+    for (auto& v : dst) v = src[0];
+    return dst;
+  }
+  for (int k = 0; k < n_dst; ++k) {
+    // Cell-centre coordinates in [0, 1].
+    const double x = (k + 0.5) / n_dst;
+    const double pos = x * n_src - 0.5;
+    int i0 = static_cast<int>(pos);
+    if (pos < 0) i0 = 0;
+    const int i1 = std::min(i0 + 1, n_src - 1);
+    const double frac = std::min(1.0, std::max(0.0, pos - i0));
+    dst[static_cast<std::size_t>(k)] =
+        src[static_cast<std::size_t>(i0)] * (1.0 - frac) +
+        src[static_cast<std::size_t>(i1)] * frac;
+  }
+  return dst;
+}
+
+}  // namespace climate

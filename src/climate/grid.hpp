@@ -1,0 +1,95 @@
+// Banded 2-D fields for latitude-decomposed climate models.
+//
+// A global nx (longitude) by ny (latitude) field is split into contiguous
+// latitude bands, one per rank, each padded with one halo row above and
+// below.  Longitude is periodic; latitude boundaries are closed (no-flux,
+// mirrored halos), which keeps explicit diffusion/advection conservative --
+// the conservation tests rely on this.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace climate {
+
+/// Rows owned by rank r of n when splitting ny rows as evenly as possible.
+inline int rows_of(int ny, int nranks, int r) {
+  return ny / nranks + (r < ny % nranks ? 1 : 0);
+}
+
+/// First global row owned by rank r.
+inline int row0_of(int ny, int nranks, int r) {
+  const int base = ny / nranks, extra = ny % nranks;
+  return r * base + (r < extra ? r : extra);
+}
+
+class BandField {
+ public:
+  BandField(int nx, int row0, int rows)
+      : nx_(nx), row0_(row0), rows_(rows),
+        data_(static_cast<std::size_t>(rows + 2) * nx, 0.0) {
+    assert(nx > 0 && rows > 0);
+  }
+
+  int nx() const noexcept { return nx_; }
+  int rows() const noexcept { return rows_; }
+  int row0() const noexcept { return row0_; }
+
+  /// i in [-1, rows] (halo rows at -1 and rows), j in [0, nx).
+  double& at(int i, int j) {
+    assert(i >= -1 && i <= rows_ && j >= 0 && j < nx_);
+    return data_[static_cast<std::size_t>(i + 1) * nx_ + j];
+  }
+  double at(int i, int j) const {
+    assert(i >= -1 && i <= rows_ && j >= 0 && j < nx_);
+    return data_[static_cast<std::size_t>(i + 1) * nx_ + j];
+  }
+
+  /// Periodic access in longitude.
+  double wrap(int i, int j) const {
+    j = ((j % nx_) + nx_) % nx_;
+    return at(i, j);
+  }
+
+  std::span<double> row(int i) {
+    return std::span<double>(&at(i, 0), static_cast<std::size_t>(nx_));
+  }
+  std::span<const double> row(int i) const {
+    assert(i >= -1 && i <= rows_);
+    return std::span<const double>(
+        data_.data() + static_cast<std::size_t>(i + 1) * nx_,
+        static_cast<std::size_t>(nx_));
+  }
+
+  /// Sum over owned (non-halo) cells.
+  double interior_sum() const {
+    double s = 0.0;
+    for (int i = 0; i < rows_; ++i) {
+      for (int j = 0; j < nx_; ++j) s += at(i, j);
+    }
+    return s;
+  }
+
+  /// Zonal (row) means of the owned rows.
+  std::vector<double> zonal_means() const {
+    std::vector<double> out(static_cast<std::size_t>(rows_));
+    for (int i = 0; i < rows_; ++i) {
+      double s = 0.0;
+      for (int j = 0; j < nx_; ++j) s += at(i, j);
+      out[static_cast<std::size_t>(i)] = s / nx_;
+    }
+    return out;
+  }
+
+ private:
+  int nx_, row0_, rows_;
+  std::vector<double> data_;
+};
+
+/// Linear interpolation of a 1-D latitude profile onto a different
+/// resolution (the coupler's regridding between atmosphere and ocean).
+std::vector<double> regrid_profile(std::span<const double> src, int n_dst);
+
+}  // namespace climate

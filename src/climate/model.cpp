@@ -1,0 +1,201 @@
+#include "climate/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace climate {
+
+using nexus::util::Bytes;
+using nexus::util::PackBuffer;
+using nexus::util::UnpackBuffer;
+
+namespace {
+constexpr int kHaloUpTag = 101;
+constexpr int kHaloDownTag = 102;
+constexpr int kTransposeTag = 103;
+
+Bytes pack_row(std::span<const double> row) {
+  PackBuffer pb(row.size() * 8 + 4);
+  pb.put_u32(static_cast<std::uint32_t>(row.size()));
+  for (double x : row) pb.put_f64(x);
+  return pb.take();
+}
+
+void unpack_row(std::span<const nexus::util::Byte> raw,
+                std::span<double> row) {
+  UnpackBuffer ub(raw);
+  const std::uint32_t n = ub.get_u32();
+  if (n != row.size()) {
+    throw nexus::util::UsageError("halo row size mismatch");
+  }
+  for (auto& x : row) x = ub.get_f64();
+}
+}  // namespace
+
+void initialize_temperature(BandField& f, int ny_global) {
+  for (int i = 0; i < f.rows(); ++i) {
+    const double lat =
+        (f.row0() + i + 0.5) / ny_global - 0.5;  // [-0.5, 0.5]
+    for (int j = 0; j < f.nx(); ++j) {
+      const double lon = (j + 0.5) / f.nx();
+      f.at(i, j) = 280.0 + 30.0 * std::exp(-18.0 * lat * lat) +
+                   2.0 * std::sin(2.0 * M_PI * 3.0 * lon);
+    }
+  }
+}
+
+BandModel::BandModel(nexus::Context& ctx, minimpi::Comm comm, ModelConfig cfg,
+                     bool zonal_jet)
+    : ctx_(&ctx),
+      comm_(std::move(comm)),
+      cfg_(cfg),
+      field_(cfg.nx, row0_of(cfg.ny, comm_.size(), comm_.rank()),
+             rows_of(cfg.ny, comm_.size(), comm_.rank())),
+      scratch_(field_) {
+  if (cfg_.ny < comm_.size()) {
+    throw nexus::util::UsageError(
+        "climate model needs at least one latitude row per rank");
+  }
+  wind_.resize(static_cast<std::size_t>(field_.rows()), 0.0);
+  coupled_profile_.assign(static_cast<std::size_t>(field_.rows()), 0.0);
+  for (int i = 0; i < field_.rows(); ++i) {
+    const double lat = (field_.row0() + i + 0.5) / cfg_.ny - 0.5;
+    wind_[static_cast<std::size_t>(i)] =
+        zonal_jet ? cfg_.u0 * std::cos(M_PI * lat) : 0.25 * cfg_.u0;
+  }
+  initialize_temperature(field_, cfg_.ny);
+  // Until the first coupling arrives, relax toward the field's own zonal
+  // structure (no net forcing).
+  auto means = field_.zonal_means();
+  coupled_profile_ = means;
+}
+
+void BandModel::halo_exchange() {
+  const int up = comm_.rank() - 1;    // toward row 0
+  const int down = comm_.rank() + 1;  // toward row ny-1
+  const bool has_up = up >= 0;
+  const bool has_down = down < comm_.size();
+
+  // Exchange with the upper neighbour: send my first row, receive into my
+  // upper halo; symmetric for the lower neighbour.  sendrecv avoids
+  // ordering deadlocks.
+  if (has_up) {
+    Bytes got = comm_.sendrecv(pack_row(field_.row(0)), up, kHaloUpTag, up,
+                               kHaloDownTag);
+    unpack_row(got, field_.row(-1));
+  } else {
+    // Closed pole: mirror the boundary row.
+    auto src = field_.row(0);
+    auto dst = field_.row(-1);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  if (has_down) {
+    Bytes got = comm_.sendrecv(pack_row(field_.row(field_.rows() - 1)), down,
+                               kHaloDownTag, down, kHaloUpTag);
+    unpack_row(got, field_.row(field_.rows()));
+  } else {
+    auto src = field_.row(field_.rows() - 1);
+    auto dst = field_.row(field_.rows());
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+}
+
+void BandModel::update() {
+  const double k = cfg_.kappa;
+  for (int i = 0; i < field_.rows(); ++i) {
+    const double u = wind_[static_cast<std::size_t>(i)];
+    const double target = coupled_profile_[static_cast<std::size_t>(i)];
+    for (int j = 0; j < field_.nx(); ++j) {
+      const double c = field_.at(i, j);
+      // Upwind zonal advection (u >= 0 everywhere by construction).
+      const double adv = u * (c - field_.wrap(i, j - 1));
+      const double lap = field_.wrap(i, j - 1) + field_.wrap(i, j + 1) +
+                         field_.at(i - 1, j) + field_.at(i + 1, j) - 4.0 * c;
+      const double relax = cfg_.relax * (target - c);
+      scratch_.at(i, j) = c - adv + k * lap + relax;
+    }
+  }
+  std::swap(field_, scratch_);
+  ++steps_;
+}
+
+void BandModel::transposes() {
+  if (comm_.size() == 1 || cfg_.transpose_phases == 0) return;
+  // Synthetic spectral payload: a field slice padded/truncated to size.
+  Bytes chunk(cfg_.transpose_bytes, 0);
+  const auto row = field_.row(0);
+  for (std::size_t b = 0; b < chunk.size(); ++b) {
+    chunk[b] = static_cast<nexus::util::Byte>(
+        static_cast<std::uint64_t>(row[b % row.size()] * 16.0) & 0xff);
+  }
+  std::vector<Bytes> chunks(static_cast<std::size_t>(comm_.size()), chunk);
+  for (int phase = 0; phase < cfg_.transpose_phases; ++phase) {
+    (void)kTransposeTag;
+    comm_.alltoall(chunks);
+  }
+}
+
+void BandModel::charge_compute() {
+  if (cfg_.step_compute <= 0) return;
+  const nexus::Time chunk = std::max<nexus::Time>(
+      1, cfg_.step_compute / static_cast<nexus::Time>(cfg_.polls_per_step));
+  ctx_->compute_with_polling(cfg_.step_compute, chunk);
+}
+
+void BandModel::step() {
+  halo_exchange();
+  update();
+  transposes();
+  charge_compute();
+}
+
+std::vector<double> BandModel::global_zonal_profile() {
+  auto local = field_.zonal_means();
+  PackBuffer pb;
+  pb.put_i32(field_.row0());
+  pb.put_u32(static_cast<std::uint32_t>(local.size()));
+  for (double x : local) pb.put_f64(x);
+
+  auto parts = comm_.gather(pb.bytes(), 0);
+  Bytes wire;
+  if (comm_.rank() == 0) {
+    std::vector<double> profile(static_cast<std::size_t>(cfg_.ny), 0.0);
+    for (const auto& part : parts) {
+      UnpackBuffer ub(part);
+      const int row0 = ub.get_i32();
+      const std::uint32_t n = ub.get_u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        profile[static_cast<std::size_t>(row0) + i] = ub.get_f64();
+      }
+    }
+    PackBuffer out;
+    out.put_u32(static_cast<std::uint32_t>(profile.size()));
+    for (double x : profile) out.put_f64(x);
+    wire = out.take();
+  }
+  comm_.bcast(wire, 0);
+  UnpackBuffer ub(wire);
+  const std::uint32_t n = ub.get_u32();
+  std::vector<double> profile(n);
+  for (auto& x : profile) x = ub.get_f64();
+  return profile;
+}
+
+void BandModel::set_coupled_profile(std::vector<double> profile) {
+  if (profile.size() != static_cast<std::size_t>(cfg_.ny)) {
+    profile = regrid_profile(profile, cfg_.ny);
+  }
+  for (int i = 0; i < field_.rows(); ++i) {
+    coupled_profile_[static_cast<std::size_t>(i)] =
+        profile[static_cast<std::size_t>(field_.row0() + i)];
+  }
+}
+
+double BandModel::global_sum() {
+  const std::vector<double> local{field_.interior_sum()};
+  return comm_.allreduce(local, minimpi::ReduceOp::Sum)[0];
+}
+
+}  // namespace climate

@@ -1,0 +1,254 @@
+// Collective operations built from point-to-point messages.
+//
+// Algorithms follow the classic MPICH choices at this scale: binomial-tree
+// broadcast and reduce, dissemination barrier, and linear/pairwise
+// exchanges for (all)gather, scatter, and alltoall.  Internal messages use
+// negative tags derived from a per-communicator collective sequence number,
+// so back-to-back collectives on the same communicator cannot cross-match.
+#include <algorithm>
+#include <map>
+
+#include "minimpi/mpi.hpp"
+#include "util/error.hpp"
+
+namespace minimpi {
+
+using nexus::util::Bytes;
+using nexus::util::ByteSpan;
+using nexus::util::PackBuffer;
+using nexus::util::UnpackBuffer;
+
+namespace {
+
+/// All ranks execute the same ordered sequence of collectives on a
+/// communicator, so the per-World counters stay in lockstep across ranks.
+std::uint64_t next_coll_seq(World& w, std::uint32_t comm_id) {
+  return w.bump_coll_seq(comm_id);
+}
+
+int coll_tag(std::uint64_t seq, int round) {
+  // Negative tag space is reserved for collectives (user tags must be >= 0
+  // or kAnyTag).  16 rounds per collective, sequence cycles at ~2^26.
+  return -static_cast<int>(1000 + (seq % (1u << 26)) * 16 +
+                           static_cast<unsigned>(round));
+}
+
+void apply_op(std::vector<double>& acc, const std::vector<double>& in,
+              ReduceOp op) {
+  if (acc.size() != in.size()) {
+    throw nexus::util::UsageError(
+        "minimpi reduce: contribution sizes differ across ranks");
+  }
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    switch (op) {
+      case ReduceOp::Sum: acc[i] += in[i]; break;
+      case ReduceOp::Min: acc[i] = std::min(acc[i], in[i]); break;
+      case ReduceOp::Max: acc[i] = std::max(acc[i], in[i]); break;
+    }
+  }
+}
+
+std::vector<double> unpack_doubles(ByteSpan raw) {
+  UnpackBuffer ub(raw);
+  const std::uint32_t n = ub.get_u32();
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(ub.get_f64());
+  return out;
+}
+
+Bytes pack_doubles(std::span<const double> v) {
+  PackBuffer pb(v.size() * 8 + 4);
+  pb.put_u32(static_cast<std::uint32_t>(v.size()));
+  for (double x : v) pb.put_f64(x);
+  return pb.take();
+}
+
+}  // namespace
+
+void Comm::barrier() {
+  const std::uint64_t seq = next_coll_seq(*world_, id_);
+  const int n = size();
+  int round = 0;
+  for (int k = 1; k < n; k <<= 1, ++round) {
+    const int dst = (rank_ + k) % n;
+    const int src = (rank_ - k + n) % n;
+    send({}, dst, coll_tag(seq, round));
+    recv(src, coll_tag(seq, round));
+  }
+}
+
+void Comm::bcast(Bytes& data, int root) {
+  const std::uint64_t seq = next_coll_seq(*world_, id_);
+  const int tag = coll_tag(seq, 0);
+  const int n = size();
+  const int relrank = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (relrank & mask) {
+      const int src = (relrank - mask + root) % n;
+      data = recv(src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relrank + mask < n) {
+      const int dst = (relrank + mask + root) % n;
+      send(data, dst, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+std::vector<double> Comm::reduce(std::span<const double> contrib, ReduceOp op,
+                                 int root) {
+  const std::uint64_t seq = next_coll_seq(*world_, id_);
+  const int tag = coll_tag(seq, 0);
+  const int n = size();
+  const int relrank = (rank_ - root + n) % n;
+  std::vector<double> acc(contrib.begin(), contrib.end());
+  int mask = 1;
+  while (mask < n) {
+    if ((relrank & mask) == 0) {
+      const int peer_rel = relrank | mask;
+      if (peer_rel < n) {
+        const int peer = (peer_rel + root) % n;
+        apply_op(acc, unpack_doubles(recv(peer, tag)), op);
+      }
+    } else {
+      const int peer = ((relrank & ~mask) + root) % n;
+      send(pack_doubles(acc), peer, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  if (relrank != 0) acc.clear();  // only the root holds the result
+  return acc;
+}
+
+std::vector<double> Comm::allreduce(std::span<const double> contrib,
+                                    ReduceOp op) {
+  std::vector<double> result = reduce(contrib, op, 0);
+  Bytes wire;
+  if (rank_ == 0) wire = pack_doubles(result);
+  bcast(wire, 0);
+  return unpack_doubles(wire);
+}
+
+std::vector<Bytes> Comm::gather(ByteSpan data, int root) {
+  const std::uint64_t seq = next_coll_seq(*world_, id_);
+  const int tag = coll_tag(seq, 0);
+  std::vector<Bytes> out;
+  if (rank_ == root) {
+    out.resize(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(rank_)] = Bytes(data.begin(), data.end());
+    for (int i = 0; i < size(); ++i) {
+      if (i != rank_) out[static_cast<std::size_t>(i)] = recv(i, tag);
+    }
+  } else {
+    send(data, root, tag);
+  }
+  return out;
+}
+
+Bytes Comm::scatter(const std::vector<Bytes>& chunks, int root) {
+  const std::uint64_t seq = next_coll_seq(*world_, id_);
+  const int tag = coll_tag(seq, 0);
+  if (rank_ == root) {
+    if (chunks.size() != static_cast<std::size_t>(size())) {
+      throw nexus::util::UsageError(
+          "minimpi scatter: need exactly one chunk per rank");
+    }
+    for (int i = 0; i < size(); ++i) {
+      if (i != rank_) send(chunks[static_cast<std::size_t>(i)], i, tag);
+    }
+    return chunks[static_cast<std::size_t>(rank_)];
+  }
+  return recv(root, tag);
+}
+
+std::vector<Bytes> Comm::allgather(ByteSpan data) {
+  const std::uint64_t seq = next_coll_seq(*world_, id_);
+  const int tag = coll_tag(seq, 0);
+  std::vector<Bytes> out(static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(rank_)] = Bytes(data.begin(), data.end());
+  for (int i = 0; i < size(); ++i) {
+    if (i != rank_) send(data, i, tag);  // eager: no deadlock
+  }
+  for (int i = 0; i < size(); ++i) {
+    if (i != rank_) out[static_cast<std::size_t>(i)] = recv(i, tag);
+  }
+  return out;
+}
+
+std::vector<Bytes> Comm::alltoall(const std::vector<Bytes>& chunks) {
+  if (chunks.size() != static_cast<std::size_t>(size())) {
+    throw nexus::util::UsageError(
+        "minimpi alltoall: need exactly one chunk per rank");
+  }
+  const std::uint64_t seq = next_coll_seq(*world_, id_);
+  const int tag = coll_tag(seq, 0);
+  std::vector<Bytes> out(static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(rank_)] = chunks[static_cast<std::size_t>(rank_)];
+  for (int i = 0; i < size(); ++i) {
+    if (i != rank_) send(chunks[static_cast<std::size_t>(i)], i, tag);
+  }
+  for (int i = 0; i < size(); ++i) {
+    if (i != rank_) out[static_cast<std::size_t>(i)] = recv(i, tag);
+  }
+  return out;
+}
+
+Comm Comm::dup() { return split(0, rank_); }
+
+Comm Comm::split(int color, int key) {
+  if (color < 0) {
+    throw nexus::util::UsageError("minimpi split: color must be >= 0");
+  }
+  // Exchange (color, key, world context) across the parent communicator.
+  PackBuffer pb;
+  pb.put_i32(color);
+  pb.put_i32(key);
+  pb.put_u32(world_->ctx_->id());
+  std::vector<Bytes> all = allgather(pb.bytes());
+
+  struct Member {
+    int color;
+    int key;
+    int parent_rank;
+    nexus::ContextId ctx;
+  };
+  std::vector<Member> mine;
+  for (int r = 0; r < size(); ++r) {
+    UnpackBuffer ub(all[static_cast<std::size_t>(r)]);
+    Member m{ub.get_i32(), ub.get_i32(), r, 0};
+    m.ctx = ub.get_u32();
+    if (m.color == color) mine.push_back(m);
+  }
+  std::stable_sort(mine.begin(), mine.end(),
+                   [](const Member& a, const Member& b) {
+                     return a.key != b.key ? a.key < b.key
+                                           : a.parent_rank < b.parent_rank;
+                   });
+
+  std::vector<nexus::ContextId> members;
+  int new_rank = -1;
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    members.push_back(mine[i].ctx);
+    if (mine[i].parent_rank == rank_) new_rank = static_cast<int>(i);
+  }
+
+  // Deterministic id: all members compute the same hash.
+  const std::uint32_t generation = ++split_generation_;
+  std::uint64_t h = 1469598103934665603ull ^ id_;
+  h = (h * 1099511628211ull) ^ static_cast<std::uint64_t>(color);
+  h = (h * 1099511628211ull) ^ generation;
+  const auto new_id =
+      static_cast<std::uint32_t>((h >> 32) ^ (h & 0xffffffffull)) | 1u;
+
+  return Comm(*world_, new_id, std::move(members), new_rank);
+}
+
+}  // namespace minimpi

@@ -1,0 +1,273 @@
+#include "minimpi/mpi.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace minimpi {
+
+using nexus::util::Bytes;
+using nexus::util::ByteSpan;
+using nexus::util::PackBuffer;
+using nexus::util::UnpackBuffer;
+
+struct Comm::Request::State {
+  bool done = false;
+  Bytes data;
+  Status status;
+};
+
+// ----------------------------------------------------------------- World ---
+
+World::World(nexus::Context& ctx) : ctx_(&ctx) {
+  layer_overhead_ = static_cast<nexus::Time>(
+      ctx.config().get_int("minimpi.layer_overhead_ns", 4000));
+  std::vector<nexus::ContextId> members(ctx.world_size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    members[i] = static_cast<nexus::ContextId>(i);
+  }
+  world_comm_.reset(new Comm(*this, /*id=*/0, std::move(members),
+                             static_cast<int>(ctx.id())));
+  ctx.register_handler("minimpi",
+                       [this](nexus::Context&, nexus::Endpoint&,
+                              UnpackBuffer& ub) { engine_handler(ub); });
+  ctx.register_handler("minimpi_ack",
+                       [this](nexus::Context&, nexus::Endpoint&,
+                              UnpackBuffer& ub) { ack_handler(ub); });
+}
+
+World::~World() = default;
+
+nexus::Startpoint& World::startpoint_to(nexus::ContextId ctx) {
+  auto it = startpoints_.find(ctx);
+  if (it == startpoints_.end()) {
+    it = startpoints_.emplace(ctx, ctx_->world_startpoint(ctx)).first;
+  }
+  return it->second;
+}
+
+bool World::match(const PendingRecv& pr, const Envelope& env) const {
+  return pr.comm == env.comm &&
+         (pr.src == kAnySource || pr.src == env.src) &&
+         (pr.tag == kAnyTag || pr.tag == env.tag);
+}
+
+void World::engine_handler(UnpackBuffer& ub) {
+  Envelope env;
+  env.comm = ub.get_u32();
+  env.src = ub.get_i32();
+  env.tag = ub.get_i32();
+  env.seq = ub.get_u64();
+  env.wants_ack = ub.get_bool();
+  env.ack_id = ub.get_u64();
+  env.data = ub.get_bytes();
+
+  // Match against the first posted receive that accepts this envelope.
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (match(*it, env)) {
+      it->state->data = std::move(env.data);
+      it->state->status =
+          Status{env.src, env.tag, it->state->data.size()};
+      it->state->done = true;
+      if (env.wants_ack) {
+        PackBuffer pb;
+        pb.put_u64(env.ack_id);
+        // The sender's context id rides in the top bits of the sequence
+        // number (ranks are comm-relative, contexts are global).
+        const auto src_ctx = static_cast<nexus::ContextId>(env.seq >> 40);
+        ctx_->rsr(startpoint_to(src_ctx), "minimpi_ack", pb);
+      }
+      posted_.erase(it);
+      return;
+    }
+  }
+  unexpected_.push_back(std::move(env));
+}
+
+void World::ack_handler(UnpackBuffer& ub) {
+  const std::uint64_t id = ub.get_u64();
+  acks_[id] = true;
+}
+
+void World::post_send(const Comm& comm, ByteSpan data, int dst, int tag,
+                      bool wants_ack, std::uint64_t ack_id) {
+  if (dst < 0 || dst >= comm.size()) {
+    throw nexus::util::UsageError("minimpi: destination rank " +
+                                  std::to_string(dst) + " out of range");
+  }
+  ctx_->compute(layer_overhead_);
+  PackBuffer pb;
+  pb.put_u32(comm.id_);
+  pb.put_i32(comm.rank_);
+  pb.put_i32(tag);
+  // Sequence number with the sender's context id in the top 24 bits so
+  // sub-communicator acks can find their way home.
+  pb.put_u64((static_cast<std::uint64_t>(ctx_->id()) << 40) |
+             (next_seq_++ & 0xff'ffff'ffffull));
+  pb.put_bool(wants_ack);
+  pb.put_u64(ack_id);
+  pb.put_bytes(data);
+  ctx_->rsr(startpoint_to(comm.members_[static_cast<std::size_t>(dst)]),
+            "minimpi", pb);
+}
+
+std::shared_ptr<Comm::Request::State> World::post_recv(const Comm& comm,
+                                                       int src, int tag) {
+  auto state = std::make_shared<Comm::Request::State>();
+  PendingRecv pr{comm.id_, src, tag, state};
+  // First drain the unexpected queue in arrival order.
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (match(pr, *it)) {
+      state->data = std::move(it->data);
+      state->status = Status{it->src, it->tag, state->data.size()};
+      state->done = true;
+      if (it->wants_ack) {
+        PackBuffer pb;
+        pb.put_u64(it->ack_id);
+        const auto src_ctx = static_cast<nexus::ContextId>(it->seq >> 40);
+        ctx_->rsr(startpoint_to(src_ctx), "minimpi_ack", pb);
+      }
+      unexpected_.erase(it);
+      return state;
+    }
+  }
+  posted_.push_back(std::move(pr));
+  return state;
+}
+
+// ------------------------------------------------------------------ Comm ---
+
+void Comm::send(ByteSpan data, int dst, int tag) {
+  world_->post_send(*this, data, dst, tag, false, 0);
+}
+
+void Comm::ssend(ByteSpan data, int dst, int tag) {
+  World& w = *world_;
+  const std::uint64_t id = w.next_ack_id_++;
+  w.acks_[id] = false;
+  w.post_send(*this, data, dst, tag, true, id);
+  w.ctx_->wait([&] { return w.acks_[id]; });
+  w.acks_.erase(id);
+}
+
+Bytes Comm::recv(int src, int tag, Status* status) {
+  auto state = world_->post_recv(*this, src, tag);
+  world_->ctx_->wait([&] { return state->done; });
+  world_->ctx_->compute(world_->layer_overhead_);
+  if (status != nullptr) *status = state->status;
+  return std::move(state->data);
+}
+
+Bytes Comm::sendrecv(ByteSpan data, int dst, int send_tag, int src,
+                     int recv_tag, Status* status) {
+  auto state = world_->post_recv(*this, src, recv_tag);
+  world_->post_send(*this, data, dst, send_tag, false, 0);
+  world_->ctx_->wait([&] { return state->done; });
+  world_->ctx_->compute(world_->layer_overhead_);
+  if (status != nullptr) *status = state->status;
+  return std::move(state->data);
+}
+
+Comm::Request Comm::isend(ByteSpan data, int dst, int tag) {
+  // Eager protocol: the RSR is asynchronous and buffered at the receiver,
+  // so an isend completes immediately.
+  world_->post_send(*this, data, dst, tag, false, 0);
+  Request req;
+  req.state_ = std::make_shared<Request::State>();
+  req.state_->done = true;
+  return req;
+}
+
+Comm::Request Comm::irecv(int src, int tag) {
+  Request req;
+  req.state_ = world_->post_recv(*this, src, tag);
+  return req;
+}
+
+Bytes Comm::wait(Request& req, Status* status) {
+  if (!req.valid()) {
+    throw nexus::util::UsageError("minimpi: wait on an invalid request");
+  }
+  world_->ctx_->wait([&] { return req.state_->done; });
+  if (status != nullptr) *status = req.state_->status;
+  Bytes out = std::move(req.state_->data);
+  req.state_.reset();
+  return out;
+}
+
+bool Comm::test(Request& req) {
+  if (!req.valid()) {
+    throw nexus::util::UsageError("minimpi: test on an invalid request");
+  }
+  world_->ctx_->progress();
+  return req.state_->done;
+}
+
+void Comm::wait_all(std::vector<Request>& reqs) {
+  for (auto& r : reqs) {
+    if (r.valid()) wait(r);
+  }
+}
+
+std::size_t Comm::wait_any(std::vector<Request>& reqs) {
+  bool any_valid = false;
+  for (const auto& r : reqs) any_valid |= r.valid();
+  if (!any_valid) {
+    throw nexus::util::UsageError("minimpi: wait_any with no valid request");
+  }
+  std::size_t winner = reqs.size();
+  world_->ctx_->wait([&] {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i].valid() && reqs[i].state_->done) {
+        winner = i;
+        return true;
+      }
+    }
+    return false;
+  });
+  return winner;
+}
+
+std::optional<Status> World::peek_unexpected(std::uint32_t comm, int src,
+                                             int tag) const {
+  for (const auto& env : unexpected_) {
+    if (env.comm == comm && (src == kAnySource || src == env.src) &&
+        (tag == kAnyTag || tag == env.tag)) {
+      return Status{env.src, env.tag, env.data.size()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Status> Comm::iprobe(int src, int tag) {
+  world_->ctx_->progress();
+  return world_->peek_unexpected(id_, src, tag);
+}
+
+Status Comm::probe(int src, int tag) {
+  std::optional<Status> st;
+  world_->ctx_->wait([&] {
+    st = world_->peek_unexpected(id_, src, tag);
+    return st.has_value();
+  });
+  return *st;
+}
+
+void Comm::send_doubles(std::span<const double> data, int dst, int tag) {
+  PackBuffer pb(data.size() * 8 + 4);
+  pb.put_u32(static_cast<std::uint32_t>(data.size()));
+  for (double x : data) pb.put_f64(x);
+  send(pb.bytes(), dst, tag);
+}
+
+std::vector<double> Comm::recv_doubles(int src, int tag, Status* s) {
+  Bytes raw = recv(src, tag, s);
+  UnpackBuffer ub(raw);
+  const std::uint32_t n = ub.get_u32();
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(ub.get_f64());
+  return out;
+}
+
+}  // namespace minimpi

@@ -1,0 +1,211 @@
+// minimpi: a small MPI subset layered on Nexus remote service requests.
+//
+// This mirrors the paper's §4 setup, where the MPICH implementation of MPI
+// runs on top of Nexus (adding ~6% execution-time overhead versus MPICH on
+// MPL).  Point-to-point messages travel as RSRs to a per-rank engine
+// handler; tag matching uses the classic posted-receive / unexpected-message
+// queues; collectives are built from point-to-point (binomial trees,
+// dissemination barrier, pairwise exchange).
+//
+// Supported surface:
+//   World / Comm (dup, split), rank/size
+//   send, ssend, recv, sendrecv, isend, irecv, wait, test, probe-ish
+//   barrier, bcast, reduce, allreduce, gather, scatter, allgather, alltoall
+//   reduce ops over double vectors: Sum, Min, Max
+//
+// Anything outside this subset is out of scope; the climate model and the
+// benchmarks only need what is listed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nexus/context.hpp"
+#include "util/bytes.hpp"
+
+namespace minimpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::size_t size = 0;
+};
+
+enum class ReduceOp { Sum, Min, Max };
+
+class World;
+
+/// A communicator: an ordered group of ranks mapped to Nexus contexts.
+class Comm {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return static_cast<int>(members_.size()); }
+
+  // --- point-to-point (payloads are opaque bytes) ---
+  void send(nexus::util::ByteSpan data, int dst, int tag);
+  /// Synchronous send: returns only after the receiver has matched it.
+  void ssend(nexus::util::ByteSpan data, int dst, int tag);
+  nexus::util::Bytes recv(int src, int tag, Status* status = nullptr);
+  nexus::util::Bytes sendrecv(nexus::util::ByteSpan data, int dst,
+                              int send_tag, int src, int recv_tag,
+                              Status* status = nullptr);
+
+  // --- nonblocking ---
+  class Request {
+   public:
+    Request() = default;
+    bool valid() const noexcept { return state_ != nullptr; }
+
+   private:
+    friend class Comm;
+    friend class World;
+    struct State;
+    std::shared_ptr<State> state_;
+  };
+  Request isend(nexus::util::ByteSpan data, int dst, int tag);
+  Request irecv(int src, int tag);
+  /// Wait for completion; for an irecv returns the payload.
+  nexus::util::Bytes wait(Request& req, Status* status = nullptr);
+  bool test(Request& req);
+  void wait_all(std::vector<Request>& reqs);
+  /// Block until one request in `reqs` completes; returns its index (its
+  /// payload is retrieved with wait(), which then returns immediately).
+  std::size_t wait_any(std::vector<Request>& reqs);
+
+  /// Nonblocking probe: has a matching message already arrived?  Advances
+  /// the runtime one poll and inspects the unexpected queue (MPI_Iprobe).
+  std::optional<Status> iprobe(int src, int tag);
+  /// Blocking probe: wait until a matching message is available without
+  /// receiving it.
+  Status probe(int src, int tag);
+
+  // --- typed helpers (canonical f64 encoding) ---
+  void send_doubles(std::span<const double> data, int dst, int tag);
+  std::vector<double> recv_doubles(int src, int tag, Status* s = nullptr);
+
+  // --- collectives ---
+  void barrier();
+  void bcast(nexus::util::Bytes& data, int root);
+  std::vector<double> reduce(std::span<const double> contrib, ReduceOp op,
+                             int root);
+  std::vector<double> allreduce(std::span<const double> contrib, ReduceOp op);
+  /// Root receives size() * data.size() bytes, rank-major.
+  std::vector<nexus::util::Bytes> gather(nexus::util::ByteSpan data, int root);
+  nexus::util::Bytes scatter(const std::vector<nexus::util::Bytes>& chunks,
+                             int root);
+  std::vector<nexus::util::Bytes> allgather(nexus::util::ByteSpan data);
+  /// chunks[i] goes to rank i; returns what every rank sent to me.
+  std::vector<nexus::util::Bytes> alltoall(
+      const std::vector<nexus::util::Bytes>& chunks);
+
+  // --- communicator management ---
+  Comm dup();
+  /// Ranks with the same color form a new communicator, ordered by (key,
+  /// parent rank).  Collective over the parent communicator.
+  Comm split(int color, int key);
+
+  /// Context id backing rank r (enquiry; used by benchmarks to check which
+  /// methods rank pairs selected).
+  nexus::ContextId context_of(int r) const { return members_.at(r); }
+
+  World& world() noexcept { return *world_; }
+
+ private:
+  friend class World;
+  Comm(World& world, std::uint32_t id, std::vector<nexus::ContextId> members,
+       int rank)
+      : world_(&world), id_(id), members_(std::move(members)), rank_(rank) {}
+
+  World* world_;
+  std::uint32_t id_;
+  std::vector<nexus::ContextId> members_;
+  int rank_;
+  std::uint32_t split_generation_ = 0;
+};
+
+/// Per-context MPI engine; construct exactly one per context, before any
+/// rank communicates.  The World *is* a Comm over all contexts.
+class World {
+ public:
+  explicit World(nexus::Context& ctx);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  Comm& comm() noexcept { return *world_comm_; }
+  int rank() const noexcept { return world_comm_->rank(); }
+  int size() const noexcept { return world_comm_->size(); }
+  nexus::Context& context() noexcept { return *ctx_; }
+
+  /// Messages received but not yet matched (enquiry/testing).
+  std::size_t unexpected_count() const noexcept { return unexpected_.size(); }
+
+  /// Extra per-operation software cost modelling the MPI-over-Nexus
+  /// layering (paper §4: ~6%); charged on every send and matched receive.
+  nexus::Time layer_overhead() const noexcept { return layer_overhead_; }
+
+  /// Advance and return the collective sequence number for a communicator
+  /// (used by the collective algorithms to derive cross-match-proof tags).
+  std::uint64_t bump_coll_seq(std::uint32_t comm_id) {
+    return ++coll_seq_[comm_id];
+  }
+
+ private:
+  friend class Comm;
+
+  struct Envelope {
+    std::uint32_t comm;
+    int src;
+    int tag;
+    std::uint64_t seq;       ///< per-sender sequence for FIFO matching
+    bool wants_ack = false;  ///< ssend: receiver acks the match
+    std::uint64_t ack_id = 0;
+    nexus::util::Bytes data;
+  };
+
+  struct PendingRecv {
+    std::uint32_t comm;
+    int src;
+    int tag;
+    std::shared_ptr<Comm::Request::State> state;
+  };
+
+  void engine_handler(nexus::util::UnpackBuffer& ub);
+  void ack_handler(nexus::util::UnpackBuffer& ub);
+  /// Unexpected-queue lookup without consuming the message.
+  std::optional<Status> peek_unexpected(std::uint32_t comm, int src,
+                                        int tag) const;
+  void post_send(const Comm& comm, nexus::util::ByteSpan data, int dst,
+                 int tag, bool wants_ack, std::uint64_t ack_id);
+  std::shared_ptr<Comm::Request::State> post_recv(const Comm& comm, int src,
+                                                  int tag);
+  bool match(const PendingRecv& pr, const Envelope& env) const;
+  nexus::Startpoint& startpoint_to(nexus::ContextId ctx);
+
+  nexus::Context* ctx_;
+  std::unique_ptr<Comm> world_comm_;
+  std::deque<Envelope> unexpected_;
+  std::vector<PendingRecv> posted_;
+  std::map<nexus::ContextId, nexus::Startpoint> startpoints_;
+  std::map<std::uint64_t, bool> acks_;  ///< ssend ack flags by id
+  /// Per-communicator collective sequence counters (tags derive from
+  /// these; every rank executes the same ordered collectives per comm, so
+  /// the counters stay in lockstep across ranks).
+  std::map<std::uint32_t, std::uint64_t> coll_seq_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_ack_id_ = 1;
+  nexus::Time layer_overhead_;
+};
+
+}  // namespace minimpi

@@ -1,0 +1,94 @@
+// Context clock strategies: virtual time (simulated fabric) or wall time.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "nexus/types.hpp"
+#include "simnet/process.hpp"
+
+namespace nexus {
+
+/// Abstracts how a context experiences time.  The polling engine charges
+/// poll costs through advance(); applications charge computation the same
+/// way; idle_wait() parks the context until communication may have arrived.
+class ContextClock {
+ public:
+  virtual ~ContextClock() = default;
+  virtual Time now() const = 0;
+  virtual void advance(Time dt) = 0;
+  virtual void idle_wait() = 0;
+  virtual bool simulated() const = 0;
+};
+
+/// Virtual time: forwards to the owning SimProcess.
+class SimClock final : public ContextClock {
+ public:
+  explicit SimClock(simnet::SimProcess& proc) : proc_(&proc) {}
+  Time now() const override { return proc_->now(); }
+  void advance(Time dt) override { proc_->advance(dt); }
+  void idle_wait() override { proc_->block(); }
+  bool simulated() const override { return true; }
+  simnet::SimProcess& process() noexcept { return *proc_; }
+
+ private:
+  simnet::SimProcess* proc_;
+};
+
+/// Shared wakeup channel for a realtime context: realtime devices notify it
+/// whenever they enqueue traffic so idle_wait() can park cheaply.
+class RtActivity {
+ public:
+  void notify() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++events_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Wait until notify() has been called since the last wait, or timeout.
+  void wait(std::chrono::microseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t seen = events_;
+    cv_.wait_for(lock, timeout, [&] { return events_ != seen; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t events_ = 0;
+};
+
+/// Wall-clock time relative to runtime start.  advance() really sleeps, so
+/// realtime examples can model computation phases; poll costs are zero here
+/// because realtime polls pay their cost for real.
+class RtClock final : public ContextClock {
+ public:
+  RtClock(std::chrono::steady_clock::time_point epoch,
+          std::shared_ptr<RtActivity> activity)
+      : epoch_(epoch), activity_(std::move(activity)) {}
+
+  Time now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+  void advance(Time dt) override {
+    if (dt > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(dt));
+  }
+  void idle_wait() override {
+    activity_->wait(std::chrono::microseconds(200));
+  }
+  bool simulated() const override { return false; }
+  const std::shared_ptr<RtActivity>& activity() const { return activity_; }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::shared_ptr<RtActivity> activity_;
+};
+
+}  // namespace nexus

@@ -1,0 +1,493 @@
+#include "nexus/context.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+
+#include "nexus/runtime.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace nexus {
+
+namespace {
+constexpr EndpointId kRootEndpointId = 1;
+constexpr std::uint8_t kMaxForwardHops = 8;
+}  // namespace
+
+/// Realtime-only: dedicated thread servicing one method's blocking poll.
+struct Context::BlockingPoller {
+  Context* ctx;
+  CommModule* module;
+  std::thread thread;
+
+  BlockingPoller(Context& c, CommModule& m) : ctx(&c), module(&m) {
+    thread = std::thread([this] {
+      while (auto pkt = module->blocking_poll()) {
+        std::lock_guard<std::recursive_mutex> lock(*ctx->rt_mutex_);
+        module->counters().recvs += 1;
+        module->counters().bytes_received += pkt->wire_size();
+        ctx->deliver(std::move(*pkt));
+      }
+    });
+  }
+
+  ~BlockingPoller() {
+    module->shutdown_blocking();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+Context::Context(Runtime& runtime, ContextId id,
+                 std::unique_ptr<ContextClock> clock, SimCostParams costs)
+    : runtime_(&runtime), id_(id), clock_(std::move(clock)), costs_(costs) {
+  engine_ = std::make_unique<PollingEngine>(
+      *clock_, [this](Packet p) { deliver(std::move(p)); },
+      costs_.poll_iteration_overhead, costs_.blocking_check_cost);
+  selector_ = std::make_unique<FirstApplicableSelector>();
+  if (!clock_->simulated()) {
+    rt_mutex_ = std::make_unique<std::recursive_mutex>();
+  }
+  auto root = std::unique_ptr<Endpoint>(new Endpoint(id_, kRootEndpointId));
+  root_ = root.get();
+  endpoints_.emplace(kRootEndpointId, std::move(root));
+  next_endpoint_id_ = kRootEndpointId + 1;
+}
+
+Context::~Context() = default;
+
+std::size_t Context::world_size() const { return runtime_->world_size(); }
+
+const util::ResourceDb& Context::config() const { return runtime_->db(); }
+
+void Context::compute_with_polling(Time total, Time chunk) {
+  if (chunk <= 0) {
+    throw util::UsageError("compute_with_polling requires a positive chunk");
+  }
+  while (total > 0) {
+    const Time step = std::min(chunk, total);
+    clock_->advance(step);
+    total -= step;
+    engine_->poll_once();
+  }
+}
+
+Endpoint& Context::create_endpoint() {
+  const EndpointId id = next_endpoint_id_++;
+  auto ep = std::unique_ptr<Endpoint>(new Endpoint(id_, id));
+  Endpoint& ref = *ep;
+  endpoints_.emplace(id, std::move(ep));
+  return ref;
+}
+
+Endpoint& Context::endpoint(EndpointId id) {
+  auto it = endpoints_.find(id);
+  if (it == endpoints_.end()) {
+    throw util::UsageError("no endpoint with id " + std::to_string(id) +
+                           " in context " + std::to_string(id_));
+  }
+  return *it->second;
+}
+
+bool Context::has_endpoint(EndpointId id) const {
+  return endpoints_.count(id) != 0;
+}
+
+void Context::destroy_endpoint(EndpointId id) {
+  if (id == kRootEndpointId) {
+    throw util::UsageError("the root endpoint cannot be destroyed");
+  }
+  if (endpoints_.erase(id) == 0) {
+    throw util::UsageError("destroy_endpoint: no endpoint with id " +
+                           std::to_string(id));
+  }
+}
+
+HandlerId Context::register_handler(std::string_view name, Handler fn,
+                                    HandlerKind kind) {
+  return handlers_.add(name, std::move(fn), kind);
+}
+
+void Context::bind(Startpoint& sp, const Endpoint& ep) const {
+  if (ep.context_id() != id_) {
+    throw util::UsageError(
+        "bind: startpoints are bound to local endpoints; ship the startpoint "
+        "(not the endpoint) to remote contexts");
+  }
+  Startpoint::Link link;
+  link.context = id_;
+  link.endpoint = ep.id();
+  link.table = local_table_;
+  sp.links_.push_back(std::move(link));
+}
+
+Startpoint Context::startpoint_to(const Endpoint& ep) const {
+  Startpoint sp;
+  bind(sp, ep);
+  return sp;
+}
+
+Startpoint Context::world_startpoint(ContextId target) const {
+  Startpoint sp;
+  Startpoint::Link link;
+  link.context = target;
+  link.endpoint = kRootEndpointId;
+  link.table = runtime_->table_of(target);
+  sp.links_.push_back(std::move(link));
+  return sp;
+}
+
+std::shared_ptr<CommObject> Context::cached_connection(
+    const CommDescriptor& d) {
+  const auto key = std::make_pair(d.method, d.context);
+  auto it = connections_.find(key);
+  if (it != connections_.end()) return it->second;
+  CommModule* m = module(d.method);
+  if (m == nullptr) {
+    throw util::MethodError("method '" + d.method +
+                            "' is not loaded in context " +
+                            std::to_string(id_));
+  }
+  auto conn = std::shared_ptr<CommObject>(m->connect(d));
+  connections_.emplace(key, conn);
+  return conn;
+}
+
+void Context::ensure_connection(const Startpoint& sp, Startpoint::Link& link) {
+  if (link.conn) return;
+  std::string reason;
+  std::optional<std::size_t> idx;
+  if (sp.forced_method()) {
+    const std::string& method = *sp.forced_method();
+    idx = link.table.find(method);
+    if (!idx) {
+      throw util::MethodError("forced method '" + method +
+                              "' is not in the link's descriptor table");
+    }
+    CommModule* m = module(method);
+    if (m == nullptr || !m->applicable(link.table.at(*idx))) {
+      throw util::MethodError("forced method '" + method +
+                              "' is not applicable from context " +
+                              std::to_string(id_) + " to context " +
+                              std::to_string(link.context));
+    }
+    reason = "forced by application";
+  } else {
+    idx = selector_->select(link.table, *this, reason);
+    if (!idx) {
+      throw util::MethodError(
+          "no applicable communication method from context " +
+          std::to_string(id_) + " to context " + std::to_string(link.context));
+    }
+  }
+  const CommDescriptor& d = link.table.at(*idx);
+  link.conn = cached_connection(d);
+  link.selected_method = d.method;
+  selection_log_.push_back(SelectionRecord{link.context, d.method,
+                                           std::move(reason), now()});
+}
+
+void Context::send_on_link(Startpoint::Link& link, HandlerId h,
+                           const util::Bytes& payload) {
+  Packet pkt;
+  pkt.src = id_;
+  pkt.dst = link.context;
+  pkt.endpoint = link.endpoint;
+  pkt.handler = h;
+  pkt.payload = payload;
+
+  clock_->advance(costs_.rsr_send_overhead);
+  CommModule& m = link.conn->module();
+  const std::uint64_t wire = m.send(*link.conn, std::move(pkt));
+  m.counters().sends += 1;
+  m.counters().bytes_sent += wire;
+  if (runtime_->trace().enabled()) {
+    runtime_->trace().record({now(), id_, simnet::TraceKind::Send,
+                              std::string(m.name()), wire, ""});
+  }
+}
+
+void Context::rsr(Startpoint& sp, std::string_view handler,
+                  util::Bytes payload) {
+  if (!sp.bound()) {
+    throw util::UsageError("rsr on an unbound startpoint");
+  }
+  std::unique_lock<std::recursive_mutex> lock;
+  if (rt_mutex_) lock = std::unique_lock<std::recursive_mutex>(*rt_mutex_);
+
+  const HandlerId h = HandlerTable::id_of(handler);
+  ++rsrs_sent_;
+  for (auto& link : sp.links_) {
+    ensure_connection(sp, link);
+    send_on_link(link, h, payload);
+  }
+  // Paper §3.3: the polling function is called at least every time a Nexus
+  // operation is performed.
+  engine_->poll_once();
+}
+
+void Context::rsr(Startpoint& sp, std::string_view handler,
+                  const util::PackBuffer& args) {
+  rsr(sp, handler, args.bytes());
+}
+
+void Context::rsr(Startpoint& sp, std::string_view handler) {
+  rsr(sp, handler, util::Bytes{});
+}
+
+void Context::pack_startpoint(util::PackBuffer& pb,
+                              const Startpoint& sp) const {
+  const std::size_t before = pb.size();
+  pb.put_u32(static_cast<std::uint32_t>(sp.links_.size()));
+  for (const auto& link : sp.links_) {
+    pb.put_u32(link.context);
+    pb.put_u64(link.endpoint);
+    // Lightweight startpoint optimization (§3.1): omit the table when it is
+    // exactly the runtime's default table for the target context.  Group
+    // pseudo-contexts (multicast) always carry their table.
+    const bool lightweight =
+        link.context < runtime_->world_size() &&
+        link.table == runtime_->table_of(link.context);
+    pb.put_bool(lightweight);
+    if (!lightweight) link.table.pack(pb);
+  }
+  clock_->advance(static_cast<Time>(pb.size() - before) *
+                  costs_.pack_cost_per_byte);
+}
+
+Startpoint Context::unpack_startpoint(util::UnpackBuffer& ub) const {
+  Startpoint sp;
+  const std::uint32_t n = ub.get_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Startpoint::Link link;
+    link.context = ub.get_u32();
+    link.endpoint = ub.get_u64();
+    const bool lightweight = ub.get_bool();
+    link.table = lightweight ? runtime_->table_of(link.context)
+                             : DescriptorTable::unpack(ub);
+    sp.links_.push_back(std::move(link));
+  }
+  return sp;
+}
+
+void Context::wait_count(const std::uint64_t& counter, std::uint64_t target) {
+  engine_->wait([&] { return counter >= target; });
+}
+
+void Context::deliver(Packet pkt) {
+  // On the realtime fabric, deliveries may come from the context's own
+  // polling loop and from blocking-poller threads concurrently; the
+  // recursive mutex serializes all mutation of endpoints, handlers, and
+  // the connection cache (rsr() takes the same lock).
+  std::unique_lock<std::recursive_mutex> lock;
+  if (rt_mutex_) lock = std::unique_lock<std::recursive_mutex>(*rt_mutex_);
+  if (pkt.dst != id_) {
+    forward(std::move(pkt));
+    return;
+  }
+  clock_->advance(costs_.dispatch_overhead);
+  auto it = endpoints_.find(pkt.endpoint);
+  if (it == endpoints_.end()) {
+    throw util::UsageError("RSR addressed to unknown endpoint " +
+                           std::to_string(pkt.endpoint) + " in context " +
+                           std::to_string(id_));
+  }
+  Endpoint& ep = *it->second;
+  const HandlerTable::Entry& entry = handlers_.lookup(pkt.handler);
+  if (entry.kind == HandlerKind::Threaded) {
+    clock_->advance(costs_.threaded_handler_switch);
+  }
+  ep.deliveries_ += 1;
+  ++rsrs_delivered_;
+  if (runtime_->trace().enabled()) {
+    runtime_->trace().record({now(), id_, simnet::TraceKind::Dispatch,
+                              entry.name, pkt.payload.size(), ""});
+  }
+  util::UnpackBuffer ub(pkt.payload);
+  entry.fn(*this, ep, ub);
+}
+
+void Context::forward(Packet pkt) {
+  // This context is acting as a forwarding node (paper §3.3): re-send the
+  // packet toward its true destination over the best local method.
+  if (++pkt.hops > kMaxForwardHops) {
+    throw util::MethodError("forwarding loop detected (packet to context " +
+                            std::to_string(pkt.dst) + ")");
+  }
+  clock_->advance(costs_.dispatch_overhead);
+  const DescriptorTable& table = runtime_->table_of(pkt.dst);
+  std::string reason;
+  auto idx = selector_->select(table, *this, reason);
+  if (!idx) {
+    throw util::MethodError("forwarder " + std::to_string(id_) +
+                            " has no applicable method to reach context " +
+                            std::to_string(pkt.dst));
+  }
+  auto conn = cached_connection(table.at(*idx));
+  CommModule& m = conn->module();
+  const std::uint64_t wire = m.send(*conn, std::move(pkt));
+  m.counters().sends += 1;
+  m.counters().bytes_sent += wire;
+  if (runtime_->trace().enabled()) {
+    runtime_->trace().record({now(), id_, simnet::TraceKind::Forward,
+                              std::string(m.name()), wire, ""});
+  }
+}
+
+void Context::set_skip_poll(std::string_view method, std::uint64_t skip) {
+  engine_->set_skip(method, skip);
+  update_interference();
+}
+
+std::uint64_t Context::skip_poll(std::string_view method) const {
+  return engine_->skip(method);
+}
+
+void Context::set_poll_enabled(std::string_view method, bool enabled) {
+  engine_->set_enabled(method, enabled);
+  update_interference();
+}
+
+bool Context::poll_enabled(std::string_view method) const {
+  return engine_->enabled(method);
+}
+
+void Context::set_adaptive_poll(std::string_view method, bool on,
+                                std::uint64_t miss_threshold,
+                                std::uint64_t max_skip) {
+  engine_->set_adaptive(method, on, miss_threshold, max_skip);
+}
+
+void Context::set_blocking_poller(std::string_view method, bool on) {
+  if (clock_->simulated()) {
+    engine_->set_blocking(method, on);
+    update_interference();
+    return;
+  }
+  CommModule* m = module(method);
+  if (m == nullptr) {
+    throw util::MethodError("set_blocking_poller: method '" +
+                            std::string(method) + "' not loaded");
+  }
+  if (on) {
+    if (!m->supports_blocking()) {
+      throw util::MethodError("method '" + std::string(method) +
+                              "' does not support a blocking poller");
+    }
+    engine_->set_enabled(method, false);
+    rt_pollers_.push_back(std::make_unique<BlockingPoller>(*this, *m));
+  } else {
+    std::erase_if(rt_pollers_, [&](const std::unique_ptr<BlockingPoller>& p) {
+      return p->module == m;
+    });
+    engine_->set_enabled(method, true);
+  }
+}
+
+void Context::set_selector(std::unique_ptr<MethodSelector> selector) {
+  if (!selector) throw util::UsageError("set_selector: null selector");
+  selector_ = std::move(selector);
+}
+
+std::vector<std::string> Context::methods() const {
+  std::vector<std::string> out;
+  out.reserve(modules_.size());
+  for (const auto& m : modules_) out.emplace_back(m->name());
+  return out;
+}
+
+CommModule* Context::module(std::string_view name) {
+  for (const auto& m : modules_) {
+    if (m->name() == name) return m.get();
+  }
+  return nullptr;
+}
+
+const CommModule* Context::module(std::string_view name) const {
+  for (const auto& m : modules_) {
+    if (m->name() == name) return m.get();
+  }
+  return nullptr;
+}
+
+const util::MethodCounters& Context::method_counters(
+    std::string_view name) const {
+  const CommModule* m = module(name);
+  if (m == nullptr) {
+    throw util::MethodError("method_counters: method '" + std::string(name) +
+                            "' not loaded");
+  }
+  return m->counters();
+}
+
+void Context::add_module(std::unique_ptr<CommModule> m) {
+  if (module(m->name()) != nullptr) {
+    throw util::UsageError("module '" + std::string(m->name()) +
+                           "' added twice to context " + std::to_string(id_));
+  }
+  modules_.push_back(std::move(m));
+}
+
+void Context::finalize_modules() {
+  for (auto& m : modules_) m->initialize(*this);
+  // Fastest-first ordering for both the polling loop and the local table.
+  std::vector<CommModule*> order;
+  order.reserve(modules_.size());
+  for (auto& m : modules_) order.push_back(m.get());
+  std::stable_sort(order.begin(), order.end(),
+                   [](const CommModule* a, const CommModule* b) {
+                     return a->speed_rank() < b->speed_rank();
+                   });
+  std::vector<CommDescriptor> descriptors;
+  for (CommModule* m : order) {
+    engine_->add_module(*m);
+    descriptors.push_back(m->local_descriptor());
+  }
+  local_table_ = DescriptorTable(std::move(descriptors));
+
+  // Per-method configuration from the resource database.
+  const util::ResourceDb& db = runtime_->db();
+  for (CommModule* m : order) {
+    const std::string method(m->name());
+    const auto skip = db.get_scoped_int(id_, method + ".skip_poll", 1);
+    if (skip > 1) engine_->set_skip(method, static_cast<std::uint64_t>(skip));
+    if (auto v = db.get_scoped(id_, method + ".poll_enabled")) {
+      engine_->set_enabled(method, *v == "true" || *v == "1" || *v == "on" ||
+                                       *v == "yes");
+    }
+  }
+  update_interference();
+}
+
+void Context::update_interference() {
+  // Model of the §3.3 kernel-call interference: each expensive (TCP-class)
+  // poll slows the drain of in-flight MPL-class transfers into this
+  // context.  We express it as a bandwidth drag factor
+  //   drag = 1 + interference / (skip * base_iteration + poll_cost)
+  // where base_iteration is the cost of one poll-loop pass over the cheap
+  // methods.  The MPL-class send path divides its bandwidth by the
+  // receiver's drag.
+  if (!clock_->simulated()) return;
+  SimFabric* fabric = runtime_->sim();
+  if (fabric == nullptr) return;
+
+  double drag = 1.0;
+  const CommModule* tcp = module("tcp");
+  if (tcp != nullptr && engine_->enabled("tcp") && !engine_->blocking("tcp") &&
+      costs_.tcp_interference > 0) {
+    Time base = costs_.poll_iteration_overhead;
+    for (const auto& m : modules_) {
+      if (m->name() == "tcp") continue;
+      if (engine_->enabled(m->name())) base += m->poll_cost();
+    }
+    const double denom =
+        static_cast<double>(engine_->skip("tcp")) * static_cast<double>(base) +
+        static_cast<double>(tcp->poll_cost());
+    if (denom > 0) {
+      drag += static_cast<double>(costs_.tcp_interference) / denom;
+    }
+  }
+  fabric->host(id_).inbound_drag = drag;
+}
+
+}  // namespace nexus

@@ -1,0 +1,183 @@
+// Context: one address space / virtual processor (paper §3).
+//
+// A context owns its endpoints, handler table, communication modules,
+// polling engine, and communication-object cache, and exposes the single
+// communication operation of the model: the asynchronous remote service
+// request (RSR) applied to a startpoint.  Contexts are isolated from one
+// another: everything that crosses between them travels as serialized
+// bytes through the fabric's mailboxes/queues.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "nexus/clock.hpp"
+#include "nexus/costs.hpp"
+#include "nexus/descriptor.hpp"
+#include "nexus/endpoint.hpp"
+#include "nexus/handler.hpp"
+#include "nexus/module.hpp"
+#include "nexus/polling.hpp"
+#include "nexus/selector.hpp"
+#include "nexus/startpoint.hpp"
+#include "nexus/types.hpp"
+#include "util/pack.hpp"
+#include "util/resource_db.hpp"
+
+namespace nexus {
+
+class Runtime;
+
+class Context {
+ public:
+  Context(Runtime& runtime, ContextId id, std::unique_ptr<ContextClock> clock,
+          SimCostParams costs);
+  ~Context();
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // --- identity & environment ---
+  ContextId id() const noexcept { return id_; }
+  Runtime& runtime() noexcept { return *runtime_; }
+  std::size_t world_size() const;
+  const util::ResourceDb& config() const;
+  const SimCostParams& costs() const noexcept { return costs_; }
+
+  // --- time ---
+  Time now() const { return clock_->now(); }
+  /// Charge `dt` of local computation (virtual in the simulated fabric).
+  void compute(Time dt) { clock_->advance(dt); }
+  /// Computation interleaved with polling: advances in `chunk`-sized slices
+  /// with one unified poll between slices ("the polling function will be
+  /// called at least every time a Nexus operation is performed" -- and the
+  /// underlying message layer also polls during long computations).
+  void compute_with_polling(Time total, Time chunk);
+
+  // --- endpoints & handlers ---
+  /// The root endpoint (id 1) every context owns; bootstrap startpoints
+  /// from Runtime target it.
+  Endpoint& root_endpoint() { return *root_; }
+  Endpoint& create_endpoint();
+  Endpoint& endpoint(EndpointId id);
+  bool has_endpoint(EndpointId id) const;
+  void destroy_endpoint(EndpointId id);
+  HandlerId register_handler(std::string_view name, Handler fn,
+                             HandlerKind kind = HandlerKind::NonThreaded);
+
+  // --- startpoints & links ---
+  /// Create an unbound startpoint.
+  Startpoint create_startpoint() const { return Startpoint{}; }
+  /// Bind a startpoint to a *local* endpoint, forming a communication link
+  /// (append semantics: binding to several endpoints yields multicast).
+  void bind(Startpoint& sp, const Endpoint& ep) const;
+  /// Convenience: create + bind.
+  Startpoint startpoint_to(const Endpoint& ep) const;
+  /// Bootstrap: a startpoint linked to context `target`'s root endpoint.
+  Startpoint world_startpoint(ContextId target) const;
+
+  // --- the communication operation ---
+  /// Asynchronous remote service request: ship `payload` to every endpoint
+  /// linked to `sp` and invoke `handler` there.
+  void rsr(Startpoint& sp, std::string_view handler, util::Bytes payload);
+  void rsr(Startpoint& sp, std::string_view handler,
+           const util::PackBuffer& args);
+  /// Zero-payload RSR.
+  void rsr(Startpoint& sp, std::string_view handler);
+
+  // --- startpoint transfer ---
+  /// Serialize a startpoint for transfer to another context.  Applies the
+  /// lightweight "default table" optimization when a link's table matches
+  /// the runtime's default table for the target context (§3.1).
+  void pack_startpoint(util::PackBuffer& pb, const Startpoint& sp) const;
+  Startpoint unpack_startpoint(util::UnpackBuffer& ub) const;
+
+  // --- progress ---
+  /// One iteration of the unified polling function.
+  bool progress() { return engine_->poll_once(); }
+  /// Poll until done() is satisfied.
+  void wait(const std::function<bool()>& done) { engine_->wait(done); }
+  /// Poll until `counter` reaches at least `target` (common RSR-counting
+  /// idiom for request/reply protocols).
+  void wait_count(const std::uint64_t& counter, std::uint64_t target);
+
+  // --- method control ---
+  void set_skip_poll(std::string_view method, std::uint64_t skip);
+  std::uint64_t skip_poll(std::string_view method) const;
+  void set_poll_enabled(std::string_view method, bool enabled);
+  bool poll_enabled(std::string_view method) const;
+  void set_adaptive_poll(std::string_view method, bool on,
+                         std::uint64_t miss_threshold = 8,
+                         std::uint64_t max_skip = 4096);
+  /// Hand a method to a dedicated blocking poller (paper §3.3 AIX
+  /// discussion).  Requires module->supports_blocking().
+  void set_blocking_poller(std::string_view method, bool on);
+  void set_selector(std::unique_ptr<MethodSelector> selector);
+  MethodSelector& selector() noexcept { return *selector_; }
+
+  // --- enquiry interface (paper §2.1) ---
+  std::vector<std::string> methods() const;
+  CommModule* module(std::string_view name);
+  const CommModule* module(std::string_view name) const;
+  const util::MethodCounters& method_counters(std::string_view name) const;
+  const std::vector<SelectionRecord>& selection_log() const noexcept {
+    return selection_log_;
+  }
+  /// This context's own descriptor table, fastest-first (the table attached
+  /// to startpoints created here).
+  const DescriptorTable& local_table() const noexcept { return local_table_; }
+  PollingEngine& polling_engine() noexcept { return *engine_; }
+  const PollingEngine& polling_engine() const noexcept { return *engine_; }
+  ContextClock& clock() noexcept { return *clock_; }
+  std::uint64_t rsrs_sent() const noexcept { return rsrs_sent_; }
+  std::uint64_t rsrs_delivered() const noexcept { return rsrs_delivered_; }
+
+  // --- runtime wiring (called by Runtime during construction) ---
+  void add_module(std::unique_ptr<CommModule> m);
+  void finalize_modules();
+  /// Recompute the inbound interference drag after poll config changes.
+  void update_interference();
+
+ private:
+  void deliver(Packet pkt);
+  void dispatch_local(Packet pkt);
+  void forward(Packet pkt);
+  void ensure_connection(const Startpoint& sp, Startpoint::Link& link);
+  std::shared_ptr<CommObject> cached_connection(const CommDescriptor& d);
+  void send_on_link(Startpoint::Link& link, HandlerId h,
+                    const util::Bytes& payload);
+
+  Runtime* runtime_;
+  ContextId id_;
+  std::unique_ptr<ContextClock> clock_;
+  SimCostParams costs_;
+
+  std::vector<std::unique_ptr<CommModule>> modules_;
+  std::unique_ptr<PollingEngine> engine_;
+  HandlerTable handlers_;
+  std::map<EndpointId, std::unique_ptr<Endpoint>> endpoints_;
+  Endpoint* root_ = nullptr;
+  EndpointId next_endpoint_id_ = 1;
+
+  std::unique_ptr<MethodSelector> selector_;
+  std::map<std::pair<std::string, ContextId>, std::shared_ptr<CommObject>>
+      connections_;
+  std::vector<SelectionRecord> selection_log_;
+  DescriptorTable local_table_;
+
+  std::uint64_t rsrs_sent_ = 0;
+  std::uint64_t rsrs_delivered_ = 0;
+
+  // Realtime blocking pollers: one thread per method handed off.
+  struct BlockingPoller;
+  std::vector<std::unique_ptr<BlockingPoller>> rt_pollers_;
+  std::unique_ptr<std::recursive_mutex> rt_mutex_;  // guards comm state in rt fabric
+};
+
+}  // namespace nexus

@@ -1,0 +1,120 @@
+// Simulated cost parameters, calibrated to the paper's reported constants.
+//
+// Paper sources for defaults (§3.3, §4):
+//   * MPL and TCP over the SP2 switch reach ~36 and ~8 MB/s.
+//   * An mpc_status probe costs 15 us; a select costs "over 100" us.
+//   * TCP small-message latency over the switch is ~2 ms.
+//   * A zero-byte Nexus/MPL one-way is 83 us (vs a faster native MPL), and
+//     156 us once TCP polling is enabled.
+//   * TCP polling degrades MPL bandwidth even for large messages
+//     (hypothesis: repeated kernel calls slow the device-to-user drain);
+//     modelled here as a bandwidth drag proportional to TCP poll frequency.
+//
+// All times are virtual nanoseconds (simnet::Time).
+#pragma once
+
+#include "simnet/time.hpp"
+
+namespace nexus {
+
+struct SimCostParams {
+  using Time = simnet::Time;
+  static constexpr Time us = simnet::kUs;
+
+  // --- Nexus software layer ---
+  Time poll_iteration_overhead = 500;      ///< unified poll loop bookkeeping
+  Time rsr_send_overhead = 12 * us;        ///< selection + pack + fn table call
+  Time dispatch_overhead = 10 * us;        ///< endpoint/handler lookup + invoke
+  Time threaded_handler_switch = 25 * us;  ///< thread hand-off for threaded handlers
+  Time blocking_check_cost = 500;          ///< flag check when a blocking poller services a method
+  Time blocking_wake_penalty = 20 * us;    ///< wake + hand-off from blocking poller thread
+  Time pack_cost_per_byte = 3;             ///< serialization cost (startpoints, args)
+
+  // --- local (intra-context) ---
+  Time local_latency = 1 * us;
+  Time local_poll_cost = 1 * us;
+  Time local_send_cpu = 1 * us;
+  double local_mb_s = 400.0;
+
+  // --- shm (inter-context, same node) ---
+  Time shm_latency = 4 * us;
+  Time shm_poll_cost = 2 * us;
+  Time shm_send_cpu = 2 * us;
+  double shm_mb_s = 200.0;
+
+  // --- myrinet-like SAN ---
+  Time myrinet_latency = 20 * us;
+  Time myrinet_poll_cost = 5 * us;
+  Time myrinet_send_cpu = 4 * us;
+  double myrinet_mb_s = 60.0;
+
+  // --- MPL-like (intra-partition switch) ---
+  Time mpl_latency = 40 * us;
+  Time mpl_poll_cost = 15 * us;
+  Time mpl_send_cpu = 5 * us;
+  double mpl_mb_s = 36.0;
+
+  // --- TCP-like (works everywhere; expensive select) ---
+  Time tcp_latency = 2 * simnet::kMs;
+  Time tcp_poll_cost = 110 * us;
+  Time tcp_send_cpu = 30 * us;
+  double tcp_mb_s = 8.0;
+  /// Per-TCP-poll drag on MPL transfers into the polling context (the
+  /// kernel-call interference of §3.3); see Context::update_interference().
+  Time tcp_interference = 15 * us;
+  /// Incast congestion collapse: when a receiver already has more than
+  /// `tcp_incast_threshold` transfers AND more than `tcp_incast_bytes`
+  /// in flight, each further send stalls quadratically in the excess count
+  /// (retransmit-timeout behaviour of mid-90s stacks under synchronized
+  /// many-to-one bursts).  This is what makes running a parallel model's
+  /// internal alltoall traffic over TCP catastrophically slow (paper §4:
+  /// an order of magnitude), while coupling exchanges and small control
+  /// bursts (startup allgathers) are unaffected.
+  std::uint64_t tcp_incast_threshold = 4;
+  std::uint64_t tcp_incast_bytes = 64 * 1024;
+  Time tcp_incast_stall = 1700 * us * 1000;  // 1.7 s per excess transfer step
+
+  // --- UDP-like (unreliable datagrams over the routed network) ---
+  Time udp_latency = 1500 * us;
+  Time udp_poll_cost = 60 * us;
+  Time udp_send_cpu = 15 * us;
+  double udp_mb_s = 10.0;
+  double udp_drop_prob = 0.01;
+  std::uint64_t udp_mtu = 8192;  ///< larger payloads are rejected
+
+  // --- AAL5 / ATM-like (metropolitan links, between partitions) ---
+  Time aal5_latency = 900 * us;
+  Time aal5_poll_cost = 40 * us;
+  Time aal5_send_cpu = 12 * us;
+  double aal5_mb_s = 17.0;  ///< OC3-ish payload rate
+
+  // --- wrapper methods ---
+  Time secure_cpu_per_byte = 12;    ///< toy stream cipher + MAC, both ends
+  Time compress_cpu_per_byte = 6;   ///< RLE encode/decode cost per input byte
+
+  /// Realtime fabric variant: all virtual costs zeroed (realtime code pays
+  /// its costs for real); non-temporal knobs (drop probability, MTU,
+  /// thresholds) are preserved from `c`.
+  static SimCostParams realtime(SimCostParams c) {
+    c.poll_iteration_overhead = 0;
+    c.rsr_send_overhead = 0;
+    c.dispatch_overhead = 0;
+    c.threaded_handler_switch = 0;
+    c.blocking_check_cost = 0;
+    c.blocking_wake_penalty = 0;
+    c.pack_cost_per_byte = 0;
+    c.local_latency = c.shm_latency = c.myrinet_latency = c.mpl_latency = 0;
+    c.tcp_latency = c.udp_latency = c.aal5_latency = 0;
+    c.local_poll_cost = c.shm_poll_cost = c.myrinet_poll_cost = 0;
+    c.mpl_poll_cost = c.tcp_poll_cost = c.udp_poll_cost = c.aal5_poll_cost = 0;
+    c.local_send_cpu = c.shm_send_cpu = c.myrinet_send_cpu = 0;
+    c.mpl_send_cpu = c.tcp_send_cpu = c.udp_send_cpu = c.aal5_send_cpu = 0;
+    c.tcp_interference = 0;
+    c.tcp_incast_stall = 0;
+    c.secure_cpu_per_byte = 0;
+    c.compress_cpu_per_byte = 0;
+    return c;
+  }
+};
+
+}  // namespace nexus

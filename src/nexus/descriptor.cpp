@@ -1,0 +1,72 @@
+#include "nexus/descriptor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nexus {
+
+void CommDescriptor::pack(util::PackBuffer& pb) const {
+  pb.put_string(method);
+  pb.put_u32(context);
+  pb.put_bytes(data);
+}
+
+CommDescriptor CommDescriptor::unpack(util::UnpackBuffer& ub) {
+  CommDescriptor d;
+  d.method = ub.get_string();
+  d.context = ub.get_u32();
+  d.data = ub.get_bytes();
+  return d;
+}
+
+void DescriptorTable::insert(std::size_t pos, CommDescriptor d) {
+  if (pos > entries_.size()) pos = entries_.size();
+  entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  std::move(d));
+}
+
+std::size_t DescriptorTable::remove(std::string_view method) {
+  const auto before = entries_.size();
+  std::erase_if(entries_,
+                [&](const CommDescriptor& d) { return d.method == method; });
+  return before - entries_.size();
+}
+
+bool DescriptorTable::prioritize(std::string_view method) {
+  auto mid = std::stable_partition(
+      entries_.begin(), entries_.end(),
+      [&](const CommDescriptor& d) { return d.method == method; });
+  return mid != entries_.begin();
+}
+
+std::optional<std::size_t> DescriptorTable::find(
+    std::string_view method) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].method == method) return i;
+  }
+  return std::nullopt;
+}
+
+void DescriptorTable::pack(util::PackBuffer& pb) const {
+  pb.put_u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& d : entries_) d.pack(pb);
+}
+
+DescriptorTable DescriptorTable::unpack(util::UnpackBuffer& ub) {
+  const std::uint32_t n = ub.get_u32();
+  std::vector<CommDescriptor> entries;
+  entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    entries.push_back(CommDescriptor::unpack(ub));
+  }
+  return DescriptorTable(std::move(entries));
+}
+
+std::size_t DescriptorTable::packed_size() const {
+  util::PackBuffer pb;
+  pack(pb);
+  return pb.size();
+}
+
+}  // namespace nexus

@@ -1,0 +1,82 @@
+// Communication descriptors and descriptor tables (paper §3.1).
+//
+// A CommDescriptor holds everything a communication module needs to reach a
+// specific context: the method name, the target context, and opaque
+// module-specific data (e.g. partition id for MPL, host/port analog for
+// TCP).  Descriptors are grouped into a DescriptorTable -- "a concise and
+// easily communicated representation of information about communication
+// methods" -- which travels with every startpoint.  Table order encodes the
+// selection preference: the automatic selector scans in order and picks the
+// first applicable entry ("fastest first" when ordered by speed).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nexus/types.hpp"
+#include "util/bytes.hpp"
+#include "util/pack.hpp"
+
+namespace nexus {
+
+struct CommDescriptor {
+  std::string method;      ///< module name, e.g. "mpl", "tcp"
+  ContextId context = 0;   ///< context this descriptor reaches
+  util::Bytes data;        ///< module-specific addressing information
+
+  void pack(util::PackBuffer& pb) const;
+  static CommDescriptor unpack(util::UnpackBuffer& ub);
+
+  bool operator==(const CommDescriptor& o) const = default;
+};
+
+class DescriptorTable {
+ public:
+  DescriptorTable() = default;
+  explicit DescriptorTable(std::vector<CommDescriptor> entries)
+      : entries_(std::move(entries)) {}
+
+  const std::vector<CommDescriptor>& entries() const noexcept {
+    return entries_;
+  }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  const CommDescriptor& at(std::size_t i) const { return entries_.at(i); }
+
+  /// Append a descriptor at the end (lowest priority).
+  void add(CommDescriptor d) { entries_.push_back(std::move(d)); }
+
+  /// Insert a descriptor at a given priority position.
+  void insert(std::size_t pos, CommDescriptor d);
+
+  /// Remove every descriptor for `method`; returns how many were removed.
+  /// This is one of the paper's manual-selection controls.
+  std::size_t remove(std::string_view method);
+
+  /// Move all descriptors for `method` to the front, preserving relative
+  /// order otherwise (manual "prefer this method" control).
+  bool prioritize(std::string_view method);
+
+  /// First descriptor using `method`, if any.
+  std::optional<std::size_t> find(std::string_view method) const;
+
+  /// All contexts referenced (normally a table describes one context).
+  ContextId context() const { return entries_.empty() ? kNoContext : entries_.front().context; }
+
+  void pack(util::PackBuffer& pb) const;
+  static DescriptorTable unpack(util::UnpackBuffer& ub);
+
+  /// Serialized size in bytes -- the "few tens of bytes" the paper says a
+  /// table costs to ship; exposed so benchmarks can report it.
+  std::size_t packed_size() const;
+
+  bool operator==(const DescriptorTable& o) const = default;
+
+ private:
+  std::vector<CommDescriptor> entries_;
+};
+
+}  // namespace nexus

@@ -1,0 +1,51 @@
+// Communication endpoints (the receive side of a communication link).
+//
+// Endpoints are created by and owned by a context, cannot be copied, and
+// cannot migrate (paper §2.2: "Startpoints can be copied between
+// processors, but endpoints cannot").  An endpoint may carry a *local
+// address* -- an application pointer -- in which case startpoints linked to
+// it act as global pointers to that datum.
+#pragma once
+
+#include <any>
+
+#include "nexus/types.hpp"
+
+namespace nexus {
+
+class Context;
+
+class Endpoint {
+ public:
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  EndpointId id() const noexcept { return id_; }
+  ContextId context_id() const noexcept { return context_; }
+
+  /// Application datum this endpoint stands for, if any ("global pointer"
+  /// semantics).  Stored as std::any so unrelated handler libraries can
+  /// attach their own state without casts through void*.
+  const std::any& local_address() const noexcept { return local_address_; }
+  std::any& local_address() noexcept { return local_address_; }
+  void set_local_address(std::any value) { local_address_ = std::move(value); }
+
+  template <typename T>
+  T* local_as() {
+    return std::any_cast<T>(&local_address_);
+  }
+
+  /// Number of RSRs delivered through this endpoint.
+  std::uint64_t deliveries() const noexcept { return deliveries_; }
+
+ private:
+  friend class Context;
+  Endpoint(ContextId ctx, EndpointId id) : context_(ctx), id_(id) {}
+
+  ContextId context_;
+  EndpointId id_;
+  std::any local_address_;
+  std::uint64_t deliveries_ = 0;
+};
+
+}  // namespace nexus

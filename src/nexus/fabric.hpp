@@ -1,0 +1,122 @@
+// Fabric state shared by the per-context communication modules.
+//
+// The simulated fabric owns the discrete-event scheduler and, per context,
+// a SimHost with one arrival-ordered mailbox per method.  The realtime
+// fabric owns, per context, a RtHost with one thread-safe queue per method
+// and an activity channel for idle waits.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nexus/clock.hpp"
+#include "nexus/types.hpp"
+#include "simnet/mailbox.hpp"
+#include "simnet/scheduler.hpp"
+#include "simnet/topology.hpp"
+#include "util/error.hpp"
+#include "util/queues.hpp"
+
+namespace nexus {
+
+/// Per-context endpoint of the simulated fabric.
+struct SimHost {
+  simnet::SimProcess* proc = nullptr;
+  std::map<std::string, simnet::Mailbox<Packet>, std::less<>> boxes;
+  /// Interference drag on inbound MPL-class transfers caused by this host's
+  /// expensive polls (1.0 = none); see Context::update_interference().
+  double inbound_drag = 1.0;
+  /// Bytes currently in flight toward this host over the TCP-class method;
+  /// maintained by TcpSimModule for the incast-collapse model.
+  std::uint64_t tcp_inflight_bytes = 0;
+
+  simnet::Mailbox<Packet>& box(std::string_view method) {
+    auto it = boxes.find(method);
+    if (it == boxes.end()) {
+      throw util::MethodError("context has no mailbox for method '" +
+                              std::string(method) + "'");
+    }
+    return it->second;
+  }
+};
+
+class SimFabric {
+ public:
+  explicit SimFabric(simnet::Topology topology)
+      : topology_(std::move(topology)) {}
+
+  simnet::Scheduler& scheduler() noexcept { return scheduler_; }
+  const simnet::Topology& topology() const noexcept { return topology_; }
+
+  SimHost& host(ContextId id) { return *hosts_.at(id); }
+  void add_host(std::unique_ptr<SimHost> h) { hosts_.push_back(std::move(h)); }
+  std::size_t host_count() const noexcept { return hosts_.size(); }
+
+  /// Multicast group membership (group id -> receiving endpoints), used by
+  /// the "mcast" module's one-send-many-deliveries path.
+  std::map<std::uint32_t, std::vector<std::pair<ContextId, EndpointId>>>&
+  multicast_groups() noexcept {
+    return multicast_groups_;
+  }
+
+ private:
+  simnet::Scheduler scheduler_;
+  simnet::Topology topology_;
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+  std::map<std::uint32_t, std::vector<std::pair<ContextId, EndpointId>>>
+      multicast_groups_;
+};
+
+/// Per-context endpoint of the realtime fabric.
+struct RtHost {
+  std::shared_ptr<RtActivity> activity = std::make_shared<RtActivity>();
+  std::map<std::string, util::ConcurrentQueue<Packet>, std::less<>> queues;
+
+  util::ConcurrentQueue<Packet>& queue(std::string_view method) {
+    auto it = queues.find(method);
+    if (it == queues.end()) {
+      throw util::MethodError("context has no queue for method '" +
+                              std::string(method) + "'");
+    }
+    return it->second;
+  }
+};
+
+class RtFabric {
+ public:
+  explicit RtFabric(simnet::Topology topology)
+      : topology_(std::move(topology)) {}
+
+  const simnet::Topology& topology() const noexcept { return topology_; }
+  RtHost& host(ContextId id) { return *hosts_.at(id); }
+  void add_host(std::unique_ptr<RtHost> h) { hosts_.push_back(std::move(h)); }
+  std::size_t host_count() const noexcept { return hosts_.size(); }
+
+  /// Thread-safe multicast group membership (contexts join from their own
+  /// threads).
+  void multicast_join(std::uint32_t group, ContextId ctx, EndpointId ep) {
+    std::lock_guard<std::mutex> lock(mcast_mutex_);
+    multicast_groups_[group].emplace_back(ctx, ep);
+  }
+  std::vector<std::pair<ContextId, EndpointId>> multicast_members(
+      std::uint32_t group) const {
+    std::lock_guard<std::mutex> lock(mcast_mutex_);
+    auto it = multicast_groups_.find(group);
+    return it == multicast_groups_.end()
+               ? std::vector<std::pair<ContextId, EndpointId>>{}
+               : it->second;
+  }
+
+ private:
+  simnet::Topology topology_;
+  std::vector<std::unique_ptr<RtHost>> hosts_;
+  mutable std::mutex mcast_mutex_;
+  std::map<std::uint32_t, std::vector<std::pair<ContextId, EndpointId>>>
+      multicast_groups_;
+};
+
+}  // namespace nexus

@@ -1,0 +1,31 @@
+#include "nexus/handler.hpp"
+
+namespace nexus {
+
+HandlerId HandlerTable::add(std::string_view name, Handler fn,
+                            HandlerKind kind) {
+  const HandlerId id = id_of(name);
+  auto [it, inserted] = handlers_.try_emplace(
+      id, Entry{std::string(name), std::move(fn), kind});
+  if (!inserted) {
+    if (it->second.name == name) {
+      throw util::UsageError("handler '" + std::string(name) +
+                             "' registered twice");
+    }
+    throw util::UsageError("handler name hash collision: '" +
+                           std::string(name) + "' vs '" + it->second.name +
+                           "'");
+  }
+  return id;
+}
+
+const HandlerTable::Entry& HandlerTable::lookup(HandlerId id) const {
+  auto it = handlers_.find(id);
+  if (it == handlers_.end()) {
+    throw util::UsageError("RSR names an unregistered handler (id " +
+                           std::to_string(id) + ")");
+  }
+  return it->second;
+}
+
+}  // namespace nexus

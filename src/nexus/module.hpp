@@ -1,0 +1,149 @@
+// Communication modules, communication objects, and the module registry.
+//
+// A CommModule implements one communication method for one context.  The
+// abstract interface is the C++ rendering of the paper's per-module
+// *function table* (§3.1): communication-oriented functions (send/poll), an
+// initialization hook, and functions for constructing communication
+// descriptors and communication objects.  The ModuleRegistry plays the role
+// of the paper's loadable-module mechanism: modules are registered under a
+// name and instantiated per context from the resource database, command
+// line, or API calls.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nexus/descriptor.hpp"
+#include "nexus/types.hpp"
+#include "util/stats.hpp"
+
+namespace nexus {
+
+class Context;
+class CommModule;
+
+/// An active connection: the information of one communication descriptor, a
+/// pointer back to its module (the function table), plus module-specific
+/// live state added by subclasses (e.g. the simulated socket / mailbox
+/// binding).  Communication objects are cached by the context and shared
+/// among startpoints referencing the same (context, method) pair.
+class CommObject {
+ public:
+  CommObject(CommModule& module, CommDescriptor descriptor)
+      : module_(&module), descriptor_(std::move(descriptor)) {}
+  virtual ~CommObject() = default;
+
+  CommObject(const CommObject&) = delete;
+  CommObject& operator=(const CommObject&) = delete;
+
+  CommModule& module() const noexcept { return *module_; }
+  const CommDescriptor& descriptor() const noexcept { return descriptor_; }
+
+ private:
+  CommModule* module_;
+  CommDescriptor descriptor_;
+};
+
+/// Result of polling a module once.
+struct PollOutcome {
+  std::optional<Packet> packet;
+};
+
+/// One communication method, instantiated per context.
+class CommModule {
+ public:
+  virtual ~CommModule() = default;
+
+  /// Method name as it appears in descriptors ("local", "mpl", "tcp", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Called once after the owning context is fully constructed.
+  virtual void initialize(Context& ctx) { (void)ctx; }
+
+  /// Descriptor telling remote contexts how to reach *this* context via
+  /// this method.
+  virtual CommDescriptor local_descriptor() const = 0;
+
+  /// Whether this module, running in the local context, can use `remote` to
+  /// reach its target (the paper's applicability test -- e.g. MPL requires
+  /// both contexts in the same partition).
+  virtual bool applicable(const CommDescriptor& remote) const = 0;
+
+  /// Construct a communication object for a remote descriptor.  Only called
+  /// when applicable(remote) is true.
+  virtual std::unique_ptr<CommObject> connect(const CommDescriptor& remote) = 0;
+
+  /// Transmit one RSR packet over an established connection.  Charges the
+  /// sender's per-message software overhead to the caller's clock and
+  /// returns the number of bytes that actually crossed the wire (which may
+  /// differ from the packet's size for compressing/encrypting methods).
+  virtual std::uint64_t send(CommObject& conn, Packet packet) = 0;
+
+  /// Check for one incoming packet.  Does NOT charge poll cost -- the
+  /// polling engine does that, so skip_poll accounting stays in one place.
+  virtual std::optional<Packet> poll() = 0;
+
+  /// Virtual cost of one poll of this method (e.g. 15 us for an MPL probe,
+  /// 100+ us for a TCP select).  Realtime modules report 0 and pay the cost
+  /// for real.
+  virtual Time poll_cost() const = 0;
+
+  /// Earliest arrival time of any queued-but-future message, if the module
+  /// can know it (simulated modules can; realtime ones return nullopt).
+  /// Lets the polling engine fast-forward idle waits in virtual time.
+  virtual std::optional<Time> earliest_arrival() const = 0;
+
+  /// True if this method could instead be serviced by a dedicated blocking
+  /// thread (paper §3.3, AIX 4.1 discussion): the polling engine may then
+  /// remove it from the poll loop entirely.
+  virtual bool supports_blocking() const { return false; }
+
+  /// Realtime fabric only: block until a packet arrives; returns nullopt
+  /// after shutdown_blocking().  Only meaningful when supports_blocking().
+  virtual std::optional<Packet> blocking_poll() { return std::nullopt; }
+  virtual void shutdown_blocking() {}
+
+  /// Rough speed rank used to order descriptor tables fastest-first; lower
+  /// is faster (local=0, shm=1, myrinet=2, mpl=3, tcp=6, ...).
+  virtual int speed_rank() const = 0;
+
+  /// Whether the method delivers every message (RSR semantics).  Automatic
+  /// selection prefers reliable methods and only falls back to unreliable
+  /// ones (udp, mcast) when nothing reliable applies; applications opt in
+  /// explicitly via Startpoint::force_method for loss-tolerant data.
+  virtual bool reliable() const { return true; }
+
+  /// Traffic/poll counters for the enquiry interface.
+  util::MethodCounters& counters() noexcept { return counters_; }
+  const util::MethodCounters& counters() const noexcept { return counters_; }
+
+ private:
+  util::MethodCounters counters_;
+};
+
+/// Factory registry, keyed by method name.  Standing in for the paper's
+/// dynamically loadable modules: a module compiled anywhere in the program
+/// registers a factory, and contexts instantiate by name at startup or
+/// later ("loaded dynamically" via load()).
+class ModuleRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<CommModule>(Context&)>;
+
+  /// Process-global registry.
+  static ModuleRegistry& global();
+
+  void register_factory(std::string name, Factory factory);
+  bool has(std::string_view name) const;
+  std::unique_ptr<CommModule> create(std::string_view name, Context& ctx) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+}  // namespace nexus

@@ -1,0 +1,203 @@
+#include "nexus/runtime.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "proto/register.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace nexus {
+
+Runtime::Runtime(RuntimeOptions opts) : opts_(std::move(opts)) {
+  if (opts_.topology.size() == 0) {
+    throw util::UsageError("runtime requires a non-empty topology");
+  }
+  for (const auto& [partition, fwd] : opts_.forwarders) {
+    if (fwd >= opts_.topology.size()) {
+      throw util::UsageError("forwarder context id out of range");
+    }
+    if (opts_.topology.partition_of(fwd) != partition) {
+      throw util::UsageError(
+          "a partition's forwarder must live in that partition");
+    }
+  }
+  if (opts_.fabric == RuntimeOptions::Fabric::Simulated) {
+    sim_ = std::make_unique<SimFabric>(opts_.topology);
+  } else {
+    rt_ = std::make_unique<RtFabric>(opts_.topology);
+    opts_.costs = SimCostParams::realtime(opts_.costs);
+  }
+  proto::register_builtin_modules(registry_);
+}
+
+Runtime::~Runtime() = default;
+
+const DescriptorTable& Runtime::table_of(ContextId id) const {
+  if (id >= tables_.size()) {
+    throw util::UsageError("table_of: unknown context " + std::to_string(id));
+  }
+  return tables_[id];
+}
+
+std::optional<ContextId> Runtime::forwarder_of(ContextId target) const {
+  const int partition = opts_.topology.partition_of(target);
+  auto it = opts_.forwarders.find(partition);
+  if (it == opts_.forwarders.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Runtime::is_forwarder(ContextId id) const {
+  for (const auto& [partition, fwd] : opts_.forwarders) {
+    if (fwd == id) return true;
+  }
+  return false;
+}
+
+Context& Runtime::context(ContextId id) {
+  if (id >= contexts_.size() || !contexts_[id]) {
+    throw util::UsageError("context " + std::to_string(id) +
+                           " is not constructed (call run() first)");
+  }
+  return *contexts_[id];
+}
+
+std::string Runtime::describe() const {
+  std::string out;
+  out += "runtime: " + std::to_string(world_size()) + " contexts, " +
+         std::to_string(opts_.topology.partition_count()) + " partitions, " +
+         (sim_ ? "simulated" : "realtime") + " fabric\n";
+  for (const auto& [partition, fwd] : opts_.forwarders) {
+    out += "  forwarder for partition " + std::to_string(partition) +
+           ": context " + std::to_string(fwd) + "\n";
+  }
+  for (ContextId id = 0; id < contexts_.size(); ++id) {
+    if (!contexts_[id]) continue;
+    const Context& ctx = *contexts_[id];
+    out += "context " + std::to_string(id) + " (partition " +
+           std::to_string(opts_.topology.partition_of(id)) + "):\n";
+    for (const std::string& m : ctx.methods()) {
+      const auto& c = ctx.method_counters(m);
+      const PollingEngine& engine = ctx.polling_engine();
+      out += "  " + m;
+      if (!engine.enabled(m)) {
+        out += " [not polled]";
+      } else {
+        const auto skip = engine.skip(m);
+        if (skip > 1) out += " [skip " + std::to_string(skip) + "]";
+        if (engine.blocking(m)) out += " [blocking poller]";
+      }
+      out += ": sent " + std::to_string(c.sends) + " msg/" +
+             std::to_string(c.bytes_sent) + " B, recv " +
+             std::to_string(c.recvs) + " msg/" +
+             std::to_string(c.bytes_received) + " B, polls " +
+             std::to_string(c.polls) + " (hits " +
+             std::to_string(c.poll_hits) + ")\n";
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Runtime::module_names_for(ContextId id) const {
+  if (auto scoped = opts_.db.get_scoped(id, "nexus.modules")) {
+    return util::split_list(*scoped);
+  }
+  return opts_.modules;
+}
+
+std::unique_ptr<Context> Runtime::make_context(ContextId id) {
+  std::unique_ptr<ContextClock> clock;
+  if (sim_) {
+    clock = std::make_unique<SimClock>(sim_->scheduler().process(id));
+  } else {
+    clock = std::make_unique<RtClock>(std::chrono::steady_clock::now(),
+                                      rt_->host(id).activity);
+  }
+  auto ctx = std::make_unique<Context>(*this, id, std::move(clock),
+                                       opts_.costs);
+  for (const std::string& name : module_names_for(id)) {
+    ctx->add_module(registry_.create(name, *ctx));
+  }
+  return ctx;
+}
+
+void Runtime::build_contexts() {
+  contexts_.resize(world_size());
+  tables_.resize(world_size());
+  for (ContextId id = 0; id < world_size(); ++id) {
+    contexts_[id] = make_context(id);
+  }
+  // finalize after all contexts exist, so modules that need to inspect the
+  // whole fabric (e.g. to resolve forwarders) can do so.
+  for (ContextId id = 0; id < world_size(); ++id) {
+    contexts_[id]->finalize_modules();
+    tables_[id] = contexts_[id]->local_table();
+  }
+  // Forwarding: only the forwarder keeps polling TCP in a forwarded
+  // partition; everyone else drops the expensive poll entirely.
+  for (ContextId id = 0; id < world_size(); ++id) {
+    Context& ctx = *contexts_[id];
+    if (ctx.module("tcp") == nullptr) continue;
+    if (forwarder_of(id).has_value() && !is_forwarder(id)) {
+      ctx.set_poll_enabled("tcp", false);
+    }
+  }
+}
+
+void Runtime::run(std::function<void(Context&)> fn) {
+  std::vector<std::function<void(Context&)>> fns(world_size(), fn);
+  run(std::move(fns));
+}
+
+void Runtime::run(std::vector<std::function<void(Context&)>> fns) {
+  if (ran_) {
+    throw util::UsageError("Runtime::run may only be called once");
+  }
+  if (fns.size() != world_size()) {
+    throw util::UsageError("run: got " + std::to_string(fns.size()) +
+                           " functions for a world of " +
+                           std::to_string(world_size()));
+  }
+  ran_ = true;
+  fns_ = std::move(fns);
+
+  if (sim_) {
+    for (ContextId id = 0; id < world_size(); ++id) {
+      auto& proc = sim_->scheduler().spawn(
+          "ctx" + std::to_string(id), [this, id] { fns_[id](*contexts_[id]); });
+      proc.set_horizon_slack(opts_.sim_slack);
+    }
+    for (ContextId id = 0; id < world_size(); ++id) {
+      auto host = std::make_unique<SimHost>();
+      host->proc = &sim_->scheduler().process(id);
+      sim_->add_host(std::move(host));
+    }
+    build_contexts();
+    sim_->scheduler().run();
+    return;
+  }
+
+  for (ContextId id = 0; id < world_size(); ++id) {
+    rt_->add_host(std::make_unique<RtHost>());
+  }
+  build_contexts();
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(world_size());
+  threads.reserve(world_size());
+  for (ContextId id = 0; id < world_size(); ++id) {
+    threads.emplace_back([this, id, &errors] {
+      try {
+        fns_[id](*contexts_[id]);
+      } catch (...) {
+        errors[id] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace nexus

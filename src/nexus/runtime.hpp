@@ -1,0 +1,113 @@
+// Runtime: owns contexts, the fabric, module factories, and configuration.
+//
+// The runtime is the process-level entry point.  It instantiates one
+// Context per slot of the topology, wires the chosen fabric (simulated
+// virtual-time or realtime threads), distributes the bootstrap descriptor
+// tables (so contexts can build world startpoints), applies the forwarding
+// configuration, and runs user functions to completion -- SPMD (one
+// function everywhere) or MPMD (one per context).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nexus/context.hpp"
+#include "nexus/costs.hpp"
+#include "nexus/descriptor.hpp"
+#include "nexus/fabric.hpp"
+#include "nexus/module.hpp"
+#include "nexus/types.hpp"
+#include "simnet/topology.hpp"
+#include "simnet/trace.hpp"
+#include "util/resource_db.hpp"
+
+namespace nexus {
+
+struct RuntimeOptions {
+  enum class Fabric { Simulated, Realtime };
+
+  Fabric fabric = Fabric::Simulated;
+  /// Defines the world size and partition structure.
+  simnet::Topology topology = simnet::Topology::single_partition(2);
+  /// Default communication module set, fastest-first preference implied by
+  /// each module's speed_rank, not by this order.  Overridable via the
+  /// resource database ("nexus.modules", "context.<id>.modules").
+  std::vector<std::string> modules{"local", "mpl", "tcp"};
+  util::ResourceDb db;
+  SimCostParams costs;
+  /// Forwarding configuration (paper §3.3): partition id -> context that
+  /// receives all inter-partition TCP traffic for that partition.  When a
+  /// partition has a forwarder, its other members stop polling TCP.
+  std::map<int, ContextId> forwarders;
+  /// Seed for stochastic models (UDP drops).
+  std::uint64_t seed = 1;
+  /// Simulated fabric only: bounded conservatism relaxation (see
+  /// simnet::SimProcess::set_horizon_slack).  0 = exact microsecond-level
+  /// causality; tens of milliseconds are appropriate for the seconds-scale
+  /// climate runs.
+  simnet::Time sim_slack = 0;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions opts);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Register additional module factories before run().
+  ModuleRegistry& module_registry() noexcept { return registry_; }
+
+  /// SPMD: run `fn` in every context.
+  void run(std::function<void(Context&)> fn);
+  /// MPMD: one function per context (size must equal world size).
+  void run(std::vector<std::function<void(Context&)>> fns);
+
+  std::size_t world_size() const { return opts_.topology.size(); }
+  const RuntimeOptions& options() const noexcept { return opts_; }
+  const util::ResourceDb& db() const noexcept { return opts_.db; }
+  const simnet::Topology& topology() const noexcept { return opts_.topology; }
+
+  /// Default descriptor table of a context (available after run() started;
+  /// used for bootstrap startpoints and the lightweight-startpoint check).
+  const DescriptorTable& table_of(ContextId id) const;
+
+  /// The forwarder for `target`'s partition, if forwarding is configured.
+  std::optional<ContextId> forwarder_of(ContextId target) const;
+  bool is_forwarder(ContextId id) const;
+
+  SimFabric* sim() noexcept { return sim_.get(); }
+  RtFabric* rt() noexcept { return rt_.get(); }
+  simnet::TraceRecorder& trace() noexcept { return trace_; }
+
+  /// Access to a context (valid during and after run(), until destruction).
+  Context& context(ContextId id);
+
+  /// Enquiry: a human-readable dump of the multimethod configuration --
+  /// per-context module sets, poll schedules (skip/enabled/blocking),
+  /// forwarders, and traffic counters.  Valid once run() has built the
+  /// contexts.
+  std::string describe() const;
+
+ private:
+  void build_contexts();
+  std::unique_ptr<Context> make_context(ContextId id);
+  std::vector<std::string> module_names_for(ContextId id) const;
+
+  RuntimeOptions opts_;
+  ModuleRegistry registry_;
+  std::unique_ptr<SimFabric> sim_;
+  std::unique_ptr<RtFabric> rt_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::vector<DescriptorTable> tables_;
+  std::vector<std::function<void(Context&)>> fns_;
+  simnet::TraceRecorder trace_;
+  bool ran_ = false;
+};
+
+}  // namespace nexus

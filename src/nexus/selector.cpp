@@ -1,0 +1,105 @@
+#include "nexus/selector.hpp"
+
+#include <limits>
+
+#include "nexus/context.hpp"
+
+namespace nexus {
+
+namespace {
+/// A descriptor is usable when the local context has the module loaded and
+/// the module's applicability test passes (paper §3.2).
+bool usable(const CommDescriptor& d, Context& local) {
+  CommModule* m = local.module(d.method);
+  return m != nullptr && m->applicable(d);
+}
+
+bool is_reliable(const CommDescriptor& d, Context& local) {
+  CommModule* m = local.module(d.method);
+  return m != nullptr && m->reliable();
+}
+}  // namespace
+
+std::optional<std::size_t> FirstApplicableSelector::select(
+    const DescriptorTable& table, Context& local, std::string& reason) {
+  // RSRs promise delivery, so the ordered scan first considers reliable
+  // methods only; unreliable ones (udp, mcast) are a fallback when nothing
+  // reliable applies -- loss-tolerant applications opt in explicitly with
+  // force_method.
+  std::optional<std::size_t> fallback;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (!usable(table.at(i), local)) continue;
+    if (is_reliable(table.at(i), local)) {
+      reason = "first applicable entry (table position " + std::to_string(i) +
+               ")";
+      return i;
+    }
+    if (!fallback) fallback = i;
+  }
+  if (fallback) {
+    reason = "no reliable method applies; falling back to unreliable entry "
+             "(table position " + std::to_string(*fallback) + ")";
+    return fallback;
+  }
+  reason = "no applicable entry";
+  return std::nullopt;
+}
+
+std::optional<std::size_t> QosSelector::select(const DescriptorTable& table,
+                                               Context& local,
+                                               std::string& reason) {
+  std::optional<std::size_t> best;
+  double best_score = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const CommDescriptor& d = table.at(i);
+    if (!usable(d, local)) continue;
+    CommModule* m = local.module(d.method);
+    // Same reliability rule as first-applicable: unreliable entries score
+    // behind every reliable one.
+    double score = m->speed_rank() + (m->reliable() ? 0.0 : 1.0e6);
+    if (load_penalty_bytes_ > 0) {
+      const auto& c = m->counters();
+      const std::uint64_t outstanding =
+          c.bytes_sent > c.bytes_received ? c.bytes_sent - c.bytes_received
+                                          : 0;
+      score += static_cast<double>(outstanding) /
+               static_cast<double>(load_penalty_bytes_);
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  if (best) {
+    reason = "qos: best speed/load score " + std::to_string(best_score);
+  } else {
+    reason = "no applicable entry";
+  }
+  return best;
+}
+
+std::optional<std::size_t> RandomSelector::select(const DescriptorTable& table,
+                                                  Context& local,
+                                                  std::string& reason) {
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (usable(table.at(i), local) && is_reliable(table.at(i), local)) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      if (usable(table.at(i), local)) candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    reason = "no applicable entry";
+    return std::nullopt;
+  }
+  const std::size_t pick = candidates[rng_.next_below(candidates.size())];
+  reason = "random choice among " + std::to_string(candidates.size()) +
+           " applicable";
+  return pick;
+}
+
+}  // namespace nexus

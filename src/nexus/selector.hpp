@@ -1,0 +1,88 @@
+// Automatic communication method selection (paper §3.2).
+//
+// On first use of a startpoint link, the context consults its selector to
+// pick one descriptor from the link's table.  The paper's rule -- scan the
+// table in order, take the first applicable method -- is
+// FirstApplicableSelector; ordering the table fastest-first therefore gives
+// a fastest-first policy.  Alternative policies are provided for the QoS
+// extension the paper sketches (look at speed/load rather than raw table
+// order) and for testing.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nexus/descriptor.hpp"
+#include "nexus/types.hpp"
+#include "util/rng.hpp"
+
+namespace nexus {
+
+class Context;
+
+/// Enquiry record of one selection decision.
+struct SelectionRecord {
+  ContextId target = kNoContext;
+  std::string method;
+  std::string reason;
+  Time when = 0;
+};
+
+class MethodSelector {
+ public:
+  virtual ~MethodSelector() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Return the index of the chosen descriptor, or nullopt if none is
+  /// applicable.  Also fills `reason` for the enquiry log.
+  virtual std::optional<std::size_t> select(const DescriptorTable& table,
+                                            Context& local,
+                                            std::string& reason) = 0;
+};
+
+/// Paper default: ordered scan, first applicable entry wins.
+class FirstApplicableSelector final : public MethodSelector {
+ public:
+  std::string_view name() const override { return "first-applicable"; }
+  std::optional<std::size_t> select(const DescriptorTable& table,
+                                    Context& local,
+                                    std::string& reason) override;
+};
+
+/// QoS-flavoured policy: among applicable entries, choose the one whose
+/// module reports the best (lowest) speed rank, falling back to table order
+/// for ties.  Models the paper's suggestion of "looking at available
+/// network bandwidth rather than raw bandwidth" by penalizing modules with
+/// large outstanding byte counts.
+class QosSelector final : public MethodSelector {
+ public:
+  /// `load_penalty_bytes`: outstanding bytes per extra rank point; 0
+  /// disables load awareness.
+  explicit QosSelector(std::uint64_t load_penalty_bytes = 0)
+      : load_penalty_bytes_(load_penalty_bytes) {}
+  std::string_view name() const override { return "qos"; }
+  std::optional<std::size_t> select(const DescriptorTable& table,
+                                    Context& local,
+                                    std::string& reason) override;
+
+ private:
+  std::uint64_t load_penalty_bytes_;
+};
+
+/// Uniform random choice among applicable entries; exists to stress
+/// multimethod coexistence in tests.
+class RandomSelector final : public MethodSelector {
+ public:
+  explicit RandomSelector(std::uint64_t seed = 1) : rng_(seed) {}
+  std::string_view name() const override { return "random"; }
+  std::optional<std::size_t> select(const DescriptorTable& table,
+                                    Context& local,
+                                    std::string& reason) override;
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace nexus

@@ -1,0 +1,51 @@
+// Core identifier types and the wire packet for remote service requests.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "simnet/time.hpp"
+#include "util/bytes.hpp"
+#include "util/pack.hpp"
+
+namespace nexus {
+
+using ContextId = std::uint32_t;
+using EndpointId = std::uint64_t;
+/// Handlers are addressed on the wire by the FNV-1a hash of their registered
+/// name; registration rejects hash collisions within a context.
+using HandlerId = std::uint64_t;
+using Time = simnet::Time;
+
+inline constexpr ContextId kNoContext =
+    std::numeric_limits<ContextId>::max();
+
+/// Serialized remote service request as it travels between contexts.
+///
+/// The payload is always canonically-encoded bytes (produced by PackBuffer),
+/// so moving a Packet between in-process "address spaces" carries no shared
+/// pointers -- contexts stay logically isolated.
+struct Packet {
+  ContextId src = kNoContext;
+  ContextId dst = kNoContext;
+  EndpointId endpoint = 0;
+  HandlerId handler = 0;
+  /// Nonzero when this packet is being routed via a forwarding node: the
+  /// ultimate destination differs from the context that receives it.
+  /// (dst is then the final destination; the forwarder compares dst with
+  /// its own id.)
+  std::uint8_t hops = 0;
+  util::Bytes payload;
+
+  /// Bytes this packet occupies on a wire: header plus payload.
+  std::uint64_t wire_size() const noexcept {
+    return kHeaderBytes + payload.size();
+  }
+
+  /// Fixed header size modelled for all methods (src, dst, endpoint,
+  /// handler, hops, length).
+  static constexpr std::uint64_t kHeaderBytes = 29;
+};
+
+}  // namespace nexus

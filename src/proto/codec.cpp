@@ -1,0 +1,85 @@
+#include "proto/codec.hpp"
+
+#include "util/error.hpp"
+#include "util/pack.hpp"
+#include "util/rng.hpp"
+
+namespace nexus::proto {
+
+util::Bytes rle_encode(util::ByteSpan in) {
+  util::Bytes out;
+  out.reserve(in.size() / 2 + 8);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const util::Byte b = in[i];
+    std::size_t run = 1;
+    while (i + run < in.size() && in[i + run] == b && run < 255) ++run;
+    out.push_back(static_cast<util::Byte>(run));
+    out.push_back(b);
+    i += run;
+  }
+  return out;
+}
+
+util::Bytes rle_decode(util::ByteSpan in) {
+  if (in.size() % 2 != 0) {
+    throw util::UnpackError("RLE stream has odd length");
+  }
+  util::Bytes out;
+  for (std::size_t i = 0; i < in.size(); i += 2) {
+    const std::size_t run = in[i];
+    if (run == 0) throw util::UnpackError("RLE run of length zero");
+    out.insert(out.end(), run, in[i + 1]);
+  }
+  return out;
+}
+
+void keystream_xor(util::Bytes& data, std::uint64_t key) {
+  util::Rng rng(key);
+  std::size_t i = 0;
+  while (i < data.size()) {
+    std::uint64_t word = rng.next();
+    for (int b = 0; b < 8 && i < data.size(); ++b, ++i) {
+      data[i] ^= static_cast<util::Byte>(word & 0xff);
+      word >>= 8;
+    }
+  }
+}
+
+std::uint64_t integrity_tag(util::ByteSpan data) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (util::Byte b : data) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+util::Bytes seal(util::ByteSpan plaintext, std::uint64_t key) {
+  const std::uint64_t tag = integrity_tag(plaintext);
+  util::Bytes out(plaintext.begin(), plaintext.end());
+  keystream_xor(out, key);
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<util::Byte>((tag >> shift) & 0xff));
+  }
+  return out;
+}
+
+util::Bytes open(util::ByteSpan sealed, std::uint64_t key) {
+  if (sealed.size() < 8) {
+    throw util::MethodError("sealed payload shorter than its tag");
+  }
+  std::uint64_t tag = 0;
+  const std::size_t body = sealed.size() - 8;
+  for (std::size_t i = 0; i < 8; ++i) {
+    tag = (tag << 8) | sealed[body + i];
+  }
+  util::Bytes out(sealed.begin(), sealed.begin() + static_cast<std::ptrdiff_t>(body));
+  keystream_xor(out, key);
+  if (integrity_tag(out) != tag) {
+    throw util::MethodError("secure method: integrity tag mismatch");
+  }
+  return out;
+}
+
+}  // namespace nexus::proto

@@ -1,0 +1,35 @@
+// Payload codecs used by the wrapper methods.
+//
+// * RLE: the compression method ("zrle") shrinks runs of repeated bytes --
+//   enough to demonstrate selecting a method by *what* is communicated.
+// * Keystream + MAC: the security method ("secure") applies a toy stream
+//   cipher (xoshiro keystream XOR) and a 64-bit FNV-1a integrity tag.  It
+//   is NOT cryptography; it exists to exercise the architecture's
+//   per-startpoint security selection (paper §2, Security bullet) and to
+//   charge realistic per-byte CPU costs.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace nexus::proto {
+
+/// Run-length encode: pairs (count, byte); count in [1, 255].
+util::Bytes rle_encode(util::ByteSpan in);
+/// Inverse of rle_encode; throws util::UnpackError on malformed input.
+util::Bytes rle_decode(util::ByteSpan in);
+
+/// XOR `data` in place with a keystream derived from `key`.
+/// Involution: applying twice restores the input.
+void keystream_xor(util::Bytes& data, std::uint64_t key);
+
+/// 64-bit integrity tag over `data`.
+std::uint64_t integrity_tag(util::ByteSpan data);
+
+/// Seal: encrypt in place and append the 8-byte tag of the plaintext.
+util::Bytes seal(util::ByteSpan plaintext, std::uint64_t key);
+/// Open: verify tag and decrypt; throws util::MethodError on tag mismatch.
+util::Bytes open(util::ByteSpan sealed, std::uint64_t key);
+
+}  // namespace nexus::proto

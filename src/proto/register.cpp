@@ -1,0 +1,80 @@
+#include "proto/register.hpp"
+
+#include "nexus/context.hpp"
+#include "proto/rt_modules.hpp"
+#include "proto/sim_modules.hpp"
+#include "proto/stream.hpp"
+#include "util/error.hpp"
+
+namespace nexus::proto {
+
+namespace {
+bool simulated(Context& ctx) { return ctx.clock().simulated(); }
+
+template <typename SimT>
+ModuleRegistry::Factory sim_only(const char* name) {
+  return [name](Context& ctx) -> std::unique_ptr<CommModule> {
+    if (!simulated(ctx)) {
+      throw util::MethodError(std::string("method '") + name +
+                              "' is only available on the simulated fabric");
+    }
+    return std::make_unique<SimT>(ctx);
+  };
+}
+}  // namespace
+
+void register_builtin_modules(ModuleRegistry& registry) {
+  registry.register_factory("local", [](Context& ctx)
+                                         -> std::unique_ptr<CommModule> {
+    if (simulated(ctx)) return std::make_unique<LocalSimModule>(ctx);
+    return std::make_unique<RtQueueModule>(ctx, "local",
+                                           RtQueueModule::Scope::Self, 0,
+                                           /*blocking_capable=*/false);
+  });
+  registry.register_factory("shm", [](Context& ctx)
+                                       -> std::unique_ptr<CommModule> {
+    if (simulated(ctx)) return std::make_unique<ShmSimModule>(ctx);
+    return std::make_unique<RtQueueModule>(ctx, "shm",
+                                           RtQueueModule::Scope::Anywhere, 1,
+                                           /*blocking_capable=*/false);
+  });
+  registry.register_factory("mpl", [](Context& ctx)
+                                       -> std::unique_ptr<CommModule> {
+    if (simulated(ctx)) return std::make_unique<MplSimModule>(ctx);
+    return std::make_unique<RtQueueModule>(
+        ctx, "mpl", RtQueueModule::Scope::SamePartition, 3,
+        /*blocking_capable=*/false);
+  });
+  registry.register_factory("tcp", [](Context& ctx)
+                                       -> std::unique_ptr<CommModule> {
+    if (simulated(ctx)) return std::make_unique<TcpSimModule>(ctx);
+    return std::make_unique<RtQueueModule>(ctx, "tcp",
+                                           RtQueueModule::Scope::Anywhere, 6,
+                                           /*blocking_capable=*/true);
+  });
+  registry.register_factory("udp", [](Context& ctx)
+                                       -> std::unique_ptr<CommModule> {
+    if (simulated(ctx)) return std::make_unique<UdpSimModule>(ctx);
+    return std::make_unique<RtUdpModule>(ctx);
+  });
+  registry.register_factory("secure", [](Context& ctx)
+                                          -> std::unique_ptr<CommModule> {
+    if (simulated(ctx)) return std::make_unique<SecureSimModule>(ctx);
+    return std::make_unique<RtSecureModule>(ctx);
+  });
+  registry.register_factory("zrle", [](Context& ctx)
+                                        -> std::unique_ptr<CommModule> {
+    if (simulated(ctx)) return std::make_unique<CompressSimModule>(ctx);
+    return std::make_unique<RtZrleModule>(ctx);
+  });
+  registry.register_factory("mcast", [](Context& ctx)
+                                         -> std::unique_ptr<CommModule> {
+    if (simulated(ctx)) return std::make_unique<McastSimModule>(ctx);
+    return std::make_unique<RtMcastModule>(ctx);
+  });
+  registry.register_factory("myrinet", sim_only<MyrinetSimModule>("myrinet"));
+  registry.register_factory("aal5", sim_only<Aal5SimModule>("aal5"));
+  registry.register_factory("stream", sim_only<StreamSimModule>("stream"));
+}
+
+}  // namespace nexus::proto

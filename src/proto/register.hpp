@@ -1,0 +1,16 @@
+// Registration of the built-in communication modules.
+#pragma once
+
+#include "nexus/module.hpp"
+
+namespace nexus::proto {
+
+/// Install factories for every built-in method name into `registry`.  Each
+/// factory inspects the requesting context's fabric and constructs the
+/// simulated or realtime variant accordingly.  This is the analog of the
+/// paper's "default set of modules defined when the Nexus library is
+/// built"; additional modules can be registered on the same registry at any
+/// time before Runtime::run() ("loaded dynamically").
+void register_builtin_modules(ModuleRegistry& registry);
+
+}  // namespace nexus::proto

@@ -1,0 +1,179 @@
+#include "proto/rt_modules.hpp"
+
+#include "util/error.hpp"
+
+#include "proto/codec.hpp"
+#include "proto/sim_modules.hpp"  // pair_key, kMulticastBase
+
+namespace nexus::proto {
+
+util::Bytes RtDescData::pack() const {
+  util::PackBuffer pb;
+  pb.put_u32(landing);
+  pb.put_i32(partition);
+  return pb.take();
+}
+
+RtDescData RtDescData::unpack(const util::Bytes& data) {
+  util::UnpackBuffer ub(data);
+  RtDescData d{};
+  d.landing = ub.get_u32();
+  d.partition = ub.get_i32();
+  return d;
+}
+
+RtQueueModule::RtQueueModule(Context& ctx, std::string name, Scope scope,
+                             int rank, bool blocking_capable)
+    : ctx_(&ctx),
+      name_(std::move(name)),
+      scope_(scope),
+      rank_(rank),
+      blocking_capable_(blocking_capable) {
+  if (ctx.runtime().rt() == nullptr) {
+    throw util::UsageError("realtime module '" + name_ +
+                           "' requires the realtime fabric");
+  }
+}
+
+RtFabric& RtQueueModule::fabric() const { return *ctx_->runtime().rt(); }
+
+void RtQueueModule::initialize(Context& ctx) {
+  RtHost& host = fabric().host(ctx.id());
+  inbox_ = &host.queues[name_];
+}
+
+CommDescriptor RtQueueModule::local_descriptor() const {
+  ContextId landing = ctx_->id();
+  if (blocking_capable_) {  // tcp-class: honour forwarding configuration
+    if (auto fwd = ctx_->runtime().forwarder_of(ctx_->id())) landing = *fwd;
+  }
+  RtDescData d{landing, fabric().topology().partition_of(ctx_->id())};
+  return CommDescriptor{name_, ctx_->id(), d.pack()};
+}
+
+bool RtQueueModule::applicable(const CommDescriptor& remote) const {
+  if (remote.method != name_) return false;
+  switch (scope_) {
+    case Scope::Self:
+      return remote.context == ctx_->id();
+    case Scope::Anywhere:
+      return true;
+    case Scope::SamePartition:
+      return RtDescData::unpack(remote.data).partition ==
+             fabric().topology().partition_of(ctx_->id());
+  }
+  return false;
+}
+
+std::unique_ptr<CommObject> RtQueueModule::connect(
+    const CommDescriptor& remote) {
+  return std::make_unique<RtConn>(*this, remote,
+                                  RtDescData::unpack(remote.data).landing);
+}
+
+std::uint64_t RtQueueModule::enqueue(ContextId landing, Packet packet) {
+  RtHost& host = fabric().host(landing);
+  const std::uint64_t wire = packet.wire_size();
+  host.queue(name()).push(std::move(packet));
+  host.activity->notify();
+  return wire;
+}
+
+std::uint64_t RtQueueModule::send(CommObject& conn, Packet packet) {
+  return enqueue(static_cast<RtConn&>(conn).landing(), std::move(packet));
+}
+
+std::optional<Packet> RtQueueModule::poll() { return inbox_->try_pop(); }
+
+std::optional<Packet> RtQueueModule::blocking_poll() {
+  return inbox_->pop_wait();
+}
+
+void RtQueueModule::shutdown_blocking() { inbox_->close(); }
+
+// ------------------------------------------------------------ rt wrappers ---
+
+RtUdpModule::RtUdpModule(Context& ctx)
+    : RtQueueModule(ctx, "udp", Scope::Anywhere, 5, /*blocking_capable=*/false),
+      rng_(ctx.runtime().options().seed ^ (0x517cull * (ctx.id() + 1))),
+      drop_prob_(ctx.runtime().options().costs.udp_drop_prob),
+      mtu_(ctx.runtime().options().costs.udp_mtu) {}
+
+std::uint64_t RtUdpModule::send(CommObject& conn, Packet packet) {
+  if (packet.payload.size() > mtu_) {
+    throw util::MethodError("udp payload of " +
+                            std::to_string(packet.payload.size()) +
+                            " bytes exceeds the MTU of " +
+                            std::to_string(mtu_));
+  }
+  const std::uint64_t wire = packet.wire_size();
+  if (rng_.chance(drop_prob_)) {
+    ++dropped_;
+    return wire;
+  }
+  return RtQueueModule::send(conn, std::move(packet));
+}
+
+RtSecureModule::RtSecureModule(Context& ctx)
+    : RtQueueModule(ctx, "secure", Scope::Anywhere, 7,
+                    /*blocking_capable=*/false) {}
+
+std::uint64_t RtSecureModule::send(CommObject& conn, Packet packet) {
+  packet.payload =
+      seal(packet.payload, SecureSimModule::pair_key(packet.src, packet.dst));
+  return RtQueueModule::send(conn, std::move(packet));
+}
+
+std::optional<Packet> RtSecureModule::poll() {
+  auto pkt = RtQueueModule::poll();
+  if (pkt) {
+    pkt->payload =
+        open(pkt->payload, SecureSimModule::pair_key(pkt->src, pkt->dst));
+  }
+  return pkt;
+}
+
+RtZrleModule::RtZrleModule(Context& ctx)
+    : RtQueueModule(ctx, "zrle", Scope::Anywhere, 8,
+                    /*blocking_capable=*/false) {}
+
+std::uint64_t RtZrleModule::send(CommObject& conn, Packet packet) {
+  packet.payload = rle_encode(packet.payload);
+  return RtQueueModule::send(conn, std::move(packet));
+}
+
+std::optional<Packet> RtZrleModule::poll() {
+  auto pkt = RtQueueModule::poll();
+  if (pkt) pkt->payload = rle_decode(pkt->payload);
+  return pkt;
+}
+
+RtMcastModule::RtMcastModule(Context& ctx)
+    : RtQueueModule(ctx, "mcast", Scope::Anywhere, 9,
+                    /*blocking_capable=*/false) {}
+
+std::unique_ptr<CommObject> RtMcastModule::connect(
+    const CommDescriptor& remote) {
+  // Group-addressed descriptors carry the group id as a single u32.
+  util::UnpackBuffer ub(remote.data);
+  return std::make_unique<RtConn>(*this, remote, ub.get_u32());
+}
+
+std::uint64_t RtMcastModule::send(CommObject& conn, Packet packet) {
+  const std::uint32_t group = static_cast<RtConn&>(conn).landing();
+  auto members = fabric().multicast_members(group);
+  if (members.empty()) {
+    throw util::MethodError("multicast group " + std::to_string(group) +
+                            " has no members");
+  }
+  const std::uint64_t wire = packet.wire_size();
+  for (const auto& [member, endpoint] : members) {
+    Packet copy = packet;
+    copy.dst = member;
+    copy.endpoint = endpoint;
+    enqueue(member, std::move(copy));
+  }
+  return wire;
+}
+
+}  // namespace nexus::proto

@@ -1,0 +1,127 @@
+// Realtime communication modules: contexts are threads of one process and
+// every transport is a thread-safe queue, but applicability rules mirror
+// the simulated transports so the same selection logic runs for real:
+//   local  -- intra-context only
+//   shm    -- any context (it *is* shared memory)
+//   mpl    -- same partition only
+//   tcp    -- any context; supports forwarding landings and a genuine
+//             blocking poller thread
+// Costs are paid in real time (thread wakeups, queue contention), so all
+// virtual cost fields are zero.
+#pragma once
+
+#include <string>
+
+#include "nexus/context.hpp"
+#include "nexus/fabric.hpp"
+#include "nexus/module.hpp"
+#include "nexus/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace nexus::proto {
+
+/// Realtime descriptor data: the landing context (for tcp forwarding) and
+/// the partition id, packed canonically like everything else on the wire.
+struct RtDescData {
+  ContextId landing = 0;
+  std::int32_t partition = 0;
+
+  util::Bytes pack() const;
+  static RtDescData unpack(const util::Bytes& data);
+};
+
+/// Connection state for realtime transports: where packets land (or, for
+/// multicast, the group id).
+class RtConn final : public CommObject {
+ public:
+  RtConn(CommModule& m, CommDescriptor d, ContextId landing)
+      : CommObject(m, std::move(d)), landing_(landing) {}
+  ContextId landing() const noexcept { return landing_; }
+
+ private:
+  ContextId landing_;
+};
+
+class RtQueueModule : public CommModule {
+ public:
+  enum class Scope { Self, Anywhere, SamePartition };
+
+  RtQueueModule(Context& ctx, std::string name, Scope scope, int rank,
+                bool blocking_capable);
+
+ protected:
+  Context& context() const noexcept { return *ctx_; }
+  RtFabric& fabric() const;
+  /// Deliver a packet into `landing`'s queue for this method.
+  std::uint64_t enqueue(ContextId landing, Packet packet);
+
+ public:
+
+  std::string_view name() const override { return name_; }
+  void initialize(Context& ctx) override;
+  CommDescriptor local_descriptor() const override;
+  bool applicable(const CommDescriptor& remote) const override;
+  std::unique_ptr<CommObject> connect(const CommDescriptor& remote) override;
+  std::uint64_t send(CommObject& conn, Packet packet) override;
+  std::optional<Packet> poll() override;
+  Time poll_cost() const override { return 0; }
+  std::optional<Time> earliest_arrival() const override {
+    return std::nullopt;
+  }
+  int speed_rank() const override { return rank_; }
+  bool supports_blocking() const override { return blocking_capable_; }
+  std::optional<Packet> blocking_poll() override;
+  void shutdown_blocking() override;
+
+ private:
+  Context* ctx_;
+  std::string name_;
+  Scope scope_;
+  int rank_;
+  bool blocking_capable_;
+  util::ConcurrentQueue<Packet>* inbox_ = nullptr;
+};
+
+/// Unreliable datagrams on the realtime fabric: same drop/MTU model as the
+/// simulated udp module, real queues underneath.
+class RtUdpModule final : public RtQueueModule {
+ public:
+  explicit RtUdpModule(Context& ctx);
+  std::uint64_t send(CommObject& conn, Packet packet) override;
+  bool reliable() const override { return false; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  util::Rng rng_;
+  double drop_prob_;
+  std::uint64_t mtu_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Sealed (toy-encrypted + integrity-tagged) payloads on real queues.
+class RtSecureModule final : public RtQueueModule {
+ public:
+  explicit RtSecureModule(Context& ctx);
+  std::uint64_t send(CommObject& conn, Packet packet) override;
+  std::optional<Packet> poll() override;
+};
+
+/// RLE-compressed payloads on real queues.
+class RtZrleModule final : public RtQueueModule {
+ public:
+  explicit RtZrleModule(Context& ctx);
+  std::uint64_t send(CommObject& conn, Packet packet) override;
+  std::optional<Packet> poll() override;
+};
+
+/// True multicast on the realtime fabric: one send fans out to the group
+/// registered on the RtFabric.
+class RtMcastModule final : public RtQueueModule {
+ public:
+  explicit RtMcastModule(Context& ctx);
+  std::unique_ptr<CommObject> connect(const CommDescriptor& remote) override;
+  std::uint64_t send(CommObject& conn, Packet packet) override;
+  bool reliable() const override { return false; }
+};
+
+}  // namespace nexus::proto

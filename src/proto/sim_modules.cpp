@@ -1,0 +1,432 @@
+#include "proto/sim_modules.hpp"
+
+#include <algorithm>
+
+#include "proto/codec.hpp"
+#include "util/error.hpp"
+
+namespace nexus::proto {
+
+namespace {
+util::Bytes pack_u32(std::uint32_t v) {
+  util::PackBuffer pb;
+  pb.put_u32(v);
+  return pb.take();
+}
+
+std::uint32_t unpack_u32(const util::Bytes& data) {
+  util::UnpackBuffer ub(data);
+  return ub.get_u32();
+}
+}  // namespace
+
+SimModuleBase::SimModuleBase(Context& ctx, std::string name, LinkCosts costs,
+                             int rank)
+    : ctx_(&ctx), name_(std::move(name)), costs_(costs), rank_(rank) {
+  if (ctx.runtime().sim() == nullptr) {
+    throw util::UsageError("simulated module '" + name_ +
+                           "' requires the simulated fabric");
+  }
+}
+
+SimFabric& SimModuleBase::fabric() const { return *ctx_->runtime().sim(); }
+
+int SimModuleBase::my_partition() const {
+  return fabric().topology().partition_of(ctx_->id());
+}
+
+void SimModuleBase::initialize(Context& ctx) {
+  SimHost& host = fabric().host(ctx.id());
+  auto [it, inserted] = host.boxes.try_emplace(
+      name_, simnet::Mailbox<Packet>(fabric().scheduler(), *host.proc));
+  inbox_ = &it->second;
+}
+
+std::optional<Packet> SimModuleBase::poll() { return inbox_->poll(now()); }
+
+std::optional<Time> SimModuleBase::earliest_arrival() const {
+  return inbox_->earliest();
+}
+
+std::unique_ptr<CommObject> SimModuleBase::connect(
+    const CommDescriptor& remote) {
+  return std::make_unique<SimConn>(*this, remote, remote.context);
+}
+
+std::uint64_t SimModuleBase::send(CommObject& conn, Packet packet) {
+  return transmit(static_cast<SimConn&>(conn).landing(), std::move(packet));
+}
+
+std::uint64_t SimModuleBase::transmit(ContextId landing, Packet packet,
+                                      double bw_divisor) {
+  ctx_->clock().advance(costs_.send_cpu);
+  const std::uint64_t wire = packet.wire_size();
+  const Time arrival =
+      now() + costs_.latency +
+      simnet::transfer_time(wire, costs_.mb_s / bw_divisor);
+  fabric().host(landing).box(name_).post(arrival, std::move(packet));
+  return wire;
+}
+
+// ---------------------------------------------------------------- local ---
+
+LocalSimModule::LocalSimModule(Context& ctx)
+    : SimModuleBase(ctx, "local",
+                    LinkCosts{ctx.costs().local_latency,
+                              ctx.costs().local_poll_cost,
+                              ctx.costs().local_send_cpu,
+                              ctx.costs().local_mb_s},
+                    0) {}
+
+CommDescriptor LocalSimModule::local_descriptor() const {
+  return CommDescriptor{std::string(name()), ctx_->id(), {}};
+}
+
+bool LocalSimModule::applicable(const CommDescriptor& remote) const {
+  return remote.method == name() && remote.context == ctx_->id();
+}
+
+// ------------------------------------------------------------------ shm ---
+
+ShmSimModule::ShmSimModule(Context& ctx)
+    : SimModuleBase(ctx, "shm",
+                    LinkCosts{ctx.costs().shm_latency,
+                              ctx.costs().shm_poll_cost,
+                              ctx.costs().shm_send_cpu, ctx.costs().shm_mb_s},
+                    1),
+      node_size_(static_cast<std::uint32_t>(
+          std::max<std::int64_t>(1, ctx.config().get_int("shm.node_size", 1)))) {}
+
+std::uint32_t ShmSimModule::node_of(ContextId ctx) const {
+  return ctx / node_size_;
+}
+
+CommDescriptor ShmSimModule::local_descriptor() const {
+  return CommDescriptor{std::string(name()), ctx_->id(),
+                        pack_u32(node_of(ctx_->id()))};
+}
+
+bool ShmSimModule::applicable(const CommDescriptor& remote) const {
+  return remote.method == name() &&
+         unpack_u32(remote.data) == node_of(ctx_->id());
+}
+
+// -------------------------------------------------------------- myrinet ---
+
+MyrinetSimModule::MyrinetSimModule(Context& ctx)
+    : SimModuleBase(ctx, "myrinet",
+                    LinkCosts{ctx.costs().myrinet_latency,
+                              ctx.costs().myrinet_poll_cost,
+                              ctx.costs().myrinet_send_cpu,
+                              ctx.costs().myrinet_mb_s},
+                    2) {}
+
+CommDescriptor MyrinetSimModule::local_descriptor() const {
+  return CommDescriptor{
+      std::string(name()), ctx_->id(),
+      pack_u32(static_cast<std::uint32_t>(my_partition()))};
+}
+
+bool MyrinetSimModule::applicable(const CommDescriptor& remote) const {
+  return remote.method == name() &&
+         static_cast<int>(unpack_u32(remote.data)) == my_partition();
+}
+
+// ------------------------------------------------------------------ mpl ---
+
+MplSimModule::MplSimModule(Context& ctx)
+    : SimModuleBase(ctx, "mpl",
+                    LinkCosts{ctx.costs().mpl_latency,
+                              ctx.costs().mpl_poll_cost,
+                              ctx.costs().mpl_send_cpu, ctx.costs().mpl_mb_s},
+                    3) {}
+
+CommDescriptor MplSimModule::local_descriptor() const {
+  // Paper §3.1: an MPL descriptor holds a node number and a session id
+  // distinguishing SP partitions; the partition id plays both roles here.
+  return CommDescriptor{
+      std::string(name()), ctx_->id(),
+      pack_u32(static_cast<std::uint32_t>(my_partition()))};
+}
+
+bool MplSimModule::applicable(const CommDescriptor& remote) const {
+  return remote.method == name() &&
+         static_cast<int>(unpack_u32(remote.data)) == my_partition();
+}
+
+std::uint64_t MplSimModule::send(CommObject& conn, Packet packet) {
+  const ContextId landing = static_cast<SimConn&>(conn).landing();
+  // Kernel-call interference (paper §3.3): the receiver's TCP polling slows
+  // the drain of this transfer; modelled as a bandwidth divisor.
+  const double drag = fabric().host(landing).inbound_drag;
+  return transmit(landing, std::move(packet), drag);
+}
+
+// ------------------------------------------------------------------ tcp ---
+
+TcpSimModule::TcpSimModule(Context& ctx)
+    : SimModuleBase(ctx, "tcp",
+                    LinkCosts{ctx.costs().tcp_latency,
+                              ctx.costs().tcp_poll_cost,
+                              ctx.costs().tcp_send_cpu, ctx.costs().tcp_mb_s},
+                    6),
+      incast_threshold_(ctx.costs().tcp_incast_threshold),
+      incast_bytes_(ctx.costs().tcp_incast_bytes),
+      incast_stall_(ctx.costs().tcp_incast_stall) {}
+
+std::uint64_t TcpSimModule::send(CommObject& conn, Packet packet) {
+  const ContextId landing = static_cast<SimConn&>(conn).landing();
+  SimHost& dest = fabric().host(landing);
+  ctx_->clock().advance(costs_.send_cpu);
+  const std::uint64_t wire = packet.wire_size();
+  Time arrival =
+      now() + costs_.latency + simnet::transfer_time(wire, costs_.mb_s);
+  const std::uint64_t pending = dest.box(name()).pending();
+  if (incast_stall_ > 0 && pending > incast_threshold_ &&
+      dest.tcp_inflight_bytes > incast_bytes_) {
+    const auto excess = static_cast<Time>(pending - incast_threshold_);
+    arrival += excess * excess * incast_stall_;
+  }
+  dest.tcp_inflight_bytes += wire;
+  dest.box(name()).post(arrival, std::move(packet));
+  return wire;
+}
+
+std::optional<Packet> TcpSimModule::poll() {
+  auto pkt = SimModuleBase::poll();
+  if (pkt) {
+    SimHost& self = fabric().host(ctx_->id());
+    const std::uint64_t wire = pkt->wire_size();
+    self.tcp_inflight_bytes =
+        self.tcp_inflight_bytes > wire ? self.tcp_inflight_bytes - wire : 0;
+  }
+  return pkt;
+}
+
+CommDescriptor TcpSimModule::local_descriptor() const {
+  // The landing context differs from this context when the partition has a
+  // forwarding node: external senders address the forwarder, which re-sends
+  // over MPL (paper §3.3).
+  ContextId landing = ctx_->id();
+  if (auto fwd = ctx_->runtime().forwarder_of(ctx_->id())) landing = *fwd;
+  return CommDescriptor{std::string(name()), ctx_->id(), pack_u32(landing)};
+}
+
+bool TcpSimModule::applicable(const CommDescriptor& remote) const {
+  return remote.method == name();  // IP reaches everything
+}
+
+std::unique_ptr<CommObject> TcpSimModule::connect(
+    const CommDescriptor& remote) {
+  return std::make_unique<SimConn>(*this, remote, unpack_u32(remote.data));
+}
+
+// ------------------------------------------------------------------ udp ---
+
+UdpSimModule::UdpSimModule(Context& ctx)
+    : SimModuleBase(ctx, "udp",
+                    LinkCosts{ctx.costs().udp_latency,
+                              ctx.costs().udp_poll_cost,
+                              ctx.costs().udp_send_cpu, ctx.costs().udp_mb_s},
+                    5),
+      rng_(ctx.runtime().options().seed ^ (0x9e37ull * (ctx.id() + 1))),
+      drop_prob_(ctx.costs().udp_drop_prob),
+      mtu_(ctx.costs().udp_mtu) {}
+
+CommDescriptor UdpSimModule::local_descriptor() const {
+  return CommDescriptor{std::string(name()), ctx_->id(), {}};
+}
+
+bool UdpSimModule::applicable(const CommDescriptor& remote) const {
+  return remote.method == name();
+}
+
+std::uint64_t UdpSimModule::send(CommObject& conn, Packet packet) {
+  if (packet.payload.size() > mtu_) {
+    throw util::MethodError("udp payload of " +
+                            std::to_string(packet.payload.size()) +
+                            " bytes exceeds the MTU of " +
+                            std::to_string(mtu_));
+  }
+  ctx_->clock().advance(costs_.send_cpu);
+  const std::uint64_t wire = packet.wire_size();
+  if (rng_.chance(drop_prob_)) {
+    ++dropped_;
+    return wire;  // it left the host; the network lost it
+  }
+  const Time arrival =
+      now() + costs_.latency + simnet::transfer_time(wire, costs_.mb_s);
+  fabric()
+      .host(static_cast<SimConn&>(conn).landing())
+      .box(name())
+      .post(arrival, std::move(packet));
+  return wire;
+}
+
+// ----------------------------------------------------------------- aal5 ---
+
+Aal5SimModule::Aal5SimModule(Context& ctx)
+    : SimModuleBase(ctx, "aal5",
+                    LinkCosts{ctx.costs().aal5_latency,
+                              ctx.costs().aal5_poll_cost,
+                              ctx.costs().aal5_send_cpu,
+                              ctx.costs().aal5_mb_s},
+                    4) {}
+
+CommDescriptor Aal5SimModule::local_descriptor() const {
+  return CommDescriptor{std::string(name()), ctx_->id(), {}};
+}
+
+bool Aal5SimModule::applicable(const CommDescriptor& remote) const {
+  return remote.method == name();
+}
+
+// --------------------------------------------------------------- secure ---
+
+SecureSimModule::SecureSimModule(Context& ctx)
+    : SimModuleBase(ctx, "secure",
+                    LinkCosts{ctx.costs().tcp_latency,
+                              ctx.costs().tcp_poll_cost,
+                              ctx.costs().tcp_send_cpu, ctx.costs().tcp_mb_s},
+                    7),
+      cpu_per_byte_(ctx.costs().secure_cpu_per_byte) {}
+
+std::uint64_t SecureSimModule::pair_key(ContextId a, ContextId b) {
+  const std::uint64_t lo = std::min(a, b), hi = std::max(a, b);
+  return (hi << 32 | lo) * 0x9e3779b97f4a7c15ull + 0x7f4a7c15ull;
+}
+
+CommDescriptor SecureSimModule::local_descriptor() const {
+  return CommDescriptor{std::string(name()), ctx_->id(), {}};
+}
+
+bool SecureSimModule::applicable(const CommDescriptor& remote) const {
+  return remote.method == name();
+}
+
+std::uint64_t SecureSimModule::send(CommObject& conn, Packet packet) {
+  ctx_->clock().advance(static_cast<Time>(packet.payload.size()) *
+                        cpu_per_byte_);
+  packet.payload = seal(packet.payload, pair_key(packet.src, packet.dst));
+  return SimModuleBase::send(conn, std::move(packet));
+}
+
+std::optional<Packet> SecureSimModule::poll() {
+  auto pkt = SimModuleBase::poll();
+  if (pkt) {
+    pkt->payload = open(pkt->payload, pair_key(pkt->src, pkt->dst));
+    ctx_->clock().advance(static_cast<Time>(pkt->payload.size()) *
+                          cpu_per_byte_);
+  }
+  return pkt;
+}
+
+// ----------------------------------------------------------------- zrle ---
+
+CompressSimModule::CompressSimModule(Context& ctx)
+    : SimModuleBase(ctx, "zrle",
+                    LinkCosts{ctx.costs().tcp_latency,
+                              ctx.costs().tcp_poll_cost,
+                              ctx.costs().tcp_send_cpu, ctx.costs().tcp_mb_s},
+                    8),
+      cpu_per_byte_(ctx.costs().compress_cpu_per_byte) {}
+
+CommDescriptor CompressSimModule::local_descriptor() const {
+  return CommDescriptor{std::string(name()), ctx_->id(), {}};
+}
+
+bool CompressSimModule::applicable(const CommDescriptor& remote) const {
+  return remote.method == name();
+}
+
+std::uint64_t CompressSimModule::send(CommObject& conn, Packet packet) {
+  ctx_->clock().advance(static_cast<Time>(packet.payload.size()) *
+                        cpu_per_byte_);
+  packet.payload = rle_encode(packet.payload);
+  return SimModuleBase::send(conn, std::move(packet));
+}
+
+std::optional<Packet> CompressSimModule::poll() {
+  auto pkt = SimModuleBase::poll();
+  if (pkt) {
+    pkt->payload = rle_decode(pkt->payload);
+    ctx_->clock().advance(static_cast<Time>(pkt->payload.size()) *
+                          cpu_per_byte_);
+  }
+  return pkt;
+}
+
+// ---------------------------------------------------------------- mcast ---
+
+McastSimModule::McastSimModule(Context& ctx)
+    : SimModuleBase(ctx, "mcast",
+                    LinkCosts{ctx.costs().udp_latency,
+                              ctx.costs().udp_poll_cost,
+                              ctx.costs().udp_send_cpu, ctx.costs().udp_mb_s},
+                    9) {}
+
+CommDescriptor McastSimModule::local_descriptor() const {
+  // mcast descriptors are group-addressed and constructed via
+  // multicast_startpoint(); the per-context descriptor only advertises that
+  // the module is present.
+  return CommDescriptor{std::string(name()), ctx_->id(), pack_u32(0)};
+}
+
+bool McastSimModule::applicable(const CommDescriptor& remote) const {
+  return remote.method == name();
+}
+
+std::unique_ptr<CommObject> McastSimModule::connect(
+    const CommDescriptor& remote) {
+  return std::make_unique<SimConn>(*this, remote, unpack_u32(remote.data));
+}
+
+std::uint64_t McastSimModule::send(CommObject& conn, Packet packet) {
+  const std::uint32_t group = static_cast<SimConn&>(conn).landing();
+  auto it = fabric().multicast_groups().find(group);
+  if (it == fabric().multicast_groups().end() || it->second.empty()) {
+    throw util::MethodError("multicast group " + std::to_string(group) +
+                            " has no members");
+  }
+  // One send cost regardless of fan-out: the "network" replicates.
+  ctx_->clock().advance(costs_.send_cpu);
+  const std::uint64_t wire = packet.wire_size();
+  const Time arrival =
+      now() + costs_.latency + simnet::transfer_time(wire, costs_.mb_s);
+  for (const auto& [member, endpoint] : it->second) {
+    Packet copy = packet;
+    copy.dst = member;
+    copy.endpoint = endpoint;
+    fabric().host(member).box(name()).post(arrival, std::move(copy));
+  }
+  return wire;
+}
+
+void multicast_join(Context& ctx, std::uint32_t group, const Endpoint& ep) {
+  if (ep.context_id() != ctx.id()) {
+    throw util::UsageError("multicast_join: endpoint must be local");
+  }
+  if (SimFabric* fabric = ctx.runtime().sim()) {
+    fabric->multicast_groups()[group].emplace_back(ctx.id(), ep.id());
+  } else {
+    ctx.runtime().rt()->multicast_join(group, ctx.id(), ep.id());
+  }
+}
+
+Startpoint multicast_startpoint(Context& ctx, std::uint32_t group) {
+  if (ctx.module("mcast") == nullptr) {
+    throw util::MethodError("context has no 'mcast' module loaded");
+  }
+  Startpoint sp;
+  Startpoint::Link link;
+  link.context = kMulticastBase + group;
+  link.endpoint = 0;  // rewritten per member at send time
+  util::PackBuffer data;
+  data.put_u32(group);
+  link.table = DescriptorTable(
+      {CommDescriptor{"mcast", kMulticastBase + group, data.take()}});
+  sp.links().push_back(std::move(link));
+  return sp;
+}
+
+}  // namespace nexus::proto

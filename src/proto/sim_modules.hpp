@@ -1,0 +1,209 @@
+// Simulated communication modules.
+//
+// Each module charges the virtual costs of one transport class to the
+// discrete-event fabric.  The cost constants live in SimCostParams and are
+// calibrated to the paper's SP2 numbers (see nexus/costs.hpp).
+//
+// Modules provided here:
+//   local    intra-context delivery (message-driven even to self)
+//   shm      shared memory between contexts on the same "node"
+//            (node = context id / shm.node_size, resource db key)
+//   myrinet  SAN within a partition (alternative to mpl)
+//   mpl      IBM MPL analog: intra-partition only; subject to the
+//            receiver's TCP-poll interference drag
+//   tcp      works everywhere; supports forwarding via a landing context
+//            and (modelled) blocking pollers
+//   udp      unreliable datagrams: drop probability + MTU limit
+//   aal5     ATM AAL5 analog: metropolitan link, cheaper than tcp
+//   secure   tcp-class wire + toy stream cipher/MAC, per-byte CPU both ends
+//   zrle     tcp-class wire + RLE compression, per-byte CPU both ends
+//   mcast    true multicast: one send fans out to a registered group
+#pragma once
+
+#include <string>
+
+#include "nexus/context.hpp"
+#include "nexus/costs.hpp"
+#include "nexus/fabric.hpp"
+#include "nexus/module.hpp"
+#include "nexus/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace nexus::proto {
+
+/// Wire/CPU cost profile of one transport class.
+struct LinkCosts {
+  Time latency = 0;
+  Time poll = 0;
+  Time send_cpu = 0;
+  double mb_s = 1.0;
+};
+
+/// Connection state for simulated transports: where packets land.  For
+/// direct methods the landing context is the destination itself; for
+/// forwarded TCP it is the partition's forwarding node; for multicast it is
+/// the group id.
+class SimConn final : public CommObject {
+ public:
+  SimConn(CommModule& m, CommDescriptor d, ContextId landing)
+      : CommObject(m, std::move(d)), landing_(landing) {}
+  ContextId landing() const noexcept { return landing_; }
+
+ private:
+  ContextId landing_;
+};
+
+class SimModuleBase : public CommModule {
+ public:
+  SimModuleBase(Context& ctx, std::string name, LinkCosts costs, int rank);
+
+  std::string_view name() const override { return name_; }
+  void initialize(Context& ctx) override;
+  std::optional<Packet> poll() override;
+  Time poll_cost() const override { return costs_.poll; }
+  std::optional<Time> earliest_arrival() const override;
+  int speed_rank() const override { return rank_; }
+
+  /// Default connect: land directly at the descriptor's context.
+  std::unique_ptr<CommObject> connect(const CommDescriptor& remote) override;
+  /// Default send: one copy to the connection's landing context.
+  std::uint64_t send(CommObject& conn, Packet packet) override;
+
+ protected:
+  SimFabric& fabric() const;
+  Time now() const { return ctx_->now(); }
+  int my_partition() const;
+  /// Charge sender CPU, compute the arrival time, and post into `landing`'s
+  /// inbox for this method.  `bw_divisor` > 1 slows the transfer (used by
+  /// the interference drag).
+  std::uint64_t transmit(ContextId landing, Packet packet, double bw_divisor = 1.0);
+
+  Context* ctx_;
+  std::string name_;
+  LinkCosts costs_;
+  int rank_;
+  simnet::Mailbox<Packet>* inbox_ = nullptr;
+};
+
+class LocalSimModule final : public SimModuleBase {
+ public:
+  explicit LocalSimModule(Context& ctx);
+  CommDescriptor local_descriptor() const override;
+  bool applicable(const CommDescriptor& remote) const override;
+};
+
+class ShmSimModule final : public SimModuleBase {
+ public:
+  explicit ShmSimModule(Context& ctx);
+  CommDescriptor local_descriptor() const override;
+  bool applicable(const CommDescriptor& remote) const override;
+  std::uint32_t node_of(ContextId ctx) const;
+
+ private:
+  std::uint32_t node_size_;
+};
+
+class MyrinetSimModule final : public SimModuleBase {
+ public:
+  explicit MyrinetSimModule(Context& ctx);
+  CommDescriptor local_descriptor() const override;
+  bool applicable(const CommDescriptor& remote) const override;
+};
+
+class MplSimModule final : public SimModuleBase {
+ public:
+  explicit MplSimModule(Context& ctx);
+  CommDescriptor local_descriptor() const override;
+  bool applicable(const CommDescriptor& remote) const override;
+  /// Applies the destination's inbound interference drag.
+  std::uint64_t send(CommObject& conn, Packet packet) override;
+};
+
+class TcpSimModule final : public SimModuleBase {
+ public:
+  explicit TcpSimModule(Context& ctx);
+  CommDescriptor local_descriptor() const override;
+  bool applicable(const CommDescriptor& remote) const override;
+  std::unique_ptr<CommObject> connect(const CommDescriptor& remote) override;
+  /// Adds the incast-collapse stall when the receiver is overloaded.
+  std::uint64_t send(CommObject& conn, Packet packet) override;
+  std::optional<Packet> poll() override;
+  bool supports_blocking() const override { return true; }
+
+ private:
+  std::uint64_t incast_threshold_;
+  std::uint64_t incast_bytes_;
+  Time incast_stall_;
+};
+
+class UdpSimModule final : public SimModuleBase {
+ public:
+  explicit UdpSimModule(Context& ctx);
+  CommDescriptor local_descriptor() const override;
+  bool applicable(const CommDescriptor& remote) const override;
+  std::uint64_t send(CommObject& conn, Packet packet) override;
+  bool reliable() const override { return false; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  util::Rng rng_;
+  double drop_prob_;
+  std::uint64_t mtu_;
+  std::uint64_t dropped_ = 0;
+};
+
+class Aal5SimModule final : public SimModuleBase {
+ public:
+  explicit Aal5SimModule(Context& ctx);
+  CommDescriptor local_descriptor() const override;
+  bool applicable(const CommDescriptor& remote) const override;
+};
+
+class SecureSimModule final : public SimModuleBase {
+ public:
+  explicit SecureSimModule(Context& ctx);
+  CommDescriptor local_descriptor() const override;
+  bool applicable(const CommDescriptor& remote) const override;
+  std::uint64_t send(CommObject& conn, Packet packet) override;
+  std::optional<Packet> poll() override;
+
+  /// Symmetric per-pair key (both ends derive the same value).
+  static std::uint64_t pair_key(ContextId a, ContextId b);
+
+ private:
+  Time cpu_per_byte_;
+};
+
+class CompressSimModule final : public SimModuleBase {
+ public:
+  explicit CompressSimModule(Context& ctx);
+  CommDescriptor local_descriptor() const override;
+  bool applicable(const CommDescriptor& remote) const override;
+  std::uint64_t send(CommObject& conn, Packet packet) override;
+  std::optional<Packet> poll() override;
+
+ private:
+  Time cpu_per_byte_;
+};
+
+/// Multicast group addressing: group g is represented in startpoint links
+/// as the pseudo-context kMulticastBase + g.
+inline constexpr ContextId kMulticastBase = 0x8000'0000u;
+
+class McastSimModule final : public SimModuleBase {
+ public:
+  explicit McastSimModule(Context& ctx);
+  CommDescriptor local_descriptor() const override;
+  bool applicable(const CommDescriptor& remote) const override;
+  std::unique_ptr<CommObject> connect(const CommDescriptor& remote) override;
+  std::uint64_t send(CommObject& conn, Packet packet) override;
+  bool reliable() const override { return false; }  // rides the udp model
+};
+
+/// Register `ep` as a member of multicast group `group`.
+void multicast_join(Context& ctx, std::uint32_t group, const Endpoint& ep);
+
+/// A startpoint whose single link addresses multicast group `group`.
+Startpoint multicast_startpoint(Context& ctx, std::uint32_t group);
+
+}  // namespace nexus::proto

@@ -1,0 +1,85 @@
+// Arrival-ordered mailboxes connecting simulated devices.
+//
+// A sender inserts an item with a *future* arrival timestamp computed from
+// its own clock plus link costs; the owning process only observes the item
+// once its clock reaches the arrival time (via poll()).  Posting also arms a
+// scheduler wake timer so a blocked owner is resumed when traffic lands.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "simnet/process.hpp"
+#include "simnet/scheduler.hpp"
+#include "simnet/time.hpp"
+
+namespace nexus::simnet {
+
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox(Scheduler& sched, SimProcess& owner)
+      : sched_(&sched), owner_(&owner) {}
+
+  /// Deliver `item` at virtual time `arrival`.
+  void post(Time arrival, T item) {
+    entries_.push_back(Entry{arrival, seq_++, std::move(item)});
+    std::push_heap(entries_.begin(), entries_.end(), Later{});
+    sched_->wake_at(*owner_, arrival);
+  }
+
+  /// Pop the earliest item whose arrival time has been reached.
+  std::optional<T> poll(Time now) {
+    if (entries_.empty() || entries_.front().arrival > now) return std::nullopt;
+    std::pop_heap(entries_.begin(), entries_.end(), Later{});
+    T item = std::move(entries_.back().item);
+    entries_.pop_back();
+    return item;
+  }
+
+  /// Earliest arrival time among all queued items (even future ones).
+  std::optional<Time> earliest() const {
+    if (entries_.empty()) return std::nullopt;
+    return entries_.front().arrival;
+  }
+
+  bool has_ready(Time now) const {
+    return !entries_.empty() && entries_.front().arrival <= now;
+  }
+
+  std::size_t pending() const noexcept { return entries_.size(); }
+
+  /// Push back the arrival of every still-in-flight item by `delta`.
+  /// Models interference with transfers in progress (paper §3.3: repeated
+  /// select calls slow the drain of the SP2 communication device).  Adding a
+  /// uniform delta to all arrivals > now preserves heap order.
+  void penalize_pending(Time now, Time delta) {
+    for (Entry& e : entries_) {
+      if (e.arrival > now) e.arrival += delta;
+    }
+  }
+
+  SimProcess& owner() noexcept { return *owner_; }
+
+ private:
+  struct Entry {
+    Time arrival;
+    std::uint64_t seq;
+    T item;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.arrival != b.arrival ? a.arrival > b.arrival : a.seq > b.seq;
+    }
+  };
+
+  Scheduler* sched_;
+  SimProcess* owner_;
+  std::vector<Entry> entries_;  // min-heap by (arrival, seq)
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace nexus::simnet

@@ -1,0 +1,113 @@
+// Simulated processes: thread-backed coroutines under a virtual clock.
+//
+// Each simulated context runs ordinary blocking-style C++ code on its own
+// std::thread, but only one process executes at a time; the Scheduler hands
+// the baton to the runnable process with the smallest virtual clock.  A
+// process advances its own clock with advance()/advance_to() and must never
+// run past its *horizon* -- the earliest point at which some other process
+// or timer could influence it -- so causality is preserved (a conservative
+// discrete-event simulation).
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "simnet/time.hpp"
+
+namespace nexus::simnet {
+
+class Scheduler;
+
+class SimProcess {
+ public:
+  enum class State {
+    Runnable,  ///< has work, waiting for the baton
+    Running,   ///< currently holds the baton
+    Blocked,   ///< waiting for a wake timer
+    Finished,  ///< user function returned (or threw)
+  };
+
+  SimProcess(Scheduler& sched, std::uint32_t id, std::string name,
+             std::function<void()> fn);
+  ~SimProcess();
+
+  SimProcess(const SimProcess&) = delete;
+  SimProcess& operator=(const SimProcess&) = delete;
+
+  std::uint32_t id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  Time now() const noexcept { return clock_; }
+  State state() const noexcept { return state_; }
+  Scheduler& scheduler() noexcept { return sched_; }
+
+  /// Advance the local clock by dt, yielding to the scheduler whenever the
+  /// horizon is crossed.  Must be called from this process's own thread.
+  void advance(Time dt);
+
+  /// Advance the local clock to absolute time t (no-op if already past).
+  void advance_to(Time t);
+
+  /// Give the scheduler a dispatch opportunity without consuming time.
+  void yield();
+
+  /// Block until a wake timer fires (see Scheduler::wake_at).  On return the
+  /// clock is max(previous clock, wake time).
+  void block();
+
+  /// Block until time t or an earlier wake; the clock lands on the wake time.
+  void sleep_until(Time t);
+
+  /// Current horizon (exclusive upper bound on free clock advancement).
+  Time horizon() const noexcept { return horizon_; }
+
+  /// Bounded conservatism relaxation: the process may advance up to `slack`
+  /// past its horizon before yielding.  Detection of concurrent events may
+  /// then be late by at most `slack` -- acceptable for coarse-grained
+  /// workloads (seconds-scale climate runs), and it cuts scheduler handoffs
+  /// dramatically.  Leave at 0 (default) for microsecond-accurate runs.
+  void set_horizon_slack(Time slack) noexcept { slack_ = slack; }
+  Time horizon_slack() const noexcept { return slack_; }
+
+  /// The process currently holding the baton on this thread (nullptr when
+  /// called from outside any simulated process).
+  static SimProcess* current() noexcept;
+
+ private:
+  friend class Scheduler;
+
+  // --- scheduler side (called while the process thread is parked) ---
+  /// Hand the baton to this process and wait for it to come back.
+  void resume(Time horizon);
+  /// Timer fired for a Blocked process: make it runnable at time >= t.
+  void wake(Time t);
+  /// Resume the parked thread with the abort flag set, so it unwinds.
+  void abort_and_join();
+
+  // --- process side ---
+  void thread_main();
+  /// Return the baton to the scheduler; wait until resumed.
+  void switch_out(State next);
+
+  Scheduler& sched_;
+  const std::uint32_t id_;
+  const std::string name_;
+  std::function<void()> fn_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  State state_ = State::Runnable;
+  bool baton_ = false;  ///< true while the process side should run
+  bool abort_ = false;
+
+  Time clock_ = 0;
+  Time horizon_ = 0;
+  Time slack_ = 0;
+  std::exception_ptr error_;
+  std::thread thread_;  // last member: starts in the constructor body
+};
+
+}  // namespace nexus::simnet

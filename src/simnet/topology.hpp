@@ -1,0 +1,65 @@
+// Machine topology: which contexts share a partition.
+//
+// Mirrors the SP2 partition abstraction from the paper: the MPL-like method
+// is applicable only between contexts in the same partition, while TCP-like
+// methods work everywhere.  Partition ids are small non-negative integers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nexus::simnet {
+
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::vector<int> partition_of)
+      : partition_of_(std::move(partition_of)) {}
+
+  /// All n contexts in one partition.
+  static Topology single_partition(std::size_t n) {
+    return Topology(std::vector<int>(n, 0));
+  }
+
+  /// Contexts [0, n_a) in partition 0, [n_a, n_a + n_b) in partition 1.
+  static Topology two_partitions(std::size_t n_a, std::size_t n_b) {
+    std::vector<int> p(n_a + n_b, 0);
+    for (std::size_t i = n_a; i < n_a + n_b; ++i) p[i] = 1;
+    return Topology(std::move(p));
+  }
+
+  /// Arbitrary partition sizes, assigned contiguously.
+  static Topology partitions(const std::vector<std::size_t>& sizes) {
+    std::vector<int> p;
+    for (std::size_t k = 0; k < sizes.size(); ++k) {
+      p.insert(p.end(), sizes[k], static_cast<int>(k));
+    }
+    return Topology(std::move(p));
+  }
+
+  int partition_of(std::uint32_t ctx) const {
+    if (ctx >= partition_of_.size()) {
+      throw util::UsageError("context id out of topology range");
+    }
+    return partition_of_[ctx];
+  }
+
+  bool same_partition(std::uint32_t a, std::uint32_t b) const {
+    return partition_of(a) == partition_of(b);
+  }
+
+  std::size_t size() const noexcept { return partition_of_.size(); }
+
+  int partition_count() const {
+    int mx = -1;
+    for (int p : partition_of_) mx = p > mx ? p : mx;
+    return mx + 1;
+  }
+
+ private:
+  std::vector<int> partition_of_;
+};
+
+}  // namespace nexus::simnet

@@ -1,0 +1,61 @@
+// Event trace recorder for debugging and test assertions.
+//
+// Disabled by default (zero overhead beyond a branch); when enabled it
+// records sends, deliveries, polls, and handler dispatches with virtual
+// timestamps so tests can assert on ordering and latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simnet/time.hpp"
+
+namespace nexus::simnet {
+
+enum class TraceKind : std::uint8_t {
+  Send,
+  Deliver,
+  Poll,
+  PollHit,
+  Dispatch,
+  Forward,
+  Custom,
+};
+
+struct TraceEvent {
+  Time when = 0;
+  std::uint32_t context = 0;
+  TraceKind kind = TraceKind::Custom;
+  std::string method;  ///< communication method name, if applicable
+  std::uint64_t size = 0;
+  std::string note;
+};
+
+class TraceRecorder {
+ public:
+  void enable(bool on = true) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  void record(TraceEvent ev) {
+    if (enabled_) events_.push_back(std::move(ev));
+  }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Count events matching a kind (and optionally a method name).
+  std::size_t count(TraceKind kind, std::string_view method = {}) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+      if (e.kind == kind && (method.empty() || e.method == method)) ++n;
+    }
+    return n;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace nexus::simnet

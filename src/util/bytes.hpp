@@ -1,0 +1,23 @@
+// Basic byte-container aliases used throughout the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nexus::util {
+
+using Byte = std::uint8_t;
+using Bytes = std::vector<Byte>;
+using ByteSpan = std::span<const Byte>;
+
+/// View arbitrary trivially-copyable data as a byte span.
+template <typename T>
+ByteSpan as_bytes(const T* data, std::size_t count) {
+  return ByteSpan(reinterpret_cast<const Byte*>(data), count * sizeof(T));
+}
+
+inline Bytes to_bytes(ByteSpan s) { return Bytes(s.begin(), s.end()); }
+
+}  // namespace nexus::util

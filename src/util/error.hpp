@@ -1,0 +1,41 @@
+// Error types shared across the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nexus::util {
+
+/// Base class for all errors raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when unpacking a buffer that is malformed or truncated.
+class UnpackError : public Error {
+ public:
+  explicit UnpackError(const std::string& what) : Error("unpack: " + what) {}
+};
+
+/// Raised when a requested communication method/module is unavailable or
+/// inapplicable (e.g. forcing MPL across partitions).
+class MethodError : public Error {
+ public:
+  explicit MethodError(const std::string& what) : Error("method: " + what) {}
+};
+
+/// Raised on misuse of the public API (unbound startpoint, duplicate handler
+/// registration, unknown handler name, ...).
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error("usage: " + what) {}
+};
+
+/// Raised when a resource-database entry cannot be parsed.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config: " + what) {}
+};
+
+}  // namespace nexus::util

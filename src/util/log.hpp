@@ -1,0 +1,58 @@
+// Minimal leveled logger.
+//
+// The runtime is used from benchmarks where output volume matters, so the
+// default level is Warn; tests raise it when diagnosing failures.  The
+// logger is process-global and thread-safe.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace nexus::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Set/get the global logging threshold.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one log line (already formatted) if `level` passes the threshold.
+void log_line(LogLevel level, std::string_view component, std::string_view msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_trace(std::string_view component, Args&&... args) {
+  if (log_level() <= LogLevel::Trace)
+    log_line(LogLevel::Trace, component, detail::concat(args...));
+}
+template <typename... Args>
+void log_debug(std::string_view component, Args&&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_line(LogLevel::Debug, component, detail::concat(args...));
+}
+template <typename... Args>
+void log_info(std::string_view component, Args&&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_line(LogLevel::Info, component, detail::concat(args...));
+}
+template <typename... Args>
+void log_warn(std::string_view component, Args&&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_line(LogLevel::Warn, component, detail::concat(args...));
+}
+template <typename... Args>
+void log_error(std::string_view component, Args&&... args) {
+  if (log_level() <= LogLevel::Error)
+    log_line(LogLevel::Error, component, detail::concat(args...));
+}
+
+}  // namespace nexus::util

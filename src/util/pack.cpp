@@ -1,0 +1,14 @@
+#include "util/pack.hpp"
+
+namespace nexus::util {
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace nexus::util

@@ -1,0 +1,155 @@
+// XDR-like canonical (big-endian) pack/unpack buffers.
+//
+// Nexus must ship data between heterogeneous address spaces, so all
+// descriptor tables, startpoints, and RSR payloads are serialized through a
+// canonical encoding rather than memcpy'd.  The encoding is deliberately
+// simple: fixed-width big-endian integers, IEEE-754 bit patterns for
+// floating point, and length-prefixed strings/vectors.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace nexus::util {
+
+/// Append-only serialization buffer.
+class PackBuffer {
+ public:
+  PackBuffer() = default;
+  explicit PackBuffer(std::size_t reserve) { data_.reserve(reserve); }
+
+  void put_u8(std::uint8_t v) { data_.push_back(v); }
+  void put_u16(std::uint16_t v) { put_be(v); }
+  void put_u32(std::uint32_t v) { put_be(v); }
+  void put_u64(std::uint64_t v) { put_be(v); }
+  void put_i8(std::int8_t v) { put_u8(static_cast<std::uint8_t>(v)); }
+  void put_i16(std::int16_t v) { put_u16(static_cast<std::uint16_t>(v)); }
+  void put_i32(std::int32_t v) { put_u32(static_cast<std::uint32_t>(v)); }
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_f32(float v) { put_u32(std::bit_cast<std::uint32_t>(v)); }
+  void put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void put_string(std::string_view s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    const auto* p = reinterpret_cast<const Byte*>(s.data());
+    data_.insert(data_.end(), p, p + s.size());
+  }
+
+  void put_bytes(ByteSpan s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    data_.insert(data_.end(), s.begin(), s.end());
+  }
+
+  /// Raw append with no length prefix (caller knows the size).
+  void put_raw(ByteSpan s) { data_.insert(data_.end(), s.begin(), s.end()); }
+
+  template <typename T>
+  void put_f64_vector(const std::vector<T>& v) {
+    static_assert(std::is_floating_point_v<T>);
+    put_u32(static_cast<std::uint32_t>(v.size()));
+    for (T x : v) put_f64(static_cast<double>(x));
+  }
+
+  const Bytes& bytes() const { return data_; }
+  Bytes take() { return std::move(data_); }
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  template <typename T>
+  void put_be(T v) {
+    for (int shift = (sizeof(T) - 1) * 8; shift >= 0; shift -= 8) {
+      data_.push_back(static_cast<Byte>((v >> shift) & 0xff));
+    }
+  }
+
+  Bytes data_;
+};
+
+/// Sequential deserialization view over a byte span.  Throws UnpackError on
+/// truncation; never reads past the underlying span.
+class UnpackBuffer {
+ public:
+  explicit UnpackBuffer(ByteSpan data) : data_(data) {}
+  /// Constructing from a temporary Bytes would leave the buffer dangling as
+  /// soon as the declaration ends; store the Bytes in a named variable.
+  explicit UnpackBuffer(Bytes&&) = delete;
+
+  std::uint8_t get_u8() { return take(1)[0]; }
+  std::uint16_t get_u16() { return get_be<std::uint16_t>(); }
+  std::uint32_t get_u32() { return get_be<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_be<std::uint64_t>(); }
+  std::int8_t get_i8() { return static_cast<std::int8_t>(get_u8()); }
+  std::int16_t get_i16() { return static_cast<std::int16_t>(get_u16()); }
+  std::int32_t get_i32() { return static_cast<std::int32_t>(get_u32()); }
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+  bool get_bool() { return get_u8() != 0; }
+  float get_f32() { return std::bit_cast<float>(get_u32()); }
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+
+  std::string get_string() {
+    std::uint32_t n = get_u32();
+    ByteSpan s = take(n);
+    return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+  }
+
+  Bytes get_bytes() {
+    std::uint32_t n = get_u32();
+    ByteSpan s = take(n);
+    return Bytes(s.begin(), s.end());
+  }
+
+  /// Zero-copy view of a length-prefixed byte field.
+  ByteSpan get_bytes_view() {
+    std::uint32_t n = get_u32();
+    return take(n);
+  }
+
+  std::vector<double> get_f64_vector() {
+    std::uint32_t n = get_u32();
+    std::vector<double> v;
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) v.push_back(get_f64());
+    return v;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+
+ private:
+  ByteSpan take(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw UnpackError("truncated buffer (want " + std::to_string(n) +
+                        " bytes, have " + std::to_string(remaining()) + ")");
+    }
+    ByteSpan s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  T get_be() {
+    ByteSpan s = take(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>((v << 8) | s[i]);
+    }
+    return v;
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+/// Stable 64-bit FNV-1a hash, used to turn handler names into wire ids.
+std::uint64_t fnv1a(std::string_view s) noexcept;
+
+}  // namespace nexus::util

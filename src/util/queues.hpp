@@ -1,0 +1,77 @@
+// Thread-safe queues used by the realtime fabric.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace nexus::util {
+
+/// Unbounded MPMC queue with optional blocking pop.  This backs the
+/// realtime devices (shared-memory style mailboxes between context threads)
+/// and the blocking-poller wakeup channel.
+template <typename T>
+class ConcurrentQueue {
+ public:
+  void push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Blocking pop; returns nullopt if the queue is closed and drained.
+  std::optional<T> pop_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// Wake all blocked poppers; subsequent pop_wait on an empty queue
+  /// returns nullopt immediately.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace nexus::util

@@ -1,0 +1,168 @@
+#include "util/resource_db.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace nexus::util {
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string> split_list(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t end = s.find(delim, start);
+    if (end == std::string_view::npos) end = s.size();
+    std::string_view item = trim(s.substr(start, end - start));
+    if (!item.empty()) out.emplace_back(item);
+    start = end + 1;
+  }
+  return out;
+}
+
+void ResourceDb::set(std::string_view key, std::string_view value) {
+  entries_[std::string(trim(key))] = std::string(trim(value));
+}
+
+bool ResourceDb::erase(std::string_view key) {
+  auto it = entries_.find(trim(key));
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+bool ResourceDb::contains(std::string_view key) const {
+  return entries_.find(trim(key)) != entries_.end();
+}
+
+std::optional<std::string> ResourceDb::get(std::string_view key) const {
+  auto it = entries_.find(trim(key));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ResourceDb::get_string(std::string_view key,
+                                   std::string_view dflt) const {
+  auto v = get(key);
+  return v ? *v : std::string(dflt);
+}
+
+std::int64_t ResourceDb::get_int(std::string_view key,
+                                 std::int64_t dflt) const {
+  auto v = get(key);
+  if (!v) return dflt;
+  std::int64_t out = 0;
+  auto [p, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || p != v->data() + v->size()) {
+    throw ConfigError("key '" + std::string(key) + "' is not an integer: '" +
+                      *v + "'");
+  }
+  return out;
+}
+
+double ResourceDb::get_double(std::string_view key, double dflt) const {
+  auto v = get(key);
+  if (!v) return dflt;
+  try {
+    std::size_t pos = 0;
+    double out = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing junk");
+    return out;
+  } catch (const std::exception&) {
+    throw ConfigError("key '" + std::string(key) + "' is not a number: '" +
+                      *v + "'");
+  }
+}
+
+bool ResourceDb::get_bool(std::string_view key, bool dflt) const {
+  auto v = get(key);
+  if (!v) return dflt;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  throw ConfigError("key '" + std::string(key) + "' is not a boolean: '" +
+                    *v + "'");
+}
+
+std::vector<std::string> ResourceDb::get_list(std::string_view key) const {
+  auto v = get(key);
+  if (!v) return {};
+  return split_list(*v);
+}
+
+std::optional<std::string> ResourceDb::get_scoped(
+    std::uint32_t context_id, std::string_view key) const {
+  std::string scoped =
+      "context." + std::to_string(context_id) + "." + std::string(key);
+  if (auto v = get(scoped)) return v;
+  return get(key);
+}
+
+std::int64_t ResourceDb::get_scoped_int(std::uint32_t context_id,
+                                        std::string_view key,
+                                        std::int64_t dflt) const {
+  auto v = get_scoped(context_id, key);
+  if (!v) return dflt;
+  std::int64_t out = 0;
+  auto [p, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || p != v->data() + v->size()) {
+    throw ConfigError("key '" + std::string(key) + "' is not an integer: '" +
+                      *v + "'");
+  }
+  return out;
+}
+
+void ResourceDb::load_text(std::string_view text) {
+  std::size_t start = 0;
+  int lineno = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = trim(text.substr(start, end - start));
+    ++lineno;
+    start = end + 1;
+    if (line.empty() || line.front() == '#') continue;
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      throw ConfigError("line " + std::to_string(lineno) +
+                        ": expected 'key: value', got '" + std::string(line) +
+                        "'");
+    }
+    set(line.substr(0, colon), line.substr(colon + 1));
+  }
+}
+
+void ResourceDb::load_args(std::vector<std::string>& args) {
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-nx" && i + 1 < args.size()) {
+      const std::string& kv = args[i + 1];
+      std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        throw ConfigError("-nx expects key=value, got '" + kv + "'");
+      }
+      set(std::string_view(kv).substr(0, eq),
+          std::string_view(kv).substr(eq + 1));
+      ++i;
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  args = std::move(rest);
+}
+
+std::vector<std::pair<std::string, std::string>> ResourceDb::entries() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) out.emplace_back(k, v);
+  return out;
+}
+
+}  // namespace nexus::util

@@ -1,0 +1,80 @@
+// Resource database.
+//
+// The paper (§3.1) specifies that the set of communication modules and
+// their parameters can be configured through "entries in a resource
+// database, by command line arguments, or by function calls".  This class
+// provides that database: a hierarchical string key/value store with typed
+// accessors, populated from text (one `key: value` per line), from argv
+// entries of the form `-nx key=value`, or programmatically.
+//
+// Keys are dotted paths, optionally scoped to a context id, e.g.:
+//   nexus.modules:        local,mpl,tcp
+//   tcp.skip_poll:        20
+//   context.3.tcp.skip_poll: 100     (overrides for context 3 only)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nexus::util {
+
+class ResourceDb {
+ public:
+  ResourceDb() = default;
+
+  /// Set or overwrite an entry.
+  void set(std::string_view key, std::string_view value);
+
+  /// Remove an entry; returns true if it existed.
+  bool erase(std::string_view key);
+
+  bool contains(std::string_view key) const;
+
+  /// Raw lookup.
+  std::optional<std::string> get(std::string_view key) const;
+
+  /// Typed lookups with defaults.  Throw ConfigError on unparsable values.
+  std::string get_string(std::string_view key, std::string_view dflt) const;
+  std::int64_t get_int(std::string_view key, std::int64_t dflt) const;
+  double get_double(std::string_view key, double dflt) const;
+  bool get_bool(std::string_view key, bool dflt) const;
+
+  /// Comma-separated list lookup ("a,b,c" -> {"a","b","c"}); whitespace
+  /// around items is trimmed; empty items are dropped.
+  std::vector<std::string> get_list(std::string_view key) const;
+
+  /// Context-scoped lookup: tries `context.<id>.<key>` first, then `<key>`.
+  std::optional<std::string> get_scoped(std::uint32_t context_id,
+                                        std::string_view key) const;
+  std::int64_t get_scoped_int(std::uint32_t context_id, std::string_view key,
+                              std::int64_t dflt) const;
+
+  /// Parse `key: value` lines.  `#`-prefixed lines and blanks are ignored.
+  /// Throws ConfigError on malformed lines.
+  void load_text(std::string_view text);
+
+  /// Consume argv-style options.  Recognizes `-nx key=value` pairs and
+  /// removes them from `args`; everything else is left untouched.
+  void load_args(std::vector<std::string>& args);
+
+  /// Number of entries.
+  std::size_t size() const { return entries_.size(); }
+
+  /// Snapshot of all entries (sorted by key) for enquiry/debug output.
+  std::vector<std::pair<std::string, std::string>> entries() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a delimiter, trimming items and dropping empties.
+std::vector<std::string> split_list(std::string_view s, char delim = ',');
+
+}  // namespace nexus::util

@@ -1,0 +1,82 @@
+// Streaming statistics and simple fixed-bin histograms.
+//
+// Used by the benchmark harnesses to report means/percentiles of one-way
+// times and by the runtime's enquiry interface to expose per-method traffic
+// counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nexus::util {
+
+/// Welford-style running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retains all samples; exact percentiles.  Fine for benchmark-scale counts.
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const noexcept;
+  /// Exact percentile by nearest-rank; p in [0, 100].
+  double percentile(double p) const;
+  double min() const;
+  double max() const;
+  void reset() { samples_.clear(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Monotonically-labelled counter bundle used for enquiry functions.
+struct MethodCounters {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t poll_hits = 0;  ///< polls that found at least one message
+
+  void merge(const MethodCounters& o) noexcept {
+    sends += o.sends;
+    recvs += o.recvs;
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    polls += o.polls;
+    poll_hits += o.poll_hits;
+  }
+};
+
+/// Format a double with fixed precision (helper for table printing).
+std::string fmt_fixed(double v, int precision);
+
+}  // namespace nexus::util

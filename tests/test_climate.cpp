@@ -1,0 +1,232 @@
+// Unit tests for the climate substrate: grids, regridding, and the banded
+// model numerics (conservation, serial-vs-parallel equivalence).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "climate/coupled.hpp"
+#include "climate/grid.hpp"
+#include "climate/model.hpp"
+#include "nexus/runtime.hpp"
+
+namespace {
+
+using namespace climate;
+using nexus::Context;
+using nexus::Runtime;
+using nexus::RuntimeOptions;
+
+TEST(Grid, RowDistributionCoversExactly) {
+  for (int ny : {7, 16, 64}) {
+    for (int p : {1, 3, 8, 16}) {
+      if (p > ny) continue;
+      int total = 0;
+      int next_row = 0;
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(row0_of(ny, p, r), next_row);
+        const int rows = rows_of(ny, p, r);
+        EXPECT_GE(rows, ny / p);
+        total += rows;
+        next_row += rows;
+      }
+      EXPECT_EQ(total, ny);
+    }
+  }
+}
+
+TEST(Grid, BandFieldAccessAndWrap) {
+  BandField f(8, 4, 3);
+  f.at(0, 0) = 1.0;
+  f.at(2, 7) = 2.0;
+  f.at(-1, 3) = 3.0;  // halo
+  f.at(3, 3) = 4.0;   // halo
+  EXPECT_EQ(f.wrap(0, 8), 1.0);   // periodic wrap to column 0
+  EXPECT_EQ(f.wrap(0, -8), 1.0);
+  EXPECT_EQ(f.at(-1, 3), 3.0);
+  EXPECT_EQ(f.interior_sum(), 3.0);  // halos excluded
+}
+
+TEST(Grid, ZonalMeans) {
+  BandField f(4, 0, 2);
+  for (int j = 0; j < 4; ++j) {
+    f.at(0, j) = j;       // mean 1.5
+    f.at(1, j) = 2.0 * j; // mean 3.0
+  }
+  auto m = f.zonal_means();
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m[0], 1.5);
+  EXPECT_DOUBLE_EQ(m[1], 3.0);
+}
+
+TEST(Grid, RegridProfileEndpoints) {
+  std::vector<double> src{0.0, 1.0, 2.0, 3.0};
+  auto up = regrid_profile(src, 8);
+  ASSERT_EQ(up.size(), 8u);
+  // Monotone input stays monotone under linear interpolation.
+  for (std::size_t i = 1; i < up.size(); ++i) EXPECT_GE(up[i], up[i - 1]);
+  EXPECT_NEAR(up.front(), 0.0, 0.5);
+  EXPECT_NEAR(up.back(), 3.0, 0.5);
+
+  auto same = regrid_profile(src, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(same[i], src[i], 1e-12);
+
+  auto constant = regrid_profile(std::vector<double>{5.0}, 6);
+  for (double v : constant) EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST(Grid, RegridPreservesMeanApproximately) {
+  std::vector<double> src(16);
+  for (int i = 0; i < 16; ++i) src[i] = std::sin(0.3 * i);
+  double src_mean = 0;
+  for (double v : src) src_mean += v;
+  src_mean /= 16;
+  auto dst = regrid_profile(src, 40);
+  double dst_mean = 0;
+  for (double v : dst) dst_mean += v;
+  dst_mean /= 40;
+  EXPECT_NEAR(dst_mean, src_mean, 0.05);
+}
+
+/// Run a BandModel world (no coupling) and return the global field sums
+/// before and after `steps` steps plus a checksum of the final field.
+struct ModelRun {
+  double sum0 = 0, sum1 = 0;
+  std::vector<double> final_profile;
+};
+
+ModelRun run_model(int ranks, int steps, ModelConfig mc) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(
+      static_cast<std::size_t>(ranks));
+  opts.modules = {"local", "mpl", "tcp"};
+  Runtime rt(opts);
+  ModelRun result;
+  rt.run([&](Context& ctx) {
+    minimpi::World mpi(ctx);
+    BandModel m(ctx, mpi.comm().dup(), mc, /*zonal_jet=*/true);
+    const double s0 = m.global_sum();
+    for (int s = 0; s < steps; ++s) m.step();
+    const double s1 = m.global_sum();
+    auto profile = m.global_zonal_profile();
+    if (mpi.rank() == 0) {
+      result.sum0 = s0;
+      result.sum1 = s1;
+      result.final_profile = profile;
+    }
+  });
+  return result;
+}
+
+ModelConfig fast_config() {
+  ModelConfig mc;
+  mc.nx = 32;
+  mc.ny = 16;
+  mc.relax = 0.0;            // no external forcing: conservation holds
+  mc.step_compute = 0;       // pure numerics for these tests
+  mc.polls_per_step = 1;
+  mc.transpose_phases = 1;
+  mc.transpose_bytes = 512;
+  return mc;
+}
+
+TEST(BandModel, ConservesHeatWithoutForcing) {
+  ModelRun r = run_model(4, 20, fast_config());
+  // Upwind advection (periodic x) + symmetric diffusion (closed y) keep the
+  // global sum exactly constant up to floating-point roundoff.
+  EXPECT_NEAR(r.sum1, r.sum0, std::abs(r.sum0) * 1e-12);
+}
+
+TEST(BandModel, SerialAndParallelAgree) {
+  ModelConfig mc = fast_config();
+  ModelRun serial = run_model(1, 10, mc);
+  ModelRun par4 = run_model(4, 10, mc);
+  ModelRun par8 = run_model(8, 10, mc);
+  ASSERT_EQ(serial.final_profile.size(), par4.final_profile.size());
+  for (std::size_t i = 0; i < serial.final_profile.size(); ++i) {
+    EXPECT_NEAR(par4.final_profile[i], serial.final_profile[i], 1e-9);
+    EXPECT_NEAR(par8.final_profile[i], serial.final_profile[i], 1e-9);
+  }
+}
+
+TEST(BandModel, DiffusionSmoothsZonalVariance) {
+  ModelConfig mc = fast_config();
+  mc.u0 = 0.0;  // pure diffusion
+  ModelRun r = run_model(2, 30, mc);
+  // The initial zonal perturbation must decay: profile ends smoother than a
+  // 30 K equator-pole contrast with a 2 K sine ripple.
+  double max_jump = 0;
+  for (std::size_t i = 1; i < r.final_profile.size(); ++i) {
+    max_jump = std::max(max_jump,
+                        std::abs(r.final_profile[i] - r.final_profile[i - 1]));
+  }
+  EXPECT_LT(max_jump, 4.0);
+}
+
+TEST(BandModel, RelaxationPullsTowardCoupledProfile) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(2);
+  opts.modules = {"local", "mpl", "tcp"};
+  Runtime rt(opts);
+  rt.run([&](Context& ctx) {
+    minimpi::World mpi(ctx);
+    ModelConfig mc = fast_config();
+    mc.relax = 0.5;
+    mc.u0 = 0.0;
+    BandModel m(ctx, mpi.comm().dup(), mc, true);
+    std::vector<double> target(static_cast<std::size_t>(mc.ny), 300.0);
+    m.set_coupled_profile(target);
+    for (int s = 0; s < 60; ++s) m.step();
+    auto profile = m.global_zonal_profile();
+    for (double v : profile) EXPECT_NEAR(v, 300.0, 1.0);
+  });
+}
+
+TEST(Coupled, SmallRunCompletesAndCouples) {
+  CoupledConfig cfg;
+  cfg.atmo_ranks = 4;
+  cfg.ocean_ranks = 2;
+  cfg.timesteps = 4;
+  cfg.couple_every = 2;
+  cfg.atmosphere = fast_config();
+  cfg.atmosphere.step_compute = 2 * simnet::kSec;
+  cfg.atmosphere.polls_per_step = 100;
+  cfg.ocean = fast_config();
+  cfg.ocean.nx = 16;
+  cfg.ocean.ny = 8;
+  cfg.ocean.step_compute = 1 * simnet::kSec;
+  cfg.ocean.polls_per_step = 100;
+
+  auto res = run_coupled(cfg, Policy::SkipPoll, 10);
+  EXPECT_EQ(res.couplings, 2);
+  EXPECT_EQ(res.step_seconds.size(), 4u);
+  EXPECT_GT(res.seconds_per_step, 2.0);   // at least the compute charge
+  EXPECT_LT(res.seconds_per_step, 10.0);  // but not runaway
+  EXPECT_GT(res.tcp_sends, 0u);           // coupling crossed partitions
+  EXPECT_GT(res.mpl_sends, 0u);           // internal traffic stayed on mpl
+  // Models exchange energy through coupling; heat should stay bounded.
+  EXPECT_NEAR(res.atmo_heat_end, res.atmo_heat_start,
+              std::abs(res.atmo_heat_start) * 0.2);
+}
+
+TEST(Coupled, PoliciesProduceSameCouplingCount) {
+  CoupledConfig cfg;
+  cfg.atmo_ranks = 4;
+  cfg.ocean_ranks = 2;
+  cfg.timesteps = 2;
+  cfg.couple_every = 2;
+  cfg.atmosphere = fast_config();
+  cfg.atmosphere.step_compute = simnet::kSec;
+  cfg.atmosphere.polls_per_step = 50;
+  cfg.ocean = cfg.atmosphere;
+  cfg.ocean.nx = 16;
+  cfg.ocean.ny = 8;
+
+  for (Policy p : {Policy::SelectiveTcp, Policy::Forwarding,
+                   Policy::SkipPoll, Policy::AllTcp}) {
+    auto res = run_coupled(cfg, p, 5);
+    EXPECT_EQ(res.couplings, 1) << policy_name(p);
+    EXPECT_GT(res.seconds_per_step, 0.0) << policy_name(p);
+  }
+}
+
+}  // namespace

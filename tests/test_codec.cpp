@@ -1,0 +1,124 @@
+// Unit and property tests for the wrapper-method codecs.
+#include <gtest/gtest.h>
+
+#include "proto/codec.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nexus::proto;
+using nexus::util::Bytes;
+using nexus::util::Rng;
+
+TEST(Rle, EmptyInput) {
+  EXPECT_TRUE(rle_encode({}).empty());
+  EXPECT_TRUE(rle_decode({}).empty());
+}
+
+TEST(Rle, SingleRun) {
+  Bytes in(100, 0x42);
+  Bytes enc = rle_encode(in);
+  EXPECT_EQ(enc.size(), 2u);
+  EXPECT_EQ(enc[0], 100);
+  EXPECT_EQ(enc[1], 0x42);
+  EXPECT_EQ(rle_decode(enc), in);
+}
+
+TEST(Rle, RunLongerThan255Splits) {
+  Bytes in(600, 0x07);
+  Bytes enc = rle_encode(in);
+  EXPECT_EQ(enc.size(), 6u);  // 255 + 255 + 90
+  EXPECT_EQ(rle_decode(enc), in);
+}
+
+TEST(Rle, IncompressibleDataGrows) {
+  Bytes in;
+  for (int i = 0; i < 128; ++i) in.push_back(static_cast<std::uint8_t>(i));
+  Bytes enc = rle_encode(in);
+  EXPECT_EQ(enc.size(), 256u);  // 2 bytes per distinct input byte
+  EXPECT_EQ(rle_decode(enc), in);
+}
+
+TEST(Rle, MalformedStreamsThrow) {
+  EXPECT_THROW(rle_decode(Bytes{5}), nexus::util::UnpackError);      // odd
+  EXPECT_THROW(rle_decode(Bytes{0, 9}), nexus::util::UnpackError);   // 0-run
+}
+
+class RleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RleProperty, RoundtripRandomData) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes in;
+    const std::size_t len = rng.next_below(2000);
+    // Mix runs and noise so both encoder paths are hit.
+    while (in.size() < len) {
+      if (rng.chance(0.5)) {
+        in.insert(in.end(), rng.next_below(300) + 1,
+                  static_cast<std::uint8_t>(rng.next()));
+      } else {
+        in.push_back(static_cast<std::uint8_t>(rng.next()));
+      }
+    }
+    EXPECT_EQ(rle_decode(rle_encode(in)), in);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RleProperty, ::testing::Values(1u, 7u, 42u));
+
+TEST(Keystream, IsInvolution) {
+  Bytes data{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  Bytes original = data;
+  keystream_xor(data, 0xdeadbeef);
+  EXPECT_NE(data, original);
+  keystream_xor(data, 0xdeadbeef);
+  EXPECT_EQ(data, original);
+}
+
+TEST(Keystream, DifferentKeysDiffer) {
+  Bytes a{0, 0, 0, 0, 0, 0, 0, 0};
+  Bytes b = a;
+  keystream_xor(a, 1);
+  keystream_xor(b, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Seal, RoundtripAndLength) {
+  Bytes plain{10, 20, 30};
+  Bytes sealed = seal(plain, 99);
+  EXPECT_EQ(sealed.size(), plain.size() + 8);  // payload + tag
+  EXPECT_EQ(open(sealed, 99), plain);
+}
+
+TEST(Seal, EmptyPayload) {
+  Bytes sealed = seal({}, 5);
+  EXPECT_EQ(sealed.size(), 8u);
+  EXPECT_TRUE(open(sealed, 5).empty());
+}
+
+TEST(Seal, WrongKeyDetected) {
+  Bytes sealed = seal(Bytes{1, 2, 3, 4}, 111);
+  EXPECT_THROW(open(sealed, 112), nexus::util::MethodError);
+}
+
+TEST(Seal, TamperDetected) {
+  Bytes sealed = seal(Bytes(64, 0x33), 7);
+  sealed[10] ^= 0x01;  // flip one ciphertext bit
+  EXPECT_THROW(open(sealed, 7), nexus::util::MethodError);
+  Bytes sealed2 = seal(Bytes(64, 0x33), 7);
+  sealed2[sealed2.size() - 1] ^= 0x80;  // flip a tag bit
+  EXPECT_THROW(open(sealed2, 7), nexus::util::MethodError);
+}
+
+TEST(Seal, TruncatedInputThrows) {
+  EXPECT_THROW(open(Bytes{1, 2, 3}, 7), nexus::util::MethodError);
+}
+
+TEST(IntegrityTag, MatchesFnvSemantics) {
+  EXPECT_EQ(integrity_tag({}), 14695981039346656037ull);
+  Bytes a{1}, b{2};
+  EXPECT_NE(integrity_tag(a), integrity_tag(b));
+}
+
+}  // namespace

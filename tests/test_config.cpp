@@ -1,0 +1,124 @@
+// Configuration-driven behaviour (paper §3.1: modules and parameters set
+// via resource database, command line, or function calls).
+#include <gtest/gtest.h>
+
+#include "nexus/runtime.hpp"
+
+namespace {
+
+using namespace nexus;
+
+TEST(Config, ModuleSetFromResourceDatabase) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(1);
+  opts.modules = {"local"};  // overridden below
+  opts.db.set("nexus.modules", "local, mpl, tcp, udp");
+  Runtime rt(opts);
+  rt.run([&](Context& ctx) {
+    auto methods = ctx.methods();
+    EXPECT_EQ(methods.size(), 4u);
+    EXPECT_NE(ctx.module("udp"), nullptr);
+  });
+}
+
+TEST(Config, PerContextModuleOverride) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(2);
+  opts.modules = {"local", "mpl", "tcp"};
+  opts.db.set("context.1.nexus.modules", "local, tcp");
+  Runtime rt(opts);
+  rt.run([&](Context& ctx) {
+    if (ctx.id() == 0) {
+      EXPECT_NE(ctx.module("mpl"), nullptr);
+    } else {
+      EXPECT_EQ(ctx.module("mpl"), nullptr);
+      EXPECT_NE(ctx.module("tcp"), nullptr);
+    }
+  });
+}
+
+TEST(Config, SkipPollFromResourceDatabase) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(2);
+  opts.modules = {"local", "mpl", "tcp"};
+  opts.db.set("tcp.skip_poll", "25");
+  opts.db.set("context.1.tcp.skip_poll", "50");
+  Runtime rt(opts);
+  rt.run([&](Context& ctx) {
+    EXPECT_EQ(ctx.skip_poll("tcp"), ctx.id() == 1 ? 50u : 25u);
+  });
+}
+
+TEST(Config, PollEnabledFromResourceDatabase) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(1);
+  opts.modules = {"local", "mpl", "tcp"};
+  opts.db.set("tcp.poll_enabled", "false");
+  Runtime rt(opts);
+  rt.run([&](Context& ctx) {
+    EXPECT_FALSE(ctx.poll_enabled("tcp"));
+    EXPECT_TRUE(ctx.poll_enabled("mpl"));
+  });
+}
+
+TEST(Config, CommandLineStyleArgsFeedTheDatabase) {
+  util::ResourceDb db;
+  std::vector<std::string> args{"app", "-nx", "tcp.skip_poll=77", "-nx",
+                                "nexus.modules=local,tcp", "input.dat"};
+  db.load_args(args);
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(1);
+  opts.db = db;
+  Runtime rt(opts);
+  rt.run([&](Context& ctx) {
+    EXPECT_EQ(ctx.methods().size(), 2u);
+    EXPECT_EQ(ctx.skip_poll("tcp"), 77u);
+  });
+  EXPECT_EQ(args, (std::vector<std::string>{"app", "input.dat"}));
+}
+
+TEST(Config, MinimpiLayerOverheadConfigurable) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(1);
+  opts.modules = {"local", "mpl", "tcp"};
+  opts.db.set("minimpi.layer_overhead_ns", "12345");
+  Runtime rt(opts);
+  rt.run([&](Context& ctx) {
+    EXPECT_EQ(ctx.config().get_int("minimpi.layer_overhead_ns", 0), 12345);
+  });
+}
+
+TEST(Config, InvalidRuntimeOptionsRejected) {
+  {
+    RuntimeOptions opts;
+    opts.topology = simnet::Topology(std::vector<int>{});
+    EXPECT_THROW(Runtime rt(opts), util::UsageError);
+  }
+  {
+    RuntimeOptions opts;
+    opts.topology = simnet::Topology::two_partitions(1, 1);
+    opts.forwarders[0] = 5;  // out of range
+    EXPECT_THROW(Runtime rt(opts), util::UsageError);
+  }
+}
+
+TEST(Config, RunIsSingleShotAndSizeChecked) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(2);
+  Runtime rt(opts);
+  EXPECT_THROW(rt.run(std::vector<std::function<void(Context&)>>{
+                   [](Context&) {}}),  // one fn for two contexts
+               util::UsageError);
+  rt.run([](Context&) {});  // size check did not consume the single shot
+  EXPECT_THROW(rt.run([](Context&) {}), util::UsageError);  // second run
+}
+
+TEST(Config, ContextAccessBeforeRunThrows) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(2);
+  Runtime rt(opts);
+  EXPECT_THROW(rt.context(0), util::UsageError);
+  EXPECT_THROW(rt.table_of(0), util::UsageError);
+}
+
+}  // namespace

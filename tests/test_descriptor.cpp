@@ -1,0 +1,88 @@
+// Unit tests for communication descriptors and descriptor tables.
+#include <gtest/gtest.h>
+
+#include "nexus/descriptor.hpp"
+
+namespace {
+
+using nexus::CommDescriptor;
+using nexus::DescriptorTable;
+using nexus::util::PackBuffer;
+using nexus::util::UnpackBuffer;
+
+CommDescriptor desc(const char* method, nexus::ContextId ctx,
+                    std::initializer_list<std::uint8_t> data = {}) {
+  return CommDescriptor{method, ctx, nexus::util::Bytes(data)};
+}
+
+TEST(Descriptor, PackUnpackRoundtrip) {
+  CommDescriptor d = desc("mpl", 7, {1, 2, 3});
+  PackBuffer pb;
+  d.pack(pb);
+  UnpackBuffer ub(pb.bytes());
+  EXPECT_EQ(CommDescriptor::unpack(ub), d);
+  EXPECT_TRUE(ub.empty());
+}
+
+TEST(DescriptorTable, PackUnpackRoundtrip) {
+  DescriptorTable t({desc("mpl", 3, {0}), desc("tcp", 3, {9, 9})});
+  PackBuffer pb;
+  t.pack(pb);
+  UnpackBuffer ub(pb.bytes());
+  EXPECT_EQ(DescriptorTable::unpack(ub), t);
+}
+
+TEST(DescriptorTable, PackedSizeIsTensOfBytes) {
+  // Paper §3.1: "the cost of communicating a few tens of bytes of
+  // descriptor table is insignificant" in the wide area -- check our tables
+  // are in that regime.
+  DescriptorTable t({desc("local", 3), desc("mpl", 3, {0, 0, 0, 1}),
+                     desc("tcp", 3, {0, 0, 0, 3})});
+  EXPECT_GT(t.packed_size(), 10u);
+  EXPECT_LT(t.packed_size(), 100u);
+}
+
+TEST(DescriptorTable, OrderEncodesPreference) {
+  DescriptorTable t({desc("mpl", 1), desc("tcp", 1)});
+  EXPECT_EQ(t.at(0).method, "mpl");
+  ASSERT_TRUE(t.find("tcp").has_value());
+  EXPECT_EQ(*t.find("tcp"), 1u);
+  EXPECT_FALSE(t.find("udp").has_value());
+}
+
+TEST(DescriptorTable, PrioritizeMovesToFront) {
+  DescriptorTable t({desc("mpl", 1), desc("udp", 1), desc("tcp", 1)});
+  EXPECT_TRUE(t.prioritize("tcp"));
+  EXPECT_EQ(t.at(0).method, "tcp");
+  EXPECT_EQ(t.at(1).method, "mpl");
+  EXPECT_EQ(t.at(2).method, "udp");
+  EXPECT_FALSE(t.prioritize("absent"));
+}
+
+TEST(DescriptorTable, RemoveDeletesAllMatching) {
+  DescriptorTable t({desc("tcp", 1), desc("mpl", 1), desc("tcp", 1)});
+  EXPECT_EQ(t.remove("tcp"), 2u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.remove("tcp"), 0u);
+}
+
+TEST(DescriptorTable, InsertAtPosition) {
+  DescriptorTable t({desc("mpl", 1)});
+  t.insert(0, desc("shm", 1));
+  t.insert(99, desc("tcp", 1));  // clamped to end
+  EXPECT_EQ(t.at(0).method, "shm");
+  EXPECT_EQ(t.at(1).method, "mpl");
+  EXPECT_EQ(t.at(2).method, "tcp");
+}
+
+TEST(DescriptorTable, EmptyTableBehaviour) {
+  DescriptorTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.context(), nexus::kNoContext);
+  PackBuffer pb;
+  t.pack(pb);
+  UnpackBuffer ub(pb.bytes());
+  EXPECT_TRUE(DescriptorTable::unpack(ub).empty());
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Model-based randomized tests: the DescriptorTable against a reference
+// model, and serialization under random mutation sequences.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "climate/grid.hpp"
+#include "nexus/descriptor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nexus;
+using util::Rng;
+
+CommDescriptor make_desc(Rng& rng) {
+  static const char* kMethods[] = {"local", "shm", "mpl", "tcp", "udp"};
+  CommDescriptor d;
+  d.method = kMethods[rng.next_below(5)];
+  d.context = static_cast<ContextId>(rng.next_below(16));
+  d.data.resize(rng.next_below(12));
+  for (auto& b : d.data) b = static_cast<std::uint8_t>(rng.next());
+  return d;
+}
+
+/// Reference model: a plain vector with the documented semantics.
+struct TableModel {
+  std::vector<CommDescriptor> v;
+
+  void add(CommDescriptor d) { v.push_back(std::move(d)); }
+  void insert(std::size_t pos, CommDescriptor d) {
+    if (pos > v.size()) pos = v.size();
+    v.insert(v.begin() + static_cast<std::ptrdiff_t>(pos), std::move(d));
+  }
+  void remove(const std::string& m) {
+    std::erase_if(v, [&](const CommDescriptor& d) { return d.method == m; });
+  }
+  void prioritize(const std::string& m) {
+    std::vector<CommDescriptor> front, back;
+    for (auto& d : v) (d.method == m ? front : back).push_back(d);
+    front.insert(front.end(), back.begin(), back.end());
+    v = std::move(front);
+  }
+};
+
+class DescriptorTableFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DescriptorTableFuzz, MatchesReferenceModelUnderRandomOps) {
+  Rng rng(GetParam());
+  DescriptorTable table;
+  TableModel model;
+  static const char* kMethods[] = {"local", "shm", "mpl", "tcp", "udp"};
+
+  for (int op = 0; op < 400; ++op) {
+    switch (rng.next_below(5)) {
+      case 0: {
+        CommDescriptor d = make_desc(rng);
+        table.add(d);
+        model.add(d);
+        break;
+      }
+      case 1: {
+        CommDescriptor d = make_desc(rng);
+        const auto pos = static_cast<std::size_t>(rng.next_below(10));
+        table.insert(pos, d);
+        model.insert(pos, d);
+        break;
+      }
+      case 2: {
+        const std::string m = kMethods[rng.next_below(5)];
+        table.remove(m);
+        model.remove(m);
+        break;
+      }
+      case 3: {
+        const std::string m = kMethods[rng.next_below(5)];
+        table.prioritize(m);
+        model.prioritize(m);
+        break;
+      }
+      case 4: {
+        // Serialization roundtrip must be the identity at any point.
+        util::PackBuffer pb;
+        table.pack(pb);
+        util::UnpackBuffer ub(pb.bytes());
+        DescriptorTable again = DescriptorTable::unpack(ub);
+        ASSERT_EQ(again, table);
+        break;
+      }
+    }
+    ASSERT_EQ(table.entries(), model.v) << "diverged after op " << op;
+    // find() agrees with a linear scan of the model.
+    const std::string probe = kMethods[rng.next_below(5)];
+    auto idx = table.find(probe);
+    std::optional<std::size_t> want;
+    for (std::size_t i = 0; i < model.v.size(); ++i) {
+      if (model.v[i].method == probe) {
+        want = i;
+        break;
+      }
+    }
+    ASSERT_EQ(idx, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DescriptorTableFuzz,
+                         ::testing::Values(11u, 12u, 13u, 99u));
+
+class RegridFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegridFuzz, StaysWithinSourceBoundsAndNearMean) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n_src = 2 + static_cast<int>(rng.next_below(60));
+    const int n_dst = 1 + static_cast<int>(rng.next_below(90));
+    std::vector<double> src(static_cast<std::size_t>(n_src));
+    double lo = 1e300, hi = -1e300, mean = 0;
+    for (auto& x : src) {
+      x = rng.uniform(-50.0, 50.0);
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+      mean += x;
+    }
+    mean /= n_src;
+
+    auto dst = climate::regrid_profile(src, n_dst);
+    ASSERT_EQ(dst.size(), static_cast<std::size_t>(n_dst));
+    double dmean = 0;
+    for (double x : dst) {
+      // Linear interpolation cannot overshoot the source range.
+      ASSERT_GE(x, lo - 1e-9);
+      ASSERT_LE(x, hi + 1e-9);
+      dmean += x;
+    }
+    dmean /= n_dst;
+    // Mean agreement is only meaningful when the destination actually
+    // samples the source densely; a 1-point "profile" may legitimately
+    // land anywhere in the range.
+    if (n_dst >= n_src && n_dst >= 8) {
+      EXPECT_NEAR(dmean, mean, 0.35 * (hi - lo) + 1e-9)
+          << "n_src=" << n_src << " n_dst=" << n_dst;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegridFuzz, ::testing::Values(5u, 6u, 7u));
+
+}  // namespace

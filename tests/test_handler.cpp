@@ -1,0 +1,47 @@
+// Unit tests for handler tables.
+#include <gtest/gtest.h>
+
+#include "nexus/handler.hpp"
+
+namespace {
+
+using nexus::Handler;
+using nexus::HandlerTable;
+
+Handler noop() {
+  return [](nexus::Context&, nexus::Endpoint&, nexus::util::UnpackBuffer&) {};
+}
+
+TEST(HandlerTable, RegisterAndLookup) {
+  HandlerTable t;
+  auto id = t.add("ping", noop());
+  EXPECT_EQ(id, HandlerTable::id_of("ping"));
+  EXPECT_TRUE(t.contains(id));
+  EXPECT_EQ(t.lookup(id).name, "ping");
+  EXPECT_EQ(t.lookup(id).kind, nexus::HandlerKind::NonThreaded);
+}
+
+TEST(HandlerTable, ThreadedKindPreserved) {
+  HandlerTable t;
+  auto id = t.add("worker", noop(), nexus::HandlerKind::Threaded);
+  EXPECT_EQ(t.lookup(id).kind, nexus::HandlerKind::Threaded);
+}
+
+TEST(HandlerTable, DuplicateNameThrows) {
+  HandlerTable t;
+  t.add("ping", noop());
+  EXPECT_THROW(t.add("ping", noop()), nexus::util::UsageError);
+}
+
+TEST(HandlerTable, UnknownIdThrows) {
+  HandlerTable t;
+  EXPECT_THROW(t.lookup(12345), nexus::util::UsageError);
+}
+
+TEST(HandlerTable, WireIdIsStableHash) {
+  // The id must be derivable on the sending side without coordination.
+  EXPECT_EQ(HandlerTable::id_of("exchange"),
+            nexus::util::fnv1a("exchange"));
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+// End-to-end integration: a metacomputing application shaped like the
+// paper's I-WAY scenarios.  A 4-rank compute cluster (partition 0) runs an
+// iterative minimpi solve; an instrument (partition 1) streams samples to
+// the cluster over UDP with a reliable TCP control channel; a
+// visualization station (partition 2) receives secured frame digests.
+// Multiple methods coexist in one program, chosen per link.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "minimpi/mpi.hpp"
+#include "nexus/runtime.hpp"
+
+namespace {
+
+using namespace nexus;
+
+TEST(Integration, MetacomputingPipeline) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::partitions({4, 1, 1});
+  opts.modules = {"local", "mpl", "tcp", "udp", "secure"};
+  opts.costs.udp_drop_prob = 0.0;  // determinism for the assertion below
+  Runtime rt(opts);
+
+  constexpr int kSamples = 12;
+  constexpr ContextId kInstrument = 4;
+  constexpr ContextId kStation = 5;
+  int frames_at_station = 0;
+  double final_energy = 0.0;
+
+  rt.run([&](Context& ctx) {
+    if (ctx.id() < 4) {
+      // --- compute cluster rank ---
+      minimpi::World mpi(ctx);
+      minimpi::Comm cluster = mpi.comm().split(0, static_cast<int>(ctx.id()));
+      // (the two service contexts call split with other colors below)
+      double accumulated = 0.0;
+      std::uint64_t samples = 0;
+      bool shutdown = false;
+      ctx.register_handler("sample",
+                           [&](Context&, Endpoint&, util::UnpackBuffer& ub) {
+                             accumulated += ub.get_f64();
+                             ++samples;
+                           });
+      ctx.register_handler("shutdown",
+                           [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                             shutdown = true;
+                           });
+
+      if (cluster.rank() == 0) {
+        // Leader: wait for the instrument's samples, reduce across the
+        // cluster each round, push a secured digest to the station.
+        Startpoint station = ctx.world_startpoint(kStation);
+        station.force_method("secure");
+        for (int round = 0; round < 3; ++round) {
+          ctx.wait_count(samples, static_cast<std::uint64_t>(kSamples) *
+                                      (round + 1) / 3);
+          auto totals = cluster.allreduce(std::vector<double>{accumulated},
+                                          minimpi::ReduceOp::Sum);
+          util::PackBuffer frame;
+          frame.put_i32(round);
+          frame.put_f64(totals[0]);
+          ctx.rsr(station, "frame", frame);
+        }
+        auto final_totals = cluster.allreduce(
+            std::vector<double>{accumulated}, minimpi::ReduceOp::Sum);
+        final_energy = final_totals[0];
+        // Reliable control: tell the instrument to stop (TCP, forced).
+        Startpoint instr = ctx.world_startpoint(kInstrument);
+        instr.force_method("tcp");
+        ctx.rsr(instr, "shutdown");
+      } else {
+        for (int round = 0; round < 4; ++round) {
+          cluster.allreduce(std::vector<double>{accumulated},
+                            minimpi::ReduceOp::Sum);
+        }
+      }
+      (void)shutdown;
+      return;
+    }
+
+    minimpi::World mpi(ctx);
+    mpi.comm().split(ctx.id() == kInstrument ? 1 : 2,
+                     static_cast<int>(ctx.id()));
+
+    if (ctx.id() == kInstrument) {
+      // --- instrument: lossy bulk samples + reliable stop control ---
+      bool stopped = false;
+      ctx.register_handler("shutdown",
+                           [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                             stopped = true;
+                           });
+      Startpoint cluster0 = ctx.world_startpoint(0);
+      cluster0.force_method("udp");  // bulk data: loss-tolerant
+      for (int s = 0; s < kSamples; ++s) {
+        util::PackBuffer pb;
+        pb.put_f64(1.0 + 0.5 * s);
+        ctx.rsr(cluster0, "sample", pb);
+        ctx.compute(5 * simnet::kMs);
+      }
+      ctx.wait([&] { return stopped; });
+      EXPECT_EQ(ctx.method_counters("udp").sends,
+                static_cast<std::uint64_t>(kSamples));
+      return;
+    }
+
+    // --- visualization station: consumes secured digests ---
+    std::uint64_t frames = 0;
+    double last_total = 0.0;
+    ctx.register_handler("frame",
+                         [&](Context&, Endpoint&, util::UnpackBuffer& ub) {
+                           ub.get_i32();
+                           last_total = ub.get_f64();
+                           ++frames;
+                         });
+    ctx.wait_count(frames, 3);
+    frames_at_station = static_cast<int>(frames);
+    EXPECT_GT(last_total, 0.0);
+    EXPECT_EQ(ctx.method_counters("secure").recvs, 3u);
+  });
+
+  EXPECT_EQ(frames_at_station, 3);
+  // Sum of samples: 12 samples of (1.0 + 0.5 s) = 12 + 0.5 * 66 = 45.
+  EXPECT_DOUBLE_EQ(final_energy, 45.0);
+
+  // Enquiry dump covers every context and shows the method mix.
+  const std::string report = rt.describe();
+  EXPECT_NE(report.find("6 contexts"), std::string::npos);
+  EXPECT_NE(report.find("udp"), std::string::npos);
+  EXPECT_NE(report.find("secure"), std::string::npos);
+}
+
+TEST(Integration, ThreadedHandlersChargeSwitchCost) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(2);
+  opts.modules = {"local", "mpl", "tcp"};
+  Runtime rt(opts);
+  Time inline_done = -1, threaded_done = -1;
+  rt.run(std::vector<std::function<void(Context&)>>{
+      [&](Context& ctx) {
+        std::uint64_t done = 0;
+        ctx.register_handler("inline",
+                             [&](Context& c, Endpoint&, util::UnpackBuffer&) {
+                               inline_done = c.now();
+                               ++done;
+                             });
+        ctx.register_handler(
+            "threaded",
+            [&](Context& c, Endpoint&, util::UnpackBuffer&) {
+              threaded_done = c.now();
+              ++done;
+            },
+            HandlerKind::Threaded);
+        ctx.wait_count(done, 2);
+      },
+      [&](Context& ctx) {
+        Startpoint sp = ctx.world_startpoint(0);
+        ctx.rsr(sp, "inline");
+        ctx.rsr(sp, "threaded");
+      }});
+  // Both executed; the threaded one carried the extra hand-off cost.
+  RuntimeOptions ref;
+  EXPECT_GT(inline_done, 0);
+  EXPECT_GT(threaded_done, inline_done);
+  EXPECT_GE(threaded_done - inline_done, ref.costs.threaded_handler_switch);
+}
+
+TEST(Integration, HandlersCanChainRsrsAcrossManyContexts) {
+  // A token circulates around a ring entirely inside handlers; the main
+  // loops only pump progress.  Exercises handler re-entrancy across the
+  // whole world.
+  constexpr int kRing = 5;
+  constexpr int kLaps = 10;
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(kRing);
+  opts.modules = {"local", "mpl", "tcp"};
+  Runtime rt(opts);
+  int final_hops = 0;
+  rt.run([&](Context& ctx) {
+    std::uint64_t finished = 0;
+    ctx.register_handler(
+        "token", [&](Context& c, Endpoint&, util::UnpackBuffer& ub) {
+          const int hops = ub.get_i32();
+          if (hops >= kRing * kLaps) {
+            final_hops = hops;
+            ++finished;
+            return;
+          }
+          Startpoint next =
+              c.world_startpoint((c.id() + 1) % kRing);
+          util::PackBuffer pb;
+          pb.put_i32(hops + 1);
+          c.rsr(next, "token", pb);
+          ++finished;
+        });
+    if (ctx.id() == 0) {
+      Startpoint first = ctx.world_startpoint(1);
+      util::PackBuffer pb;
+      pb.put_i32(1);
+      ctx.rsr(first, "token", pb);
+      ctx.wait_count(finished, kLaps);  // token passes ctx0 once per lap
+    } else {
+      ctx.wait_count(finished, kLaps);
+    }
+  });
+  EXPECT_EQ(final_hops, kRing * kLaps);
+}
+
+}  // namespace

@@ -1,0 +1,351 @@
+// Integration tests for the minimpi layer on Nexus.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "minimpi/mpi.hpp"
+#include "nexus/runtime.hpp"
+
+namespace {
+
+using namespace nexus;
+using minimpi::Comm;
+using minimpi::ReduceOp;
+using minimpi::Status;
+using minimpi::World;
+using util::Bytes;
+
+RuntimeOptions mpi_opts(std::size_t n, bool two_partitions = false) {
+  RuntimeOptions opts;
+  opts.topology = two_partitions
+                      ? simnet::Topology::two_partitions(n / 2, n - n / 2)
+                      : simnet::Topology::single_partition(n);
+  opts.modules = {"local", "mpl", "tcp"};
+  return opts;
+}
+
+Bytes bytes_of(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+TEST(MiniMpi, SendRecvBasic) {
+  Runtime rt(mpi_opts(2));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    if (comm.rank() == 0) {
+      comm.send(bytes_of("ping"), 1, 42);
+      Status st;
+      Bytes reply = comm.recv(1, 43, &st);
+      EXPECT_EQ(reply, bytes_of("pong"));
+      EXPECT_EQ(st.source, 1);
+      EXPECT_EQ(st.tag, 43);
+      EXPECT_EQ(st.size, 4u);
+    } else {
+      Bytes msg = comm.recv(0, 42);
+      EXPECT_EQ(msg, bytes_of("ping"));
+      comm.send(bytes_of("pong"), 0, 43);
+    }
+  });
+}
+
+TEST(MiniMpi, TagAndSourceMatching) {
+  Runtime rt(mpi_opts(2));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    if (comm.rank() == 0) {
+      comm.send(bytes_of("first"), 1, 1);
+      comm.send(bytes_of("second"), 1, 2);
+    } else {
+      // Receive out of send order by tag.
+      EXPECT_EQ(comm.recv(0, 2), bytes_of("second"));
+      EXPECT_EQ(comm.recv(0, 1), bytes_of("first"));
+    }
+  });
+}
+
+TEST(MiniMpi, WildcardsMatchAnything) {
+  Runtime rt(mpi_opts(2));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    if (comm.rank() == 0) {
+      comm.send(bytes_of("x"), 1, 7);
+    } else {
+      Status st;
+      comm.recv(minimpi::kAnySource, minimpi::kAnyTag, &st);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+    }
+  });
+}
+
+TEST(MiniMpi, UnexpectedMessagesQueueInOrder) {
+  Runtime rt(mpi_opts(2));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 5; ++i) {
+        util::PackBuffer pb;
+        pb.put_i32(i);
+        comm.send(pb.bytes(), 1, 9);
+      }
+    } else {
+      ctx.compute(50 * simnet::kMs);  // let them all arrive unexpected
+      for (int i = 0; i < 5; ++i) {
+        Bytes raw = comm.recv(0, 9);
+        util::UnpackBuffer ub(raw);
+        EXPECT_EQ(ub.get_i32(), i);  // FIFO per (src, tag)
+      }
+    }
+  });
+}
+
+TEST(MiniMpi, SsendCompletesOnlyAfterMatch) {
+  Runtime rt(mpi_opts(2));
+  Time ssend_done = -1, recv_posted = -1;
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    if (comm.rank() == 0) {
+      comm.ssend(bytes_of("sync"), 1, 5);
+      ssend_done = ctx.now();
+    } else {
+      ctx.compute(200 * simnet::kMs);  // delay the matching receive
+      recv_posted = ctx.now();
+      comm.recv(0, 5);
+    }
+  });
+  // The synchronous send cannot complete before the receiver posted.
+  EXPECT_GE(ssend_done, recv_posted);
+  EXPECT_GE(ssend_done, 200 * simnet::kMs);
+}
+
+TEST(MiniMpi, IsendIrecvWait) {
+  Runtime rt(mpi_opts(2));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    if (comm.rank() == 0) {
+      auto req = comm.isend(bytes_of("async"), 1, 3);
+      EXPECT_TRUE(comm.test(req));
+      comm.wait(req);
+    } else {
+      auto req = comm.irecv(0, 3);
+      Status st;
+      Bytes data = comm.wait(req, &st);
+      EXPECT_EQ(data, bytes_of("async"));
+      EXPECT_FALSE(req.valid());  // consumed
+      EXPECT_THROW(comm.wait(req), util::UsageError);
+    }
+  });
+}
+
+TEST(MiniMpi, SendRecvCrossPartitionUsesTcp) {
+  Runtime rt(mpi_opts(2, /*two_partitions=*/true));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    if (comm.rank() == 0) {
+      comm.send(bytes_of("far"), 1, 1);
+    } else {
+      comm.recv(0, 1);
+      EXPECT_GE(ctx.method_counters("tcp").recvs, 1u);
+      EXPECT_EQ(ctx.method_counters("mpl").recvs, 0u);
+    }
+  });
+}
+
+TEST(MiniMpi, SendDoublesRoundtrip) {
+  Runtime rt(mpi_opts(2));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    const std::vector<double> v{1.5, -2.25, 1e100, 0.0};
+    if (comm.rank() == 0) {
+      comm.send_doubles(v, 1, 8);
+    } else {
+      EXPECT_EQ(comm.recv_doubles(0, 8), v);
+    }
+  });
+}
+
+TEST(MiniMpi, OutOfRangeRankThrows) {
+  Runtime rt(mpi_opts(2));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    if (mpi.rank() == 0) {
+      EXPECT_THROW(mpi.comm().send({}, 5, 0), util::UsageError);
+      EXPECT_THROW(mpi.comm().send({}, -1, 0), util::UsageError);
+    }
+  });
+}
+
+class MiniMpiCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(MiniMpiCollectives, Barrier) {
+  const int n = GetParam();
+  Runtime rt(mpi_opts(static_cast<std::size_t>(n)));
+  std::vector<Time> after(static_cast<std::size_t>(n));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    // Stagger arrival times; the barrier must hold everyone until the last.
+    ctx.compute(static_cast<Time>(ctx.id()) * 10 * simnet::kMs);
+    mpi.comm().barrier();
+    after[ctx.id()] = ctx.now();
+  });
+  const Time latest_arrival = static_cast<Time>(n - 1) * 10 * simnet::kMs;
+  for (Time t : after) EXPECT_GE(t, latest_arrival);
+}
+
+TEST_P(MiniMpiCollectives, BcastFromEveryRoot) {
+  const int n = GetParam();
+  Runtime rt(mpi_opts(static_cast<std::size_t>(n)));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    for (int root = 0; root < n; ++root) {
+      Bytes data;
+      if (comm.rank() == root) data = bytes_of("from-" + std::to_string(root));
+      comm.bcast(data, root);
+      EXPECT_EQ(data, bytes_of("from-" + std::to_string(root)));
+    }
+  });
+}
+
+TEST_P(MiniMpiCollectives, ReduceAndAllreduce) {
+  const int n = GetParam();
+  Runtime rt(mpi_opts(static_cast<std::size_t>(n)));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    const double r = comm.rank();
+    std::vector<double> contrib{r, -r, 1.0};
+
+    auto sum = comm.reduce(contrib, ReduceOp::Sum, 0);
+    const double expect_sum = n * (n - 1) / 2.0;
+    if (comm.rank() == 0) {
+      ASSERT_EQ(sum.size(), 3u);
+      EXPECT_DOUBLE_EQ(sum[0], expect_sum);
+      EXPECT_DOUBLE_EQ(sum[1], -expect_sum);
+      EXPECT_DOUBLE_EQ(sum[2], n);
+    } else {
+      EXPECT_TRUE(sum.empty());
+    }
+
+    auto mx = comm.allreduce(contrib, ReduceOp::Max);
+    EXPECT_DOUBLE_EQ(mx[0], n - 1);
+    auto mn = comm.allreduce(contrib, ReduceOp::Min);
+    EXPECT_DOUBLE_EQ(mn[1], -(n - 1.0));
+  });
+}
+
+TEST_P(MiniMpiCollectives, GatherScatterRoundtrip) {
+  const int n = GetParam();
+  Runtime rt(mpi_opts(static_cast<std::size_t>(n)));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    Bytes mine = bytes_of("r" + std::to_string(comm.rank()));
+    auto gathered = comm.gather(mine, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(gathered.size(), static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(gathered[static_cast<std::size_t>(i)],
+                  bytes_of("r" + std::to_string(i)));
+      }
+    }
+    // Scatter back what was gathered.
+    Bytes got = comm.scatter(gathered, 0);
+    EXPECT_EQ(got, mine);
+  });
+}
+
+TEST_P(MiniMpiCollectives, AllgatherAndAlltoall) {
+  const int n = GetParam();
+  Runtime rt(mpi_opts(static_cast<std::size_t>(n)));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    auto all = comm.allgather(bytes_of("g" + std::to_string(comm.rank())));
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(all[static_cast<std::size_t>(i)],
+                bytes_of("g" + std::to_string(i)));
+    }
+
+    std::vector<Bytes> chunks;
+    for (int i = 0; i < n; ++i) {
+      chunks.push_back(
+          bytes_of(std::to_string(comm.rank()) + "->" + std::to_string(i)));
+    }
+    auto received = comm.alltoall(chunks);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(received[static_cast<std::size_t>(i)],
+                bytes_of(std::to_string(i) + "->" +
+                         std::to_string(comm.rank())));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, MiniMpiCollectives,
+                         ::testing::Values(1, 2, 3, 4, 7, 8));
+
+TEST(MiniMpiComm, SplitByParity) {
+  Runtime rt(mpi_opts(6));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // The sub-communicator must be fully functional.
+    auto sums = sub.allreduce(std::vector<double>{1.0}, ReduceOp::Sum);
+    EXPECT_DOUBLE_EQ(sums[0], 3.0);
+    // Messages on sub must not leak to world-tagged receives.
+    sub.barrier();
+    EXPECT_EQ(mpi.unexpected_count(), 0u);
+  });
+}
+
+TEST(MiniMpiComm, SplitModelsCoupledApplication) {
+  // 16 + 8 split of a 24-rank world over two partitions -- the climate
+  // configuration of §4.
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::two_partitions(16, 8);
+  opts.modules = {"local", "mpl", "tcp"};
+  Runtime rt(opts);
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    const int color = comm.rank() < 16 ? 0 : 1;
+    Comm model = comm.split(color, comm.rank());
+    EXPECT_EQ(model.size(), color == 0 ? 16 : 8);
+    model.barrier();
+    // Leaders exchange across partitions (this is the TCP path).
+    if (model.rank() == 0) {
+      const int peer_world = color == 0 ? 16 : 0;
+      Bytes flux = comm.sendrecv(bytes_of("flux"), peer_world, 77, peer_world,
+                                 77);
+      EXPECT_EQ(flux, bytes_of("flux"));
+      EXPECT_GE(ctx.method_counters("tcp").sends, 1u);
+    }
+  });
+}
+
+TEST(MiniMpiComm, DupIsIndependent) {
+  Runtime rt(mpi_opts(4));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    Comm copy = comm.dup();
+    EXPECT_EQ(copy.size(), comm.size());
+    EXPECT_EQ(copy.rank(), comm.rank());
+    copy.barrier();
+    comm.barrier();
+    EXPECT_EQ(mpi.unexpected_count(), 0u);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,251 @@
+// Edge cases and stress for the minimpi layer.
+#include <gtest/gtest.h>
+
+#include "minimpi/mpi.hpp"
+#include "nexus/runtime.hpp"
+
+namespace {
+
+using namespace nexus;
+using minimpi::Comm;
+using minimpi::ReduceOp;
+using minimpi::World;
+using util::Bytes;
+
+RuntimeOptions mpi_opts(std::size_t n) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(n);
+  opts.modules = {"local", "mpl", "tcp"};
+  return opts;
+}
+
+TEST(MiniMpiEdge, MismatchedReduceSizesThrow) {
+  Runtime rt(mpi_opts(2));
+  EXPECT_THROW(rt.run([&](Context& ctx) {
+                 World mpi(ctx);
+                 std::vector<double> contrib(
+                     mpi.rank() == 0 ? 3u : 4u, 1.0);  // inconsistent
+                 mpi.comm().reduce(contrib, ReduceOp::Sum, 0);
+               }),
+               util::UsageError);
+}
+
+TEST(MiniMpiEdge, ScatterChunkCountValidated) {
+  Runtime rt(mpi_opts(2));
+  EXPECT_THROW(rt.run([&](Context& ctx) {
+                 World mpi(ctx);
+                 std::vector<Bytes> chunks(1);  // needs 2
+                 mpi.comm().scatter(chunks, 0);
+               }),
+               util::UsageError);
+}
+
+TEST(MiniMpiEdge, AlltoallChunkCountValidated) {
+  Runtime rt(mpi_opts(2));
+  EXPECT_THROW(rt.run([&](Context& ctx) {
+                 World mpi(ctx);
+                 std::vector<Bytes> chunks(3);  // needs 2
+                 mpi.comm().alltoall(chunks);
+               }),
+               util::UsageError);
+}
+
+TEST(MiniMpiEdge, SplitRejectsNegativeColor) {
+  Runtime rt(mpi_opts(2));
+  EXPECT_THROW(rt.run([&](Context& ctx) {
+                 World mpi(ctx);
+                 mpi.comm().split(-1, 0);
+               }),
+               util::UsageError);
+}
+
+TEST(MiniMpiEdge, SplitOfSplitWorks) {
+  Runtime rt(mpi_opts(8));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& world = mpi.comm();
+    Comm half = world.split(world.rank() / 4, world.rank());     // 2 x 4
+    Comm quarter = half.split(half.rank() / 2, half.rank());     // 4 x 2
+    EXPECT_EQ(half.size(), 4);
+    EXPECT_EQ(quarter.size(), 2);
+    auto sums = quarter.allreduce(std::vector<double>{1.0}, ReduceOp::Sum);
+    EXPECT_DOUBLE_EQ(sums[0], 2.0);
+    // No stray messages between the levels.
+    quarter.barrier();
+    half.barrier();
+    world.barrier();
+    EXPECT_EQ(mpi.unexpected_count(), 0u);
+  });
+}
+
+TEST(MiniMpiEdge, SplitKeysReorderRanks) {
+  Runtime rt(mpi_opts(4));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& world = mpi.comm();
+    // Reverse the order with descending keys.
+    Comm rev = world.split(0, world.size() - world.rank());
+    EXPECT_EQ(rev.rank(), world.size() - 1 - world.rank());
+    EXPECT_EQ(rev.context_of(0),
+              static_cast<ContextId>(world.size() - 1));
+  });
+}
+
+TEST(MiniMpiEdge, WildcardAndSpecificRecvsCoexist) {
+  Runtime rt(mpi_opts(3));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    if (comm.rank() == 0) {
+      // Post a specific recv for rank 2 first, then a wildcard; rank 1's
+      // message must bypass the specific one and match the wildcard.
+      auto specific = comm.irecv(2, 5);
+      auto wild = comm.irecv(minimpi::kAnySource, minimpi::kAnyTag);
+      minimpi::Status st;
+      Bytes w = comm.wait(wild, &st);
+      EXPECT_EQ(st.source, 1);
+      Bytes s = comm.wait(specific, &st);
+      EXPECT_EQ(st.source, 2);
+    } else if (comm.rank() == 1) {
+      ctx.compute(10 * simnet::kMs);
+      comm.send(Bytes{1}, 0, 9);
+    } else {
+      ctx.compute(30 * simnet::kMs);  // arrives after rank 1's message
+      comm.send(Bytes{2}, 0, 5);
+    }
+  });
+}
+
+TEST(MiniMpiEdge, ManySmallMessagesStress) {
+  constexpr int kMsgs = 300;
+  Runtime rt(mpi_opts(4));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    for (int i = 0; i < kMsgs; ++i) {
+      util::PackBuffer pb;
+      pb.put_i32(i);
+      comm.send(pb.bytes(), next, 3);
+    }
+    for (int i = 0; i < kMsgs; ++i) {
+      Bytes raw = comm.recv(prev, 3);
+      util::UnpackBuffer ub(raw);
+      EXPECT_EQ(ub.get_i32(), i);  // per-link FIFO survives the flood
+    }
+    comm.barrier();
+    EXPECT_EQ(mpi.unexpected_count(), 0u);
+  });
+}
+
+TEST(MiniMpiEdge, CollectivesBackToBackDoNotCrossMatch) {
+  Runtime rt(mpi_opts(4));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    // Rapid-fire mixed collectives; sequence-derived tags must keep every
+    // round separate even though ranks enter at staggered times.
+    for (int round = 0; round < 10; ++round) {
+      ctx.compute(static_cast<Time>(ctx.id()) * simnet::kMs);
+      auto v = comm.allreduce(
+          std::vector<double>{static_cast<double>(round)}, ReduceOp::Max);
+      EXPECT_DOUBLE_EQ(v[0], round);
+      Bytes b;
+      if (comm.rank() == round % comm.size()) {
+        util::PackBuffer pb;
+        pb.put_i32(round);
+        b = pb.take();
+      }
+      comm.bcast(b, round % comm.size());
+      util::UnpackBuffer ub(b);
+      EXPECT_EQ(ub.get_i32(), round);
+    }
+  });
+}
+
+TEST(MiniMpiEdge, IprobeSeesArrivedMessageWithoutConsuming) {
+  Runtime rt(mpi_opts(2));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    if (comm.rank() == 0) {
+      EXPECT_FALSE(comm.iprobe(1, 4).has_value());  // nothing yet
+      ctx.compute(20 * simnet::kMs);                // let it arrive
+      auto st = comm.iprobe(1, 4);
+      ASSERT_TRUE(st.has_value());
+      EXPECT_EQ(st->source, 1);
+      EXPECT_EQ(st->size, 3u);
+      // Probe again: still there (not consumed).
+      EXPECT_TRUE(comm.iprobe(1, 4).has_value());
+      EXPECT_EQ(comm.recv(1, 4), (Bytes{7, 8, 9}));
+      EXPECT_FALSE(comm.iprobe(1, 4).has_value());  // now consumed
+    } else {
+      comm.send(Bytes{7, 8, 9}, 0, 4);
+    }
+  });
+}
+
+TEST(MiniMpiEdge, BlockingProbeWaitsForArrival) {
+  Runtime rt(mpi_opts(2));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    if (comm.rank() == 0) {
+      minimpi::Status st = comm.probe(minimpi::kAnySource, minimpi::kAnyTag);
+      EXPECT_EQ(st.source, 1);
+      EXPECT_EQ(st.tag, 6);
+      EXPECT_GE(ctx.now(), 100 * simnet::kMs);  // really waited
+      comm.recv(st.source, st.tag);
+    } else {
+      ctx.compute(100 * simnet::kMs);
+      comm.send(Bytes{1}, 0, 6);
+    }
+  });
+}
+
+TEST(MiniMpiEdge, WaitAnyReturnsFirstCompleted) {
+  Runtime rt(mpi_opts(3));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    if (comm.rank() == 0) {
+      std::vector<Comm::Request> reqs;
+      reqs.push_back(comm.irecv(1, 1));  // arrives late
+      reqs.push_back(comm.irecv(2, 2));  // arrives early
+      const std::size_t first = comm.wait_any(reqs);
+      EXPECT_EQ(first, 1u);
+      EXPECT_EQ(comm.wait(reqs[1]), Bytes{2});
+      EXPECT_EQ(comm.wait(reqs[0]), Bytes{1});
+    } else if (comm.rank() == 1) {
+      ctx.compute(200 * simnet::kMs);
+      comm.send(Bytes{1}, 0, 1);
+    } else {
+      ctx.compute(10 * simnet::kMs);
+      comm.send(Bytes{2}, 0, 2);
+    }
+  });
+}
+
+TEST(MiniMpiEdge, WaitAnyWithNoValidRequestThrows) {
+  Runtime rt(mpi_opts(1));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    std::vector<Comm::Request> empty(2);  // default = invalid
+    EXPECT_THROW(mpi.comm().wait_any(empty), util::UsageError);
+  });
+}
+
+TEST(MiniMpiEdge, SsendToSelfCompletesViaLocalLoop) {
+  Runtime rt(mpi_opts(1));
+  rt.run([&](Context& ctx) {
+    World mpi(ctx);
+    Comm& comm = mpi.comm();
+    auto req = comm.irecv(0, 1);  // post first: ssend needs the match
+    comm.ssend(Bytes{42}, 0, 1);
+    Bytes b = comm.wait(req);
+    EXPECT_EQ(b, Bytes{42});
+  });
+}
+
+}  // namespace

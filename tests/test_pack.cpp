@@ -1,0 +1,174 @@
+// Unit and property tests for the XDR-like pack/unpack buffers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/pack.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using nexus::util::Bytes;
+using nexus::util::PackBuffer;
+using nexus::util::Rng;
+using nexus::util::UnpackBuffer;
+
+TEST(Pack, FixedWidthRoundtrip) {
+  PackBuffer pb;
+  pb.put_u8(0xab);
+  pb.put_u16(0x1234);
+  pb.put_u32(0xdeadbeef);
+  pb.put_u64(0x0123456789abcdefull);
+  pb.put_i32(-42);
+  pb.put_i64(-1234567890123456789ll);
+  pb.put_bool(true);
+  pb.put_bool(false);
+
+  UnpackBuffer ub(pb.bytes());
+  EXPECT_EQ(ub.get_u8(), 0xab);
+  EXPECT_EQ(ub.get_u16(), 0x1234);
+  EXPECT_EQ(ub.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(ub.get_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(ub.get_i32(), -42);
+  EXPECT_EQ(ub.get_i64(), -1234567890123456789ll);
+  EXPECT_TRUE(ub.get_bool());
+  EXPECT_FALSE(ub.get_bool());
+  EXPECT_TRUE(ub.empty());
+}
+
+TEST(Pack, BigEndianWireFormat) {
+  PackBuffer pb;
+  pb.put_u32(0x01020304);
+  const Bytes& b = pb.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[1], 0x02);
+  EXPECT_EQ(b[2], 0x03);
+  EXPECT_EQ(b[3], 0x04);
+}
+
+TEST(Pack, FloatBitPatterns) {
+  PackBuffer pb;
+  pb.put_f32(3.14159f);
+  pb.put_f64(-2.718281828459045);
+  pb.put_f64(std::numeric_limits<double>::infinity());
+  pb.put_f64(std::numeric_limits<double>::denorm_min());
+
+  UnpackBuffer ub(pb.bytes());
+  EXPECT_EQ(ub.get_f32(), 3.14159f);
+  EXPECT_EQ(ub.get_f64(), -2.718281828459045);
+  EXPECT_TRUE(std::isinf(ub.get_f64()));
+  EXPECT_EQ(ub.get_f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(Pack, NanSurvivesRoundtrip) {
+  PackBuffer pb;
+  pb.put_f64(std::nan(""));
+  UnpackBuffer ub(pb.bytes());
+  EXPECT_TRUE(std::isnan(ub.get_f64()));
+}
+
+TEST(Pack, StringsAndBytes) {
+  PackBuffer pb;
+  pb.put_string("hello, nexus");
+  pb.put_string("");
+  pb.put_string(std::string("embedded\0null", 13));
+  pb.put_bytes(Bytes{1, 2, 3});
+
+  UnpackBuffer ub(pb.bytes());
+  EXPECT_EQ(ub.get_string(), "hello, nexus");
+  EXPECT_EQ(ub.get_string(), "");
+  EXPECT_EQ(ub.get_string(), std::string("embedded\0null", 13));
+  EXPECT_EQ(ub.get_bytes(), (Bytes{1, 2, 3}));
+}
+
+TEST(Pack, BytesViewIsZeroCopy) {
+  PackBuffer pb;
+  pb.put_bytes(Bytes{9, 8, 7, 6});
+  UnpackBuffer ub(pb.bytes());
+  auto view = ub.get_bytes_view();
+  ASSERT_EQ(view.size(), 4u);
+  EXPECT_EQ(view.data(), pb.bytes().data() + 4);  // past the length prefix
+}
+
+TEST(Pack, F64VectorRoundtrip) {
+  std::vector<double> v{0.0, -1.5, 1e300, 1e-300};
+  PackBuffer pb;
+  pb.put_f64_vector(v);
+  UnpackBuffer ub(pb.bytes());
+  EXPECT_EQ(ub.get_f64_vector(), v);
+}
+
+TEST(Unpack, TruncationThrows) {
+  PackBuffer pb;
+  pb.put_u32(7);
+  UnpackBuffer ub(pb.bytes());
+  EXPECT_EQ(ub.get_u16(), 0u);
+  EXPECT_EQ(ub.get_u16(), 7u);
+  EXPECT_THROW(ub.get_u8(), nexus::util::UnpackError);
+}
+
+TEST(Unpack, BogusLengthPrefixThrows) {
+  PackBuffer pb;
+  pb.put_u32(1000000);  // claims a megabyte that is not there
+  UnpackBuffer ub(pb.bytes());
+  EXPECT_THROW(ub.get_string(), nexus::util::UnpackError);
+}
+
+TEST(Unpack, RemainingTracksPosition) {
+  PackBuffer pb;
+  pb.put_u64(1);
+  pb.put_u32(2);
+  UnpackBuffer ub(pb.bytes());
+  EXPECT_EQ(ub.remaining(), 12u);
+  ub.get_u64();
+  EXPECT_EQ(ub.remaining(), 4u);
+  ub.get_u32();
+  EXPECT_TRUE(ub.empty());
+}
+
+TEST(Pack, Fnv1aStableValues) {
+  // Reference values for the standard FNV-1a test vectors.
+  EXPECT_EQ(nexus::util::fnv1a(""), 14695981039346656037ull);
+  EXPECT_EQ(nexus::util::fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_NE(nexus::util::fnv1a("ping"), nexus::util::fnv1a("pong"));
+}
+
+// Property: random sequences of typed puts always unpack to the same values.
+class PackPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PackPropertyTest, RandomSequenceRoundtrip) {
+  Rng rng(GetParam());
+  PackBuffer pb;
+  std::vector<std::pair<int, std::uint64_t>> script;
+  for (int i = 0; i < 200; ++i) {
+    const int op = static_cast<int>(rng.next_below(5));
+    const std::uint64_t v = rng.next();
+    script.emplace_back(op, v);
+    switch (op) {
+      case 0: pb.put_u8(static_cast<std::uint8_t>(v)); break;
+      case 1: pb.put_u32(static_cast<std::uint32_t>(v)); break;
+      case 2: pb.put_u64(v); break;
+      case 3: pb.put_f64(static_cast<double>(v) * 1e-3); break;
+      case 4: pb.put_string(std::to_string(v)); break;
+    }
+  }
+  UnpackBuffer ub(pb.bytes());
+  for (const auto& [op, v] : script) {
+    switch (op) {
+      case 0: EXPECT_EQ(ub.get_u8(), static_cast<std::uint8_t>(v)); break;
+      case 1: EXPECT_EQ(ub.get_u32(), static_cast<std::uint32_t>(v)); break;
+      case 2: EXPECT_EQ(ub.get_u64(), v); break;
+      case 3: EXPECT_EQ(ub.get_f64(), static_cast<double>(v) * 1e-3); break;
+      case 4: EXPECT_EQ(ub.get_string(), std::to_string(v)); break;
+    }
+  }
+  EXPECT_TRUE(ub.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 42u, 12345u));
+
+}  // namespace

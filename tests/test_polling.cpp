@@ -1,0 +1,235 @@
+// Tests for the unified polling engine: skip_poll, selective polling,
+// blocking pollers, adaptive skips, and virtual-time fast-forwarding.
+#include <gtest/gtest.h>
+
+#include "nexus/runtime.hpp"
+
+namespace {
+
+using namespace nexus;
+using simnet::kUs;
+
+RuntimeOptions base_opts(simnet::Topology topo) {
+  RuntimeOptions opts;
+  opts.topology = std::move(topo);
+  opts.modules = {"local", "mpl", "tcp"};
+  return opts;
+}
+
+TEST(Polling, SkipPollThrottlesExpensiveMethod) {
+  Runtime rt(base_opts(simnet::Topology::single_partition(1)));
+  rt.run([&](Context& ctx) {
+    ctx.set_skip_poll("tcp", 10);
+    EXPECT_EQ(ctx.skip_poll("tcp"), 10u);
+    const auto tcp_before = ctx.method_counters("tcp").polls;
+    const auto mpl_before = ctx.method_counters("mpl").polls;
+    for (int i = 0; i < 1000; ++i) ctx.progress();
+    EXPECT_EQ(ctx.method_counters("mpl").polls - mpl_before, 1000u);
+    EXPECT_EQ(ctx.method_counters("tcp").polls - tcp_before, 100u);
+  });
+}
+
+TEST(Polling, IterationCostMatchesCostModel) {
+  RuntimeOptions opts = base_opts(simnet::Topology::single_partition(1));
+  Runtime rt(opts);
+  rt.run([&](Context& ctx) {
+    const SimCostParams& c = opts.costs;
+    const Time expected_full = c.poll_iteration_overhead + c.local_poll_cost +
+                               c.mpl_poll_cost + c.tcp_poll_cost;
+    EXPECT_EQ(ctx.polling_engine().full_iteration_cost(), expected_full);
+
+    const Time t0 = ctx.now();
+    for (int i = 0; i < 100; ++i) ctx.progress();
+    EXPECT_EQ(ctx.now() - t0, 100 * expected_full);
+  });
+}
+
+TEST(Polling, DisablingMethodRemovesItsCost) {
+  RuntimeOptions opts = base_opts(simnet::Topology::single_partition(1));
+  Runtime rt(opts);
+  rt.run([&](Context& ctx) {
+    ctx.set_poll_enabled("tcp", false);
+    EXPECT_FALSE(ctx.poll_enabled("tcp"));
+    const SimCostParams& c = opts.costs;
+    const Time t0 = ctx.now();
+    for (int i = 0; i < 50; ++i) ctx.progress();
+    EXPECT_EQ(ctx.now() - t0,
+              50 * (c.poll_iteration_overhead + c.local_poll_cost +
+                    c.mpl_poll_cost));
+  });
+}
+
+TEST(Polling, SkipPollAmortizesCost) {
+  RuntimeOptions opts = base_opts(simnet::Topology::single_partition(1));
+  Runtime rt(opts);
+  rt.run([&](Context& ctx) {
+    ctx.set_skip_poll("tcp", 20);
+    const SimCostParams& c = opts.costs;
+    const Time t0 = ctx.now();
+    for (int i = 0; i < 200; ++i) ctx.progress();
+    const Time base = c.poll_iteration_overhead + c.local_poll_cost +
+                      c.mpl_poll_cost;
+    EXPECT_EQ(ctx.now() - t0, 200 * base + 10 * c.tcp_poll_cost);
+  });
+}
+
+TEST(Polling, UnknownMethodThrows) {
+  Runtime rt(base_opts(simnet::Topology::single_partition(1)));
+  rt.run([&](Context& ctx) {
+    EXPECT_THROW(ctx.set_skip_poll("nope", 2), util::MethodError);
+    EXPECT_THROW(ctx.skip_poll("nope"), util::MethodError);
+    EXPECT_THROW(ctx.set_poll_enabled("nope", false), util::MethodError);
+  });
+}
+
+TEST(Polling, DetectionLatencyGrowsWithSkip) {
+  // Cross-partition zero-byte RSR: the receiver's detection of the TCP
+  // message is delayed by its skip_poll schedule.
+  auto one_way = [](std::uint64_t skip) {
+    RuntimeOptions opts = base_opts(simnet::Topology::two_partitions(1, 1));
+    Runtime rt(opts);
+    Time delivered = -1;
+    rt.run(std::vector<std::function<void(Context&)>>{
+        [&](Context& ctx) {
+          ctx.set_skip_poll("tcp", skip);
+          std::uint64_t done = 0;
+          ctx.register_handler("noop",
+                               [&](Context& c, Endpoint&,
+                                   util::UnpackBuffer&) {
+                                 delivered = c.now();
+                                 ++done;
+                               });
+          ctx.wait_count(done, 1);
+        },
+        [&](Context& ctx) {
+          Startpoint sp = ctx.world_startpoint(0);
+          ctx.rsr(sp, "noop");
+        }});
+    return delivered;
+  };
+
+  const Time t1 = one_way(1);
+  const Time t50 = one_way(50);
+  const Time t500 = one_way(500);
+  EXPECT_LT(t1, t50);
+  EXPECT_LT(t50, t500);
+  // skip=1 detection is within a couple of full iterations of the latency.
+  RuntimeOptions opts = base_opts(simnet::Topology::two_partitions(1, 1));
+  EXPECT_GE(t1, opts.costs.tcp_latency);
+  EXPECT_LE(t1, opts.costs.tcp_latency + 2 * simnet::kMs);
+}
+
+TEST(Polling, FastForwardMatchesExplicitSpinning) {
+  // The analytic fast-forward must land on the same detection time as an
+  // explicitly spun poll loop.
+  auto run_once = [](bool spin) {
+    RuntimeOptions opts = base_opts(simnet::Topology::two_partitions(1, 1));
+    Runtime rt(opts);
+    Time delivered = -1;
+    rt.run(std::vector<std::function<void(Context&)>>{
+        [&](Context& ctx) {
+          ctx.set_skip_poll("tcp", 7);
+          std::uint64_t done = 0;
+          ctx.register_handler("noop",
+                               [&](Context& c, Endpoint&,
+                                   util::UnpackBuffer&) {
+                                 delivered = c.now();
+                                 ++done;
+                               });
+          if (spin) {
+            while (done < 1) ctx.progress();  // no fast-forward path
+          } else {
+            ctx.wait_count(done, 1);  // fast-forward path
+          }
+        },
+        [&](Context& ctx) {
+          Startpoint sp = ctx.world_startpoint(0);
+          ctx.rsr(sp, "noop");
+        }});
+    return delivered;
+  };
+
+  // The two paths agree up to one poll-loop iteration of phase slack
+  // (blocking + backfill cannot recover a partial iteration).
+  RuntimeOptions opts = base_opts(simnet::Topology::two_partitions(1, 1));
+  const Time one_iter = opts.costs.poll_iteration_overhead +
+                        opts.costs.local_poll_cost + opts.costs.mpl_poll_cost +
+                        opts.costs.tcp_poll_cost;
+  const Time spin = run_once(true);
+  const Time ff = run_once(false);
+  EXPECT_NEAR(static_cast<double>(spin), static_cast<double>(ff),
+              static_cast<double>(one_iter));
+}
+
+TEST(Polling, BlockingPollerCutsIterationCost) {
+  RuntimeOptions opts = base_opts(simnet::Topology::single_partition(1));
+  Runtime rt(opts);
+  rt.run([&](Context& ctx) {
+    const Time full = ctx.polling_engine().full_iteration_cost();
+    ctx.set_blocking_poller("tcp", true);
+    const Time with_blocking = ctx.polling_engine().full_iteration_cost();
+    EXPECT_EQ(full - with_blocking,
+              opts.costs.tcp_poll_cost - opts.costs.blocking_check_cost);
+    // mpl does not support blocking service.
+    EXPECT_THROW(ctx.set_blocking_poller("mpl", true), util::MethodError);
+  });
+}
+
+TEST(Polling, BlockingPollerStillDeliversTcp) {
+  RuntimeOptions opts = base_opts(simnet::Topology::two_partitions(1, 1));
+  Runtime rt(opts);
+  std::uint64_t got = 0;
+  rt.run(std::vector<std::function<void(Context&)>>{
+      [&](Context& ctx) {
+        ctx.set_blocking_poller("tcp", true);
+        ctx.register_handler("noop",
+                             [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                               ++got;
+                             });
+        ctx.wait_count(got, 1);
+      },
+      [&](Context& ctx) {
+        Startpoint sp = ctx.world_startpoint(0);
+        ctx.rsr(sp, "noop");
+      }});
+  EXPECT_EQ(got, 1u);
+}
+
+TEST(Polling, AdaptiveSkipEscalatesWhenIdleAndResetsOnHit) {
+  Runtime rt(base_opts(simnet::Topology::two_partitions(1, 1)));
+  rt.run(std::vector<std::function<void(Context&)>>{
+      [&](Context& ctx) {
+        ctx.set_adaptive_poll("tcp", true, /*miss_threshold=*/4,
+                              /*max_skip=*/64);
+        // Idle polling: the tcp skip should escalate toward the cap.
+        for (int i = 0; i < 2000; ++i) ctx.progress();
+        EXPECT_EQ(ctx.skip_poll("tcp"), 64u);
+        // Now receive one tcp message: skip resets to 1.
+        std::uint64_t done = 0;
+        ctx.register_handler("noop",
+                             [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                               ++done;
+                             });
+        ctx.wait_count(done, 1);
+        EXPECT_EQ(ctx.skip_poll("tcp"), 1u);
+      },
+      [&](Context& ctx) {
+        ctx.compute(100 * simnet::kMs);  // let the receiver idle first
+        Startpoint sp = ctx.world_startpoint(0);
+        ctx.rsr(sp, "noop");
+      }});
+}
+
+TEST(Polling, ComputeWithPollingInterleaves) {
+  Runtime rt(base_opts(simnet::Topology::single_partition(1)));
+  rt.run([&](Context& ctx) {
+    const auto polls_before = ctx.method_counters("mpl").polls;
+    const Time t0 = ctx.now();
+    ctx.compute_with_polling(10 * simnet::kMs, 1 * simnet::kMs);
+    EXPECT_EQ(ctx.method_counters("mpl").polls - polls_before, 10u);
+    EXPECT_GE(ctx.now() - t0, 10 * simnet::kMs);
+    EXPECT_THROW(ctx.compute_with_polling(1, 0), util::UsageError);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Property-style tests of the polling engine's cost arithmetic: for any
+// combination of skip values and enabled flags, N iterations must consume
+// exactly the modelled virtual time and poll counters must telescope, and
+// the analytic fast-forward must agree with explicit spinning.
+#include <gtest/gtest.h>
+
+#include "nexus/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nexus;
+
+struct SkipCase {
+  std::uint64_t mpl_skip;
+  std::uint64_t tcp_skip;
+  bool tcp_enabled;
+};
+
+class PollingCostSweep : public ::testing::TestWithParam<SkipCase> {};
+
+TEST_P(PollingCostSweep, IterationCostAndCountersExact) {
+  const SkipCase sc = GetParam();
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(1);
+  opts.modules = {"local", "mpl", "tcp"};
+  Runtime rt(opts);
+  rt.run([&](Context& ctx) {
+    ctx.set_skip_poll("mpl", sc.mpl_skip);
+    ctx.set_skip_poll("tcp", sc.tcp_skip);
+    ctx.set_poll_enabled("tcp", sc.tcp_enabled);
+
+    constexpr std::uint64_t kIters = 997;  // prime: exercises remainders
+    const auto mpl0 = ctx.method_counters("mpl").polls;
+    const auto tcp0 = ctx.method_counters("tcp").polls;
+    const Time t0 = ctx.now();
+    for (std::uint64_t i = 0; i < kIters; ++i) ctx.progress();
+
+    const SimCostParams& c = opts.costs;
+    const std::uint64_t mpl_polls = kIters / sc.mpl_skip;
+    const std::uint64_t tcp_polls = sc.tcp_enabled ? kIters / sc.tcp_skip : 0;
+    const Time expected =
+        static_cast<Time>(kIters) *
+            (c.poll_iteration_overhead + c.local_poll_cost) +
+        static_cast<Time>(mpl_polls) * c.mpl_poll_cost +
+        static_cast<Time>(tcp_polls) * c.tcp_poll_cost;
+
+    EXPECT_EQ(ctx.now() - t0, expected);
+    EXPECT_EQ(ctx.method_counters("mpl").polls - mpl0, mpl_polls);
+    EXPECT_EQ(ctx.method_counters("tcp").polls - tcp0, tcp_polls);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, PollingCostSweep,
+    ::testing::Values(SkipCase{1, 1, true}, SkipCase{1, 7, true},
+                      SkipCase{3, 7, true}, SkipCase{1, 1000, true},
+                      SkipCase{5, 12000, true}, SkipCase{1, 1, false},
+                      SkipCase{2, 9999, false}));
+
+class FastForwardEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FastForwardEquivalence, MatchesSpinWithinOneIteration) {
+  // One cross-partition message; the receiver either spins explicitly or
+  // uses wait()'s analytic fast-forward.  Delivery clocks must agree to
+  // within one full poll-loop iteration (phase slack of block+backfill).
+  const std::uint64_t skip = GetParam();
+  auto run_once = [&](bool spin) {
+    RuntimeOptions opts;
+    opts.topology = simnet::Topology::two_partitions(1, 1);
+    opts.modules = {"local", "mpl", "tcp"};
+    Runtime rt(opts);
+    Time delivered = -1;
+    rt.run(std::vector<std::function<void(Context&)>>{
+        [&](Context& ctx) {
+          ctx.set_skip_poll("tcp", skip);
+          std::uint64_t done = 0;
+          ctx.register_handler("noop",
+                               [&](Context& c, Endpoint&,
+                                   util::UnpackBuffer&) {
+                                 delivered = c.now();
+                                 ++done;
+                               });
+          if (spin) {
+            while (done < 1) ctx.progress();
+          } else {
+            ctx.wait_count(done, 1);
+          }
+        },
+        [&](Context& ctx) {
+          ctx.compute(3 * simnet::kMs);  // desynchronize the phases
+          Startpoint sp = ctx.world_startpoint(0);
+          ctx.rsr(sp, "noop");
+        }});
+    return delivered;
+  };
+
+  RuntimeOptions opts;
+  const Time one_iter = opts.costs.poll_iteration_overhead +
+                        opts.costs.local_poll_cost + opts.costs.mpl_poll_cost +
+                        opts.costs.tcp_poll_cost;
+  const Time spin = run_once(true);
+  const Time ff = run_once(false);
+  EXPECT_NEAR(static_cast<double>(spin), static_cast<double>(ff),
+              static_cast<double>(one_iter))
+      << "skip=" << skip;
+}
+
+INSTANTIATE_TEST_SUITE_P(Skips, FastForwardEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 5u, 13u, 64u, 255u,
+                                           1024u));
+
+TEST(PollingProperty, CountersTelescopeUnderMixedTraffic) {
+  // Random mix of sends, computes, and waits: for every method the polls
+  // counter must equal iterations/skip exactly at the end, however the
+  // iterations were accumulated (live polls, bulk fast-forwards, idle
+  // backfills).
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::two_partitions(1, 1);
+  opts.modules = {"local", "mpl", "tcp"};
+  Runtime rt(opts);
+  rt.run(std::vector<std::function<void(Context&)>>{
+      [&](Context& ctx) {
+        ctx.set_skip_poll("tcp", 17);
+        std::uint64_t got = 0;
+        ctx.register_handler("msg",
+                             [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                               ++got;
+                             });
+        util::Rng rng(3);
+        std::uint64_t waited = 0;
+        while (waited < 40) {
+          if (rng.chance(0.5)) {
+            ctx.compute(static_cast<Time>(rng.next_below(500)) *
+                        simnet::kUs);
+          }
+          ctx.wait_count(got, ++waited);
+        }
+        const std::uint64_t iters = ctx.polling_engine().iterations();
+        EXPECT_EQ(ctx.method_counters("mpl").polls, iters);
+        EXPECT_EQ(ctx.method_counters("local").polls, iters);
+        EXPECT_EQ(ctx.method_counters("tcp").polls, iters / 17);
+      },
+      [&](Context& ctx) {
+        util::Rng rng(4);
+        Startpoint sp = ctx.world_startpoint(0);
+        for (int i = 0; i < 40; ++i) {
+          ctx.compute(static_cast<Time>(rng.next_below(2000)) * simnet::kUs);
+          ctx.rsr(sp, "msg");
+        }
+      }});
+}
+
+TEST(PollingProperty, DisabledMethodNeverPolled) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(1);
+  opts.modules = {"local", "mpl", "tcp"};
+  Runtime rt(opts);
+  rt.run([&](Context& ctx) {
+    ctx.set_poll_enabled("tcp", false);
+    for (int i = 0; i < 500; ++i) ctx.progress();
+    EXPECT_EQ(ctx.method_counters("tcp").polls, 0u);
+    // Re-enabling resumes from the shared iteration counter.
+    ctx.set_poll_enabled("tcp", true);
+    const auto before = ctx.method_counters("tcp").polls;
+    for (int i = 0; i < 100; ++i) ctx.progress();
+    EXPECT_EQ(ctx.method_counters("tcp").polls - before, 100u);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Tests for the thread-safe queue backing the realtime fabric.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/queues.hpp"
+
+namespace {
+
+using nexus::util::ConcurrentQueue;
+
+TEST(ConcurrentQueue, FifoOrder) {
+  ConcurrentQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i);
+  EXPECT_EQ(q.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(ConcurrentQueue, MoveOnlyPayloads) {
+  ConcurrentQueue<std::unique_ptr<int>> q;
+  q.push(std::make_unique<int>(7));
+  auto v = q.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+TEST(ConcurrentQueue, PopWaitBlocksUntilPush) {
+  ConcurrentQueue<int> q;
+  std::optional<int> got;
+  std::thread consumer([&] { got = q.pop_wait(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.push(42);
+  consumer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42);
+}
+
+TEST(ConcurrentQueue, CloseWakesBlockedConsumer) {
+  ConcurrentQueue<int> q;
+  std::optional<int> got = 1;  // sentinel: must become nullopt
+  std::thread consumer([&] { got = q.pop_wait(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_FALSE(got.has_value());
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(ConcurrentQueue, CloseDrainsRemainingItemsFirst) {
+  ConcurrentQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop_wait(), 1);
+  EXPECT_EQ(q.pop_wait(), 2);
+  EXPECT_FALSE(q.pop_wait().has_value());
+}
+
+TEST(ConcurrentQueue, ManyProducersOneConsumer) {
+  ConcurrentQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kEach = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kEach; ++i) q.push(p * kEach + i);
+    });
+  }
+  std::vector<bool> seen(kProducers * kEach, false);
+  int count = 0;
+  while (count < kProducers * kEach) {
+    if (auto v = q.try_pop()) {
+      ASSERT_FALSE(seen[static_cast<std::size_t>(*v)]);
+      seen[static_cast<std::size_t>(*v)] = true;
+      ++count;
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ConcurrentQueue, PerProducerOrderPreserved) {
+  ConcurrentQueue<std::pair<int, int>> q;
+  constexpr int kEach = 300;
+  std::thread a([&] {
+    for (int i = 0; i < kEach; ++i) q.push({0, i});
+  });
+  std::thread b([&] {
+    for (int i = 0; i < kEach; ++i) q.push({1, i});
+  });
+  int next[2] = {0, 0};
+  int count = 0;
+  while (count < 2 * kEach) {
+    if (auto v = q.try_pop()) {
+      EXPECT_EQ(v->second, next[v->first]) << "producer " << v->first;
+      ++next[v->first];
+      ++count;
+    }
+  }
+  a.join();
+  b.join();
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Unit tests for the resource database (paper §3.1 configuration sources).
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/resource_db.hpp"
+
+namespace {
+
+using nexus::util::ConfigError;
+using nexus::util::ResourceDb;
+
+TEST(ResourceDb, SetGet) {
+  ResourceDb db;
+  db.set("tcp.skip_poll", "20");
+  EXPECT_TRUE(db.contains("tcp.skip_poll"));
+  EXPECT_EQ(db.get_int("tcp.skip_poll", 1), 20);
+  EXPECT_EQ(db.get_int("absent", 7), 7);
+}
+
+TEST(ResourceDb, TrimsKeysAndValues) {
+  ResourceDb db;
+  db.set("  key  ", "  value  ");
+  EXPECT_EQ(db.get_string("key", ""), "value");
+}
+
+TEST(ResourceDb, TypedAccessors) {
+  ResourceDb db;
+  db.set("f", "2.5");
+  db.set("b1", "true");
+  db.set("b2", "off");
+  EXPECT_DOUBLE_EQ(db.get_double("f", 0.0), 2.5);
+  EXPECT_TRUE(db.get_bool("b1", false));
+  EXPECT_FALSE(db.get_bool("b2", true));
+}
+
+TEST(ResourceDb, BadValuesThrow) {
+  ResourceDb db;
+  db.set("i", "not-a-number");
+  db.set("b", "maybe");
+  EXPECT_THROW(db.get_int("i", 0), ConfigError);
+  EXPECT_THROW(db.get_double("i", 0.0), ConfigError);
+  EXPECT_THROW(db.get_bool("b", false), ConfigError);
+}
+
+TEST(ResourceDb, ListParsing) {
+  ResourceDb db;
+  db.set("nexus.modules", "local, mpl ,tcp,,");
+  auto mods = db.get_list("nexus.modules");
+  ASSERT_EQ(mods.size(), 3u);
+  EXPECT_EQ(mods[0], "local");
+  EXPECT_EQ(mods[1], "mpl");
+  EXPECT_EQ(mods[2], "tcp");
+  EXPECT_TRUE(db.get_list("absent").empty());
+}
+
+TEST(ResourceDb, ScopedLookupPrefersContextEntry) {
+  ResourceDb db;
+  db.set("tcp.skip_poll", "10");
+  db.set("context.3.tcp.skip_poll", "99");
+  EXPECT_EQ(db.get_scoped_int(3, "tcp.skip_poll", 1), 99);
+  EXPECT_EQ(db.get_scoped_int(4, "tcp.skip_poll", 1), 10);
+  EXPECT_EQ(db.get_scoped_int(4, "absent", 5), 5);
+}
+
+TEST(ResourceDb, LoadText) {
+  ResourceDb db;
+  db.load_text(
+      "# comment\n"
+      "nexus.modules: local,tcp\n"
+      "\n"
+      "tcp.skip_poll: 12\n");
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.get_int("tcp.skip_poll", 0), 12);
+}
+
+TEST(ResourceDb, LoadTextRejectsMalformedLine) {
+  ResourceDb db;
+  EXPECT_THROW(db.load_text("this line has no colon\n"), ConfigError);
+}
+
+TEST(ResourceDb, LoadArgsConsumesNxPairs) {
+  ResourceDb db;
+  std::vector<std::string> args{"prog", "-nx", "tcp.skip_poll=5", "positional",
+                                "-nx", "a.b=c"};
+  db.load_args(args);
+  ASSERT_EQ(args.size(), 2u);
+  EXPECT_EQ(args[0], "prog");
+  EXPECT_EQ(args[1], "positional");
+  EXPECT_EQ(db.get_int("tcp.skip_poll", 0), 5);
+  EXPECT_EQ(db.get_string("a.b", ""), "c");
+}
+
+TEST(ResourceDb, LoadArgsRejectsMissingEquals) {
+  ResourceDb db;
+  std::vector<std::string> args{"-nx", "noequals"};
+  EXPECT_THROW(db.load_args(args), ConfigError);
+}
+
+TEST(ResourceDb, EraseAndEntries) {
+  ResourceDb db;
+  db.set("a", "1");
+  db.set("b", "2");
+  EXPECT_TRUE(db.erase("a"));
+  EXPECT_FALSE(db.erase("a"));
+  auto entries = db.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].first, "b");
+}
+
+}  // namespace

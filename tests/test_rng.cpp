@@ -1,0 +1,62 @@
+// Tests for the deterministic PRNG.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using nexus::util::Rng;
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+  EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(99);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double x = r.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  EXPECT_LT(lo, 0.05);  // coverage of the interval
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    double x = r.uniform(-3.0, 4.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 4.0);
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng r(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+}  // namespace

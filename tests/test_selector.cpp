@@ -1,0 +1,143 @@
+// Tests for automatic method selection policies (paper §3.2).
+#include <gtest/gtest.h>
+
+#include "nexus/runtime.hpp"
+#include "nexus/selector.hpp"
+
+namespace {
+
+using namespace nexus;
+
+RuntimeOptions opts_with(std::vector<std::string> modules,
+                         simnet::Topology topo) {
+  RuntimeOptions opts;
+  opts.topology = std::move(topo);
+  opts.modules = std::move(modules);
+  return opts;
+}
+
+TEST(Selector, FirstApplicableHonoursTableOrder) {
+  // Figure 3 scenario: a startpoint whose table lists [mpl, tcp].  From the
+  // same partition mpl wins; from another partition it is skipped.
+  Runtime rt(opts_with({"local", "mpl", "tcp"},
+                       simnet::Topology::two_partitions(2, 1)));
+  rt.run([&](Context& ctx) {
+    if (ctx.id() == 0) return;
+    FirstApplicableSelector sel;
+    std::string reason;
+    const DescriptorTable& table = ctx.runtime().table_of(0);
+    auto idx = sel.select(table, ctx, reason);
+    ASSERT_TRUE(idx.has_value());
+    if (ctx.id() == 1) {
+      EXPECT_EQ(table.at(*idx).method, "mpl");  // same partition as 0
+    } else {
+      EXPECT_EQ(table.at(*idx).method, "tcp");  // partition 1
+    }
+  });
+}
+
+TEST(Selector, FastestFirstOrderingOfLocalTable) {
+  // The local table must be ordered by speed rank so the ordered scan gives
+  // a fastest-first policy.
+  Runtime rt(opts_with({"tcp", "local", "mpl", "myrinet"},
+                       simnet::Topology::single_partition(1)));
+  rt.run([&](Context& ctx) {
+    const auto& entries = ctx.local_table().entries();
+    ASSERT_EQ(entries.size(), 4u);
+    EXPECT_EQ(entries[0].method, "local");
+    EXPECT_EQ(entries[1].method, "myrinet");
+    EXPECT_EQ(entries[2].method, "mpl");
+    EXPECT_EQ(entries[3].method, "tcp");
+  });
+}
+
+TEST(Selector, NoApplicableMethodReturnsNullopt) {
+  // Context 1 only speaks mpl+local and sits in another partition.
+  RuntimeOptions opts = opts_with({"local", "mpl"},
+                                  simnet::Topology::two_partitions(1, 1));
+  Runtime rt(opts);
+  rt.run([&](Context& ctx) {
+    if (ctx.id() != 1) return;
+    FirstApplicableSelector sel;
+    std::string reason;
+    auto idx = sel.select(ctx.runtime().table_of(0), ctx, reason);
+    EXPECT_FALSE(idx.has_value());
+    EXPECT_EQ(reason, "no applicable entry");
+
+    Startpoint sp = ctx.world_startpoint(0);
+    EXPECT_THROW(ctx.rsr(sp, "x"), util::MethodError);
+  });
+}
+
+TEST(Selector, QosPrefersFastestRegardlessOfTableOrder) {
+  Runtime rt(opts_with({"local", "mpl", "tcp"},
+                       simnet::Topology::single_partition(2)));
+  rt.run([&](Context& ctx) {
+    if (ctx.id() != 1) return;
+    // Table deliberately reordered slowest-first.
+    DescriptorTable table = ctx.runtime().table_of(0);
+    table.prioritize("tcp");
+    QosSelector sel;
+    std::string reason;
+    auto idx = sel.select(table, ctx, reason);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(table.at(*idx).method, "mpl");
+  });
+}
+
+TEST(Selector, QosLoadPenaltyDivertsTraffic) {
+  Runtime rt(opts_with({"local", "mpl", "tcp"},
+                       simnet::Topology::single_partition(2)));
+  rt.run([&](Context& ctx) {
+    if (ctx.id() != 1) return;
+    // Pretend mpl has a huge backlog: outstanding bytes penalize it.
+    ctx.module("mpl")->counters().bytes_sent = 100'000'000;
+    QosSelector sel(/*load_penalty_bytes=*/1'000'000);
+    std::string reason;
+    auto idx = sel.select(ctx.runtime().table_of(0), ctx, reason);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(ctx.runtime().table_of(0).at(*idx).method, "tcp");
+  });
+}
+
+TEST(Selector, RandomOnlyPicksApplicable) {
+  Runtime rt(opts_with({"local", "mpl", "tcp"},
+                       simnet::Topology::two_partitions(1, 1)));
+  rt.run([&](Context& ctx) {
+    if (ctx.id() != 1) return;
+    RandomSelector sel(7);
+    std::string reason;
+    for (int i = 0; i < 50; ++i) {
+      auto idx = sel.select(ctx.runtime().table_of(0), ctx, reason);
+      ASSERT_TRUE(idx.has_value());
+      // mpl/local are inapplicable across partitions: must always be tcp.
+      EXPECT_EQ(ctx.runtime().table_of(0).at(*idx).method, "tcp");
+    }
+  });
+}
+
+TEST(Selector, InstalledSelectorUsedByRsr) {
+  Runtime rt(opts_with({"local", "mpl", "tcp"},
+                       simnet::Topology::single_partition(2)));
+  rt.run([&](Context& ctx) {
+    std::uint64_t done = 0;
+    ctx.register_handler("noop",
+                         [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                           ++done;
+                         });
+    if (ctx.id() != 1) {
+      ctx.wait_count(done, 1);
+      return;
+    }
+    ctx.set_selector(std::make_unique<QosSelector>());
+    Startpoint sp = ctx.world_startpoint(0);
+    // Reorder the table slowest-first: QoS ignores the order.
+    sp.table().prioritize("tcp");
+    sp.invalidate_selection();
+    ctx.rsr(sp, "noop");
+    EXPECT_EQ(sp.selected_method(), "mpl");
+    EXPECT_THROW(ctx.set_selector(nullptr), util::UsageError);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// Tests for the discrete-event scheduler and simulated processes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "simnet/mailbox.hpp"
+#include "simnet/process.hpp"
+#include "simnet/scheduler.hpp"
+#include "simnet/time.hpp"
+#include "simnet/topology.hpp"
+
+namespace {
+
+using namespace nexus::simnet;
+
+TEST(Scheduler, SingleProcessAdvances) {
+  Scheduler sched;
+  Time end = -1;
+  auto& p = sched.spawn("solo", [&] {
+    SimProcess::current()->advance(100 * kUs);
+    end = SimProcess::current()->now();
+  });
+  sched.run();
+  EXPECT_EQ(end, 100 * kUs);
+  EXPECT_EQ(p.state(), SimProcess::State::Finished);
+}
+
+TEST(Scheduler, ProcessesInterleaveByClock) {
+  Scheduler sched;
+  std::vector<std::pair<std::string, Time>> order;
+  auto worker = [&](Time step, int n) {
+    auto* self = SimProcess::current();
+    for (int i = 0; i < n; ++i) {
+      self->advance(step);
+      order.emplace_back(self->name(), self->now());
+    }
+  };
+  sched.spawn("fast", [&] { worker(10 * kUs, 6); });
+  sched.spawn("slow", [&] { worker(25 * kUs, 2); });
+  sched.run();
+  // Events must be recorded in nondecreasing virtual-time order per process,
+  // and globally each recorded time matches step arithmetic.
+  Time prev_fast = 0, prev_slow = 0;
+  for (const auto& [name, t] : order) {
+    if (name == "fast") {
+      EXPECT_EQ(t, prev_fast + 10 * kUs);
+      prev_fast = t;
+    } else {
+      EXPECT_EQ(t, prev_slow + 25 * kUs);
+      prev_slow = t;
+    }
+  }
+  EXPECT_EQ(prev_fast, 60 * kUs);
+  EXPECT_EQ(prev_slow, 50 * kUs);
+}
+
+TEST(Scheduler, SleepUntilWakesAtRequestedTime) {
+  Scheduler sched;
+  Time woke = -1;
+  sched.spawn("sleeper", [&] {
+    SimProcess::current()->sleep_until(3 * kMs);
+    woke = SimProcess::current()->now();
+  });
+  sched.run();
+  EXPECT_EQ(woke, 3 * kMs);
+}
+
+TEST(Scheduler, WakeAtUnblocksBlockedProcess) {
+  Scheduler sched;
+  Time woke = -1;
+  auto& sleeper = sched.spawn("sleeper", [&] {
+    SimProcess::current()->block();
+    woke = SimProcess::current()->now();
+  });
+  sched.spawn("waker", [&] {
+    auto* self = SimProcess::current();
+    self->advance(50 * kUs);
+    self->scheduler().wake_at(sleeper, self->now() + 10 * kUs);
+  });
+  sched.run();
+  EXPECT_EQ(woke, 60 * kUs);
+}
+
+TEST(Scheduler, DeadlockDetected) {
+  Scheduler sched;
+  sched.spawn("stuck", [&] { SimProcess::current()->block(); });
+  EXPECT_THROW(sched.run(), DeadlockError);
+}
+
+TEST(Scheduler, ExceptionInProcessPropagates) {
+  Scheduler sched;
+  sched.spawn("boom", [] { throw std::runtime_error("bang"); });
+  sched.spawn("bystander", [] {
+    // Would run forever if not aborted by the scheduler's shutdown.
+    SimProcess::current()->block();
+  });
+  EXPECT_THROW(sched.run(), std::runtime_error);
+}
+
+TEST(Scheduler, AbortUnwindsBystanderStack) {
+  // Destructors on the bystander's stack must run during shutdown.
+  std::atomic<bool> destroyed{false};
+  struct Sentinel {
+    std::atomic<bool>* flag;
+    ~Sentinel() { flag->store(true); }
+  };
+  {
+    Scheduler sched;
+    // Spawned first so it is dispatched first and is mid-execution (holding
+    // a live Sentinel) when the other process throws.
+    sched.spawn("bystander", [&] {
+      Sentinel s{&destroyed};
+      SimProcess::current()->block();
+    });
+    sched.spawn("boom", [] {
+      SimProcess::current()->advance(10 * kUs);
+      throw std::runtime_error("bang");
+    });
+    EXPECT_THROW(sched.run(), std::runtime_error);
+  }
+  EXPECT_TRUE(destroyed.load());
+}
+
+TEST(Scheduler, WakeTimersClampRunningHorizon) {
+  // A process that schedules a wake for a blocked peer must not advance its
+  // own clock past the wake time in the same dispatch without giving the
+  // peer a chance to act.
+  Scheduler sched;
+  std::vector<std::pair<std::string, Time>> order;
+  SimProcess* blocked_ptr = nullptr;
+  sched.spawn("blocked", [&] {
+    blocked_ptr = SimProcess::current();
+    blocked_ptr->block();
+    order.emplace_back("blocked-woke", blocked_ptr->now());
+  });
+  sched.spawn("runner", [&] {
+    auto* self = SimProcess::current();
+    self->advance(10 * kUs);  // let "blocked" get into its block() first
+    self->scheduler().wake_at(*blocked_ptr, self->now() + 5 * kUs);
+    self->advance(100 * kUs);
+    order.emplace_back("runner-done", self->now());
+  });
+  sched.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0].first, "blocked-woke");
+  EXPECT_EQ(order[0].second, 15 * kUs);
+  EXPECT_EQ(order[1].second, 110 * kUs);
+}
+
+TEST(Scheduler, PingPongLatencyArithmetic) {
+  // Two processes exchanging wakes emulate a message round trip; total time
+  // must be the exact sum of latencies.
+  Scheduler sched;
+  constexpr Time lat = 55 * kUs;
+  constexpr int rounds = 100;
+  Time finish = -1;
+  SimProcess* a_ptr = nullptr;
+  SimProcess* b_ptr = nullptr;
+  sched.spawn("a", [&] {
+    a_ptr = SimProcess::current();
+    for (int i = 0; i < rounds; ++i) {
+      a_ptr->block();  // wait for b's wake
+      a_ptr->scheduler().wake_at(*b_ptr, a_ptr->now() + lat);
+    }
+    finish = a_ptr->now();
+  });
+  sched.spawn("b", [&] {
+    b_ptr = SimProcess::current();
+    b_ptr->advance(kUs);  // make sure a is blocked
+    for (int i = 0; i < rounds; ++i) {
+      b_ptr->scheduler().wake_at(*a_ptr, b_ptr->now() + lat);
+      if (i + 1 < rounds) b_ptr->block();
+    }
+  });
+  sched.run();
+  // a wakes at 1us + lat, then each subsequent round adds 2*lat except the
+  // final wake which only adds one more lat on a's side.
+  EXPECT_EQ(finish, kUs + lat + (rounds - 1) * 2 * lat);
+}
+
+TEST(Topology, PartitionsAssignContiguously) {
+  auto topo = Topology::two_partitions(16, 8);
+  EXPECT_EQ(topo.size(), 24u);
+  EXPECT_EQ(topo.partition_count(), 2);
+  EXPECT_TRUE(topo.same_partition(0, 15));
+  EXPECT_TRUE(topo.same_partition(16, 23));
+  EXPECT_FALSE(topo.same_partition(15, 16));
+  EXPECT_THROW(topo.partition_of(24), nexus::util::UsageError);
+}
+
+TEST(Topology, ArbitrarySizes) {
+  auto topo = Topology::partitions({2, 3, 1});
+  EXPECT_EQ(topo.size(), 6u);
+  EXPECT_EQ(topo.partition_of(0), 0);
+  EXPECT_EQ(topo.partition_of(2), 1);
+  EXPECT_EQ(topo.partition_of(4), 1);
+  EXPECT_EQ(topo.partition_of(5), 2);
+  EXPECT_EQ(topo.partition_count(), 3);
+}
+
+TEST(TransferTime, MatchesBandwidthMath) {
+  // 8 MB/s -> 1 MB takes 125 ms.
+  EXPECT_EQ(transfer_time(1'000'000, 8.0), 125 * kMs);
+  // 36 MB/s -> 36 bytes take 1 us.
+  EXPECT_EQ(transfer_time(36, 36.0), 1 * kUs);
+  EXPECT_EQ(transfer_time(0, 8.0), 0);
+  // Rounds up to whole nanoseconds.
+  EXPECT_EQ(transfer_time(1, 8.0), 125);
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+// Startpoint semantics: copying, serialization, link mirroring, and the
+// global-name property (paper §2.2).
+#include <gtest/gtest.h>
+
+#include "nexus/runtime.hpp"
+
+namespace {
+
+using namespace nexus;
+
+RuntimeOptions base(std::size_t n) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(n);
+  opts.modules = {"local", "mpl", "tcp"};
+  return opts;
+}
+
+TEST(Startpoint, DefaultIsUnbound) {
+  Startpoint sp;
+  EXPECT_FALSE(sp.bound());
+  EXPECT_EQ(sp.link_count(), 0u);
+  EXPECT_FALSE(sp.forced_method().has_value());
+}
+
+TEST(Startpoint, CopyWithinContextSharesConnection) {
+  Runtime rt(base(2));
+  rt.run([&](Context& ctx) {
+    std::uint64_t done = 0;
+    ctx.register_handler("noop",
+                         [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                           ++done;
+                         });
+    if (ctx.id() != 1) {
+      ctx.wait_count(done, 2);
+      return;
+    }
+    Startpoint a = ctx.world_startpoint(0);
+    ctx.rsr(a, "noop");
+    Startpoint b = a;  // plain C++ copy within the context
+    ctx.rsr(b, "noop");
+    EXPECT_EQ(a.link(0).conn.get(), b.link(0).conn.get());
+    EXPECT_EQ(b.selected_method(), "mpl");
+  });
+}
+
+TEST(Startpoint, SerializationStripsConnectionState) {
+  Runtime rt(base(2));
+  rt.run([&](Context& ctx) {
+    if (ctx.id() != 1) {
+      std::uint64_t done = 0;
+      ctx.register_handler("noop",
+                           [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                             ++done;
+                           });
+      ctx.wait_count(done, 1);
+      return;
+    }
+    Startpoint sp = ctx.world_startpoint(0);
+    ctx.rsr(sp, "noop");
+    ASSERT_NE(sp.link(0).conn, nullptr);
+
+    util::PackBuffer pb;
+    ctx.pack_startpoint(pb, sp);
+    util::UnpackBuffer ub(pb.bytes());
+    Startpoint again = ctx.unpack_startpoint(ub);
+    EXPECT_EQ(again.link(0).conn, nullptr);        // local state gone
+    EXPECT_TRUE(again.selected_method().empty());  // must reselect
+    EXPECT_EQ(again.link(0).context, sp.link(0).context);
+    EXPECT_EQ(again.link(0).endpoint, sp.link(0).endpoint);
+    EXPECT_EQ(again.table(), sp.table());
+  });
+}
+
+TEST(Startpoint, MultiLinkSerializationMirrorsAllLinks) {
+  // "When a startpoint is copied, new communication links are created,
+  // mirroring the links associated with the original startpoint" (§2.2).
+  Runtime rt(base(4));
+  rt.run([&](Context& ctx) {
+    if (ctx.id() != 0) return;
+    Startpoint multi;
+    for (ContextId t = 1; t <= 3; ++t) {
+      Startpoint one = ctx.world_startpoint(t);
+      multi.links().push_back(one.link(0));
+    }
+    util::PackBuffer pb;
+    ctx.pack_startpoint(pb, multi);
+    util::UnpackBuffer ub(pb.bytes());
+    Startpoint copy = ctx.unpack_startpoint(ub);
+    ASSERT_EQ(copy.link_count(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(copy.link(i).context, multi.link(i).context);
+      EXPECT_EQ(copy.link(i).endpoint, multi.link(i).endpoint);
+    }
+  });
+}
+
+TEST(Startpoint, ActsAsGlobalNameThroughChainOfContexts) {
+  // A startpoint created at ctx0 is forwarded 0 -> 1 -> 2 -> 3 and still
+  // names the same endpoint when finally used.
+  Runtime rt(base(4));
+  std::string touched;
+  rt.run([&](Context& ctx) {
+    if (ctx.id() == 0) {
+      std::uint64_t done = 0;
+      Endpoint& ep = ctx.create_endpoint();
+      ep.set_local_address(std::string("the-named-object"));
+      ctx.register_handler("touch",
+                           [&](Context&, Endpoint& e, util::UnpackBuffer&) {
+                             touched = *e.local_as<std::string>();
+                             ++done;
+                           });
+      Startpoint name = ctx.startpoint_to(ep);
+      util::PackBuffer pb;
+      ctx.pack_startpoint(pb, name);
+      Startpoint to1 = ctx.world_startpoint(1);
+      ctx.rsr(to1, "pass", pb);
+      ctx.wait_count(done, 1);
+      return;
+    }
+    std::uint64_t acted = 0;
+    ctx.register_handler(
+        "pass", [&](Context& c, Endpoint&, util::UnpackBuffer& ub) {
+          Startpoint sp = c.unpack_startpoint(ub);
+          if (c.id() < 3) {
+            util::PackBuffer pb;
+            c.pack_startpoint(pb, sp);
+            Startpoint next = c.world_startpoint(c.id() + 1);
+            c.rsr(next, "pass", pb);
+          } else {
+            c.rsr(sp, "touch");  // finally use the global name
+          }
+          ++acted;
+        });
+    ctx.wait_count(acted, 1);
+  });
+  EXPECT_EQ(touched, "the-named-object");
+}
+
+TEST(Startpoint, ReceiverCanChangeMethodOfReceivedStartpoint) {
+  // §2.2: "a process receiving a startpoint can change the communication
+  // method to be used."
+  Runtime rt(base(2));
+  rt.run([&](Context& ctx) {
+    std::uint64_t done = 0;
+    ctx.register_handler("noop",
+                         [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                           ++done;
+                         });
+    if (ctx.id() != 1) {
+      ctx.wait_count(done, 1);
+      return;
+    }
+    Startpoint sp = ctx.world_startpoint(0);  // table prefers mpl
+    sp.table().prioritize("tcp");             // receiver-side preference
+    sp.invalidate_selection();
+    ctx.rsr(sp, "noop");
+    EXPECT_EQ(sp.selected_method(), "tcp");
+  });
+}
+
+TEST(Startpoint, SenderPreferenceTravelsViaTableOrder) {
+  // The sender reorders the table before shipping the startpoint; the
+  // receiver's first-applicable scan then honours the sender's choice.
+  Runtime rt(base(3));
+  std::string method_at_receiver;
+  rt.run([&](Context& ctx) {
+    if (ctx.id() == 0) {
+      std::uint64_t done = 0;
+      ctx.register_handler("noop",
+                           [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                             ++done;
+                           });
+      Startpoint mine = ctx.startpoint_to(ctx.root_endpoint());
+      mine.table(0).prioritize("tcp");  // sender-side requirement
+      util::PackBuffer pb;
+      ctx.pack_startpoint(pb, mine);
+      Startpoint to2 = ctx.world_startpoint(2);
+      ctx.rsr(to2, "take", pb);
+      ctx.wait_count(done, 1);
+    } else if (ctx.id() == 2) {
+      std::uint64_t done = 0;
+      ctx.register_handler(
+          "take", [&](Context& c, Endpoint&, util::UnpackBuffer& ub) {
+            Startpoint sp = c.unpack_startpoint(ub);
+            c.rsr(sp, "noop");
+            method_at_receiver = sp.selected_method();
+            ++done;
+          });
+      ctx.wait_count(done, 1);
+    }
+  });
+  EXPECT_EQ(method_at_receiver, "tcp");
+}
+
+TEST(Startpoint, ForcedMethodIsLocalNotSerialized) {
+  Runtime rt(base(2));
+  rt.run([&](Context& ctx) {
+    if (ctx.id() != 0) return;
+    Startpoint sp = ctx.world_startpoint(1);
+    sp.force_method("tcp");
+    util::PackBuffer pb;
+    ctx.pack_startpoint(pb, sp);
+    util::UnpackBuffer ub(pb.bytes());
+    Startpoint again = ctx.unpack_startpoint(ub);
+    EXPECT_FALSE(again.forced_method().has_value());
+  });
+}
+
+TEST(Startpoint, BindRejectsRemoteEndpointIllusion) {
+  Runtime rt(base(2));
+  rt.run([&](Context& ctx) {
+    if (ctx.id() != 0) return;
+    // Construct a link list by hand is fine, but bind() itself must only
+    // accept local endpoints: fake it by asking ctx1's runtime table.
+    Startpoint sp;
+    Endpoint& mine = ctx.create_endpoint();
+    ctx.bind(sp, mine);
+    EXPECT_EQ(sp.link_count(), 1u);
+    EXPECT_EQ(sp.link(0).context, 0u);
+  });
+}
+
+TEST(Startpoint, MergingSemanticsMultipleStartpointsOneEndpoint) {
+  // §2.2: several startpoints bound to one endpoint merge their traffic.
+  Runtime rt(base(3));
+  int arrivals = 0;
+  rt.run([&](Context& ctx) {
+    if (ctx.id() == 0) {
+      std::uint64_t done = 0;
+      ctx.register_handler("merge",
+                           [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                             ++arrivals;
+                             ++done;
+                           });
+      ctx.wait_count(done, 2);
+      EXPECT_EQ(ctx.root_endpoint().deliveries(), 2u);
+    } else {
+      Startpoint sp = ctx.world_startpoint(0);
+      ctx.rsr(sp, "merge");
+    }
+  });
+  EXPECT_EQ(arrivals, 2);
+}
+
+}  // namespace

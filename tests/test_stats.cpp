@@ -1,0 +1,99 @@
+// Unit tests for streaming statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace {
+
+using nexus::util::RunningStats;
+using nexus::util::SampleSet;
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsBulk) {
+  RunningStats a, b, bulk;
+  for (int i = 0; i < 100; ++i) {
+    double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    bulk.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), bulk.count());
+  EXPECT_NEAR(a.mean(), bulk.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), bulk.variance(), 1e-9);
+  EXPECT_EQ(a.min(), bulk.min());
+  EXPECT_EQ(a.max(), bulk.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 1.0);
+}
+
+TEST(SampleSet, PercentilesExactOnSortedData) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 100.0);
+}
+
+TEST(SampleSet, AddAfterPercentileStillWorks) {
+  SampleSet s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_EQ(s.min(), 1.0);
+  s.add(0.5);  // invalidates sort
+  EXPECT_EQ(s.min(), 0.5);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(SampleSet, EmptyPercentileThrows) {
+  SampleSet s;
+  EXPECT_THROW(s.percentile(50), std::out_of_range);
+  EXPECT_THROW(s.min(), std::out_of_range);
+}
+
+TEST(MethodCounters, MergeAccumulates) {
+  nexus::util::MethodCounters a, b;
+  a.sends = 3;
+  a.bytes_sent = 100;
+  b.sends = 2;
+  b.polls = 7;
+  a.merge(b);
+  EXPECT_EQ(a.sends, 5u);
+  EXPECT_EQ(a.bytes_sent, 100u);
+  EXPECT_EQ(a.polls, 7u);
+}
+
+TEST(FmtFixed, Formats) {
+  EXPECT_EQ(nexus::util::fmt_fixed(104.94, 1), "104.9");
+  EXPECT_EQ(nexus::util::fmt_fixed(0.5, 3), "0.500");
+}
+
+}  // namespace
