@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_skip.dir/ablation_adaptive_skip.cpp.o"
+  "CMakeFiles/ablation_adaptive_skip.dir/ablation_adaptive_skip.cpp.o.d"
+  "ablation_adaptive_skip"
+  "ablation_adaptive_skip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_blocking_poller.cpp" "bench/CMakeFiles/ablation_blocking_poller.dir/ablation_blocking_poller.cpp.o" "gcc" "bench/CMakeFiles/ablation_blocking_poller.dir/ablation_blocking_poller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/climate/CMakeFiles/repro_climate.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/repro_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/nexus/CMakeFiles/repro_nexus.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/repro_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

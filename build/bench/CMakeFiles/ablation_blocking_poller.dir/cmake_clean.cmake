@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_blocking_poller.dir/ablation_blocking_poller.cpp.o"
+  "CMakeFiles/ablation_blocking_poller.dir/ablation_blocking_poller.cpp.o.d"
+  "ablation_blocking_poller"
+  "ablation_blocking_poller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blocking_poller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

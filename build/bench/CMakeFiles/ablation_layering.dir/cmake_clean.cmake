@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_layering.dir/ablation_layering.cpp.o"
+  "CMakeFiles/ablation_layering.dir/ablation_layering.cpp.o.d"
+  "ablation_layering"
+  "ablation_layering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_layering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_startpoint_weight.dir/ablation_startpoint_weight.cpp.o"
+  "CMakeFiles/ablation_startpoint_weight.dir/ablation_startpoint_weight.cpp.o.d"
+  "ablation_startpoint_weight"
+  "ablation_startpoint_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_startpoint_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

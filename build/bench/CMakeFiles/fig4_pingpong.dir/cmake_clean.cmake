@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pingpong.dir/fig4_pingpong.cpp.o"
+  "CMakeFiles/fig4_pingpong.dir/fig4_pingpong.cpp.o.d"
+  "fig4_pingpong"
+  "fig4_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_skip_poll.dir/fig6_skip_poll.cpp.o"
+  "CMakeFiles/fig6_skip_poll.dir/fig6_skip_poll.cpp.o.d"
+  "fig6_skip_poll"
+  "fig6_skip_poll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_skip_poll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_climate.dir/table1_climate.cpp.o"
+  "CMakeFiles/table1_climate.dir/table1_climate.cpp.o.d"
+  "table1_climate"
+  "table1_climate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_climate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupled_model.dir/coupled_model.cpp.o"
+  "CMakeFiles/coupled_model.dir/coupled_model.cpp.o.d"
+  "coupled_model"
+  "coupled_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupled_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galaxy_iway.dir/galaxy_iway.cpp.o"
+  "CMakeFiles/galaxy_iway.dir/galaxy_iway.cpp.o.d"
+  "galaxy_iway"
+  "galaxy_iway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galaxy_iway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for galaxy_iway.
+# This may be replaced when dependencies are built.

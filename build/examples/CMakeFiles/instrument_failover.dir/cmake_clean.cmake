@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrument_failover.dir/instrument_failover.cpp.o"
+  "CMakeFiles/instrument_failover.dir/instrument_failover.cpp.o.d"
+  "instrument_failover"
+  "instrument_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrument_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_heat.dir/mpi_heat.cpp.o"
+  "CMakeFiles/mpi_heat.dir/mpi_heat.cpp.o.d"
+  "mpi_heat"
+  "mpi_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

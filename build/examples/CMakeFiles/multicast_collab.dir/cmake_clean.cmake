@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_collab.dir/multicast_collab.cpp.o"
+  "CMakeFiles/multicast_collab.dir/multicast_collab.cpp.o.d"
+  "multicast_collab"
+  "multicast_collab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_collab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

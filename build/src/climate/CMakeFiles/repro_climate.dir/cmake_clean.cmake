@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_climate.dir/coupled.cpp.o"
+  "CMakeFiles/repro_climate.dir/coupled.cpp.o.d"
+  "CMakeFiles/repro_climate.dir/grid.cpp.o"
+  "CMakeFiles/repro_climate.dir/grid.cpp.o.d"
+  "CMakeFiles/repro_climate.dir/model.cpp.o"
+  "CMakeFiles/repro_climate.dir/model.cpp.o.d"
+  "librepro_climate.a"
+  "librepro_climate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_climate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_minimpi.dir/collectives.cpp.o"
+  "CMakeFiles/repro_minimpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/repro_minimpi.dir/mpi.cpp.o"
+  "CMakeFiles/repro_minimpi.dir/mpi.cpp.o.d"
+  "librepro_minimpi.a"
+  "librepro_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

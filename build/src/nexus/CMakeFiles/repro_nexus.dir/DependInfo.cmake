@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/codec.cpp" "src/nexus/CMakeFiles/repro_nexus.dir/__/proto/codec.cpp.o" "gcc" "src/nexus/CMakeFiles/repro_nexus.dir/__/proto/codec.cpp.o.d"
+  "/root/repo/src/proto/register.cpp" "src/nexus/CMakeFiles/repro_nexus.dir/__/proto/register.cpp.o" "gcc" "src/nexus/CMakeFiles/repro_nexus.dir/__/proto/register.cpp.o.d"
+  "/root/repo/src/proto/rt_modules.cpp" "src/nexus/CMakeFiles/repro_nexus.dir/__/proto/rt_modules.cpp.o" "gcc" "src/nexus/CMakeFiles/repro_nexus.dir/__/proto/rt_modules.cpp.o.d"
+  "/root/repo/src/proto/sim_modules.cpp" "src/nexus/CMakeFiles/repro_nexus.dir/__/proto/sim_modules.cpp.o" "gcc" "src/nexus/CMakeFiles/repro_nexus.dir/__/proto/sim_modules.cpp.o.d"
+  "/root/repo/src/proto/stream.cpp" "src/nexus/CMakeFiles/repro_nexus.dir/__/proto/stream.cpp.o" "gcc" "src/nexus/CMakeFiles/repro_nexus.dir/__/proto/stream.cpp.o.d"
+  "/root/repo/src/nexus/context.cpp" "src/nexus/CMakeFiles/repro_nexus.dir/context.cpp.o" "gcc" "src/nexus/CMakeFiles/repro_nexus.dir/context.cpp.o.d"
+  "/root/repo/src/nexus/descriptor.cpp" "src/nexus/CMakeFiles/repro_nexus.dir/descriptor.cpp.o" "gcc" "src/nexus/CMakeFiles/repro_nexus.dir/descriptor.cpp.o.d"
+  "/root/repo/src/nexus/handler.cpp" "src/nexus/CMakeFiles/repro_nexus.dir/handler.cpp.o" "gcc" "src/nexus/CMakeFiles/repro_nexus.dir/handler.cpp.o.d"
+  "/root/repo/src/nexus/module.cpp" "src/nexus/CMakeFiles/repro_nexus.dir/module.cpp.o" "gcc" "src/nexus/CMakeFiles/repro_nexus.dir/module.cpp.o.d"
+  "/root/repo/src/nexus/polling.cpp" "src/nexus/CMakeFiles/repro_nexus.dir/polling.cpp.o" "gcc" "src/nexus/CMakeFiles/repro_nexus.dir/polling.cpp.o.d"
+  "/root/repo/src/nexus/runtime.cpp" "src/nexus/CMakeFiles/repro_nexus.dir/runtime.cpp.o" "gcc" "src/nexus/CMakeFiles/repro_nexus.dir/runtime.cpp.o.d"
+  "/root/repo/src/nexus/selector.cpp" "src/nexus/CMakeFiles/repro_nexus.dir/selector.cpp.o" "gcc" "src/nexus/CMakeFiles/repro_nexus.dir/selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/repro_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

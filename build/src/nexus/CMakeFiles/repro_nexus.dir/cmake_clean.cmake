@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_nexus.dir/__/proto/codec.cpp.o"
+  "CMakeFiles/repro_nexus.dir/__/proto/codec.cpp.o.d"
+  "CMakeFiles/repro_nexus.dir/__/proto/register.cpp.o"
+  "CMakeFiles/repro_nexus.dir/__/proto/register.cpp.o.d"
+  "CMakeFiles/repro_nexus.dir/__/proto/rt_modules.cpp.o"
+  "CMakeFiles/repro_nexus.dir/__/proto/rt_modules.cpp.o.d"
+  "CMakeFiles/repro_nexus.dir/__/proto/sim_modules.cpp.o"
+  "CMakeFiles/repro_nexus.dir/__/proto/sim_modules.cpp.o.d"
+  "CMakeFiles/repro_nexus.dir/__/proto/stream.cpp.o"
+  "CMakeFiles/repro_nexus.dir/__/proto/stream.cpp.o.d"
+  "CMakeFiles/repro_nexus.dir/context.cpp.o"
+  "CMakeFiles/repro_nexus.dir/context.cpp.o.d"
+  "CMakeFiles/repro_nexus.dir/descriptor.cpp.o"
+  "CMakeFiles/repro_nexus.dir/descriptor.cpp.o.d"
+  "CMakeFiles/repro_nexus.dir/handler.cpp.o"
+  "CMakeFiles/repro_nexus.dir/handler.cpp.o.d"
+  "CMakeFiles/repro_nexus.dir/module.cpp.o"
+  "CMakeFiles/repro_nexus.dir/module.cpp.o.d"
+  "CMakeFiles/repro_nexus.dir/polling.cpp.o"
+  "CMakeFiles/repro_nexus.dir/polling.cpp.o.d"
+  "CMakeFiles/repro_nexus.dir/runtime.cpp.o"
+  "CMakeFiles/repro_nexus.dir/runtime.cpp.o.d"
+  "CMakeFiles/repro_nexus.dir/selector.cpp.o"
+  "CMakeFiles/repro_nexus.dir/selector.cpp.o.d"
+  "librepro_nexus.a"
+  "librepro_nexus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_nexus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_simnet.dir/process.cpp.o"
+  "CMakeFiles/repro_simnet.dir/process.cpp.o.d"
+  "CMakeFiles/repro_simnet.dir/scheduler.cpp.o"
+  "CMakeFiles/repro_simnet.dir/scheduler.cpp.o.d"
+  "librepro_simnet.a"
+  "librepro_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

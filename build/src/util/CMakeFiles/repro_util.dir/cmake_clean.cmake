@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_util.dir/log.cpp.o"
+  "CMakeFiles/repro_util.dir/log.cpp.o.d"
+  "CMakeFiles/repro_util.dir/pack.cpp.o"
+  "CMakeFiles/repro_util.dir/pack.cpp.o.d"
+  "CMakeFiles/repro_util.dir/resource_db.cpp.o"
+  "CMakeFiles/repro_util.dir/resource_db.cpp.o.d"
+  "CMakeFiles/repro_util.dir/stats.cpp.o"
+  "CMakeFiles/repro_util.dir/stats.cpp.o.d"
+  "librepro_util.a"
+  "librepro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

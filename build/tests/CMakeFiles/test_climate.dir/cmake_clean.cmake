@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_climate.dir/test_climate.cpp.o"
+  "CMakeFiles/test_climate.dir/test_climate.cpp.o.d"
+  "test_climate"
+  "test_climate.pdb"
+  "test_climate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_climate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

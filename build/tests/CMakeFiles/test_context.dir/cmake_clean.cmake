@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_context.dir/test_context.cpp.o"
+  "CMakeFiles/test_context.dir/test_context.cpp.o.d"
+  "test_context"
+  "test_context.pdb"
+  "test_context[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

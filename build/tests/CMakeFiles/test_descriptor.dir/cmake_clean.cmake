@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_descriptor.dir/test_descriptor.cpp.o"
+  "CMakeFiles/test_descriptor.dir/test_descriptor.cpp.o.d"
+  "test_descriptor"
+  "test_descriptor.pdb"
+  "test_descriptor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_descriptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

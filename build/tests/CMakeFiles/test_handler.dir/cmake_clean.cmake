@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_handler.dir/test_handler.cpp.o"
+  "CMakeFiles/test_handler.dir/test_handler.cpp.o.d"
+  "test_handler"
+  "test_handler.pdb"
+  "test_handler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_handler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

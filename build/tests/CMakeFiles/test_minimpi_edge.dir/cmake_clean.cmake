@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minimpi_edge.dir/test_minimpi_edge.cpp.o"
+  "CMakeFiles/test_minimpi_edge.dir/test_minimpi_edge.cpp.o.d"
+  "test_minimpi_edge"
+  "test_minimpi_edge.pdb"
+  "test_minimpi_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minimpi_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

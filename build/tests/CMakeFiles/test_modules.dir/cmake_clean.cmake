@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modules.dir/test_modules.cpp.o"
+  "CMakeFiles/test_modules.dir/test_modules.cpp.o.d"
+  "test_modules"
+  "test_modules.pdb"
+  "test_modules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pack.dir/test_pack.cpp.o"
+  "CMakeFiles/test_pack.dir/test_pack.cpp.o.d"
+  "test_pack"
+  "test_pack.pdb"
+  "test_pack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polling.dir/test_polling.cpp.o"
+  "CMakeFiles/test_polling.dir/test_polling.cpp.o.d"
+  "test_polling"
+  "test_polling.pdb"
+  "test_polling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

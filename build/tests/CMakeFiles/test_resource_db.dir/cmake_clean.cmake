@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resource_db.dir/test_resource_db.cpp.o"
+  "CMakeFiles/test_resource_db.dir/test_resource_db.cpp.o.d"
+  "test_resource_db"
+  "test_resource_db.pdb"
+  "test_resource_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resource_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

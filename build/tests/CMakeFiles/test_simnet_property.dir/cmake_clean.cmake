@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet_property.dir/test_simnet_property.cpp.o"
+  "CMakeFiles/test_simnet_property.dir/test_simnet_property.cpp.o.d"
+  "test_simnet_property"
+  "test_simnet_property.pdb"
+  "test_simnet_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

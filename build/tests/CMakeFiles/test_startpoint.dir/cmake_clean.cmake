@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_startpoint.dir/test_startpoint.cpp.o"
+  "CMakeFiles/test_startpoint.dir/test_startpoint.cpp.o.d"
+  "test_startpoint"
+  "test_startpoint.pdb"
+  "test_startpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_startpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_pack[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_resource_db[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_simnet[1]_include.cmake")
+include("/root/repo/build/tests/test_mailbox[1]_include.cmake")
+include("/root/repo/build/tests/test_descriptor[1]_include.cmake")
+include("/root/repo/build/tests/test_handler[1]_include.cmake")
+include("/root/repo/build/tests/test_context[1]_include.cmake")
+include("/root/repo/build/tests/test_selector[1]_include.cmake")
+include("/root/repo/build/tests/test_polling[1]_include.cmake")
+include("/root/repo/build/tests/test_minimpi[1]_include.cmake")
+include("/root/repo/build/tests/test_climate[1]_include.cmake")
+include("/root/repo/build/tests/test_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_rt[1]_include.cmake")
+include("/root/repo/build/tests/test_modules[1]_include.cmake")
+include("/root/repo/build/tests/test_startpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_polling_property[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_simnet_property[1]_include.cmake")
+include("/root/repo/build/tests/test_stream[1]_include.cmake")
+include("/root/repo/build/tests/test_reliability[1]_include.cmake")
+include("/root/repo/build/tests/test_minimpi_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_queues[1]_include.cmake")
