@@ -8,6 +8,10 @@
 // inapplicable).  Context 0 then migrates the startpoint to context 1,
 // where re-selection picks MPL.  Finally the demo shows the manual
 // controls: table reordering and forced methods.
+//
+// Along the way each decision is explained with the structured enquiry
+// (Context::explain_selection), which reports every descriptor considered,
+// why the losers lost, and which method won -- without sending anything.
 #include <cstdio>
 
 #include "nexus/runtime.hpp"
@@ -35,6 +39,9 @@ int main() {
                 std::printf(" %s", d.method.c_str());
               }
               std::printf("\n");
+              // Ask the runtime to explain what selection *would* do here
+              // before actually using the startpoint.
+              std::printf("%s", c.explain_selection(sp).to_text().c_str());
               c.rsr(sp, "poke");  // automatic selection runs here
               std::printf("[ctx0] selected: %s (expected tcp: different "
                           "partition)\n",
@@ -55,6 +62,7 @@ int main() {
         ctx.register_handler(
             "take", [&](Context& c, Endpoint&, util::UnpackBuffer& ub) {
               Startpoint sp = c.unpack_startpoint(ub);
+              std::printf("%s", c.explain_selection(sp).to_text().c_str());
               c.rsr(sp, "poke");
               std::printf("[ctx1] selected: %s (expected mpl: same "
                           "partition as ctx2)\n",
@@ -71,6 +79,7 @@ int main() {
               // Manual control 2: force a method outright.
               Startpoint forced = sp;
               forced.force_method("tcp");
+              std::printf("%s", c.explain_selection(forced).to_text().c_str());
               c.rsr(forced, "poke");
               std::printf("[ctx1] forced: %s\n",
                           forced.selected_method().c_str());

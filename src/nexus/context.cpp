@@ -44,6 +44,9 @@ Context::Context(Runtime& runtime, ContextId id,
   engine_ = std::make_unique<PollingEngine>(
       *clock_, [this](Packet p) { deliver(std::move(p)); },
       costs_.poll_iteration_overhead, costs_.blocking_check_cost);
+  tele_ = &runtime.telemetry();
+  cmetrics_ = &tele_->metrics().context(id_);
+  engine_->attach_telemetry(*tele_, id_);
   selector_ = std::make_unique<FirstApplicableSelector>();
   if (!clock_->simulated()) {
     rt_mutex_ = std::make_unique<std::recursive_mutex>();
@@ -183,24 +186,38 @@ void Context::ensure_connection(const Startpoint& sp, Startpoint::Link& link) {
   const CommDescriptor& d = link.table.at(*idx);
   link.conn = cached_connection(d);
   link.selected_method = d.method;
+  if (tele_->tracer().enabled()) {
+    tele_->tracer().record({now(), 0, id_, telemetry::Phase::Select,
+                            link.conn->module().trace_label(), *idx,
+                            link.context});
+  }
   selection_log_.push_back(SelectionRecord{link.context, d.method,
                                            std::move(reason), now()});
 }
 
 void Context::send_on_link(Startpoint::Link& link, HandlerId h,
-                           const util::Bytes& payload) {
+                           const util::Bytes& payload, telemetry::SpanId span) {
   Packet pkt;
   pkt.src = id_;
   pkt.dst = link.context;
   pkt.endpoint = link.endpoint;
   pkt.handler = h;
   pkt.payload = payload;
+  pkt.span = span;
 
   clock_->advance(costs_.rsr_send_overhead);
+  pkt.sent_at = now();
   CommModule& m = link.conn->module();
   const std::uint64_t wire = m.send(*link.conn, std::move(pkt));
   m.counters().sends += 1;
   m.counters().bytes_sent += wire;
+  if (tele_->metrics().enabled() && m.metrics() != nullptr) {
+    m.metrics()->send_bytes.add(wire);
+  }
+  if (tele_->tracer().enabled()) {
+    tele_->tracer().record({now(), span, id_, telemetry::Phase::Send,
+                            m.trace_label(), wire, link.context});
+  }
   if (runtime_->trace().enabled()) {
     runtime_->trace().record({now(), id_, simnet::TraceKind::Send,
                               std::string(m.name()), wire, ""});
@@ -217,9 +234,13 @@ void Context::rsr(Startpoint& sp, std::string_view handler,
 
   const HandlerId h = HandlerTable::id_of(handler);
   ++rsrs_sent_;
+  // One span per RSR: every link of a multicast shares it, and forwarding
+  // nodes pass it through, so send and dispatch line up across contexts.
+  const telemetry::SpanId span =
+      tele_->tracer().enabled() ? tele_->tracer().next_span() : 0;
   for (auto& link : sp.links_) {
     ensure_connection(sp, link);
-    send_on_link(link, h, payload);
+    send_on_link(link, h, payload, span);
   }
   // Paper §3.3: the polling function is called at least every time a Nexus
   // operation is performed.
@@ -299,12 +320,36 @@ void Context::deliver(Packet pkt) {
   }
   ep.deliveries_ += 1;
   ++rsrs_delivered_;
+  const bool metrics_on = tele_->metrics().enabled();
+  if (metrics_on && pkt.sent_at > 0 && now() >= pkt.sent_at) {
+    cmetrics_->rsr_oneway_ns.add(static_cast<std::uint64_t>(now() -
+                                                            pkt.sent_at));
+  }
+  const bool tracing = tele_->tracer().enabled();
+  std::uint16_t handler_label = 0;
+  if (tracing) {
+    handler_label = tele_->tracer().intern(entry.name);
+    tele_->tracer().record({now(), pkt.span, id_, telemetry::Phase::Dispatch,
+                            handler_label, pkt.payload.size(),
+                            pkt.src});
+  }
   if (runtime_->trace().enabled()) {
     runtime_->trace().record({now(), id_, simnet::TraceKind::Dispatch,
                               entry.name, pkt.payload.size(), ""});
   }
+  const telemetry::SpanId span = pkt.span;
+  const Time handler_start = now();
   util::UnpackBuffer ub(pkt.payload);
   entry.fn(*this, ep, ub);
+  const Time handler_end = now();
+  const std::uint64_t handler_ns = static_cast<std::uint64_t>(
+      handler_end > handler_start ? handler_end - handler_start : 0);
+  if (metrics_on) cmetrics_->handler_ns.add(handler_ns);
+  if (tracing) {
+    tele_->tracer().record({handler_end, span, id_,
+                            telemetry::Phase::HandlerDone, handler_label, 0,
+                            handler_ns});
+  }
 }
 
 void Context::forward(Packet pkt) {
@@ -325,9 +370,18 @@ void Context::forward(Packet pkt) {
   }
   auto conn = cached_connection(table.at(*idx));
   CommModule& m = conn->module();
+  const telemetry::SpanId span = pkt.span;
+  const ContextId dst = pkt.dst;
   const std::uint64_t wire = m.send(*conn, std::move(pkt));
   m.counters().sends += 1;
   m.counters().bytes_sent += wire;
+  if (tele_->metrics().enabled() && m.metrics() != nullptr) {
+    m.metrics()->send_bytes.add(wire);
+  }
+  if (tele_->tracer().enabled()) {
+    tele_->tracer().record({now(), span, id_, telemetry::Phase::Forward,
+                            m.trace_label(), wire, dst});
+  }
   if (runtime_->trace().enabled()) {
     runtime_->trace().record({now(), id_, simnet::TraceKind::Forward,
                               std::string(m.name()), wire, ""});
@@ -420,11 +474,77 @@ const util::MethodCounters& Context::method_counters(
   return m->counters();
 }
 
+telemetry::SelectionReport Context::explain_selection(const Startpoint& sp) {
+  telemetry::SelectionReport rep;
+  rep.selector = std::string(selector_->name());
+  for (const auto& link : sp.links_) {
+    telemetry::LinkReport lr;
+    lr.target = link.context;
+    lr.endpoint = link.endpoint;
+    if (sp.forced_method()) {
+      // A force_method override bypasses the policy entirely: the forced
+      // entry either wins or nothing does.
+      lr.forced = true;
+      const std::string& method = *sp.forced_method();
+      const auto forced_idx = link.table.find(method);
+      for (std::size_t i = 0; i < link.table.size(); ++i) {
+        const CommDescriptor& d = link.table.at(i);
+        telemetry::Candidate c;
+        c.position = i;
+        c.method = d.method;
+        if (forced_idx && i == *forced_idx) {
+          CommModule* m = module(method);
+          if (m == nullptr) {
+            c.status = telemetry::CandidateStatus::NotLoaded;
+            c.detail = "forced, but module '" + method +
+                       "' is not loaded in this context";
+          } else if (!m->applicable(d)) {
+            c.status = telemetry::CandidateStatus::NotApplicable;
+            c.detail = "forced, but the module reports the descriptor "
+                       "unreachable from here";
+          } else {
+            c.status = telemetry::CandidateStatus::Won;
+            c.detail = "forced by application";
+            lr.winner = method;
+          }
+        } else {
+          c.status = telemetry::CandidateStatus::NotForced;
+          c.detail = "application forced '" + method + "'";
+        }
+        lr.candidates.push_back(std::move(c));
+      }
+      lr.reason = lr.winner.empty()
+                      ? "forced method '" + method +
+                            "' is not usable from this context"
+                      : "forced by application";
+    } else {
+      selector_->explain(link.table, *this, lr);
+    }
+    // Forwarding detection (§3.3): does the winning descriptor land the
+    // packet on a relay rather than the target itself?
+    for (const auto& c : lr.candidates) {
+      if (c.status != telemetry::CandidateStatus::Won) continue;
+      CommModule* m = module(c.method);
+      if (m != nullptr) {
+        const ContextId land = m->landing_context(link.table.at(c.position));
+        if (land != link.context) lr.forward_via = land;
+      }
+      break;
+    }
+    rep.links.push_back(std::move(lr));
+  }
+  return rep;
+}
+
 void Context::add_module(std::unique_ptr<CommModule> m) {
   if (module(m->name()) != nullptr) {
     throw util::UsageError("module '" + std::string(m->name()) +
                            "' added twice to context " + std::to_string(id_));
   }
+  // Rebind the module's counters into the registry so the enquiry interface
+  // and the module's own accounting share one set of numbers.
+  m->bind_metrics(tele_->metrics().method(id_, m->name()));
+  m->set_trace_label(tele_->tracer().intern(m->name()));
   modules_.push_back(std::move(m));
 }
 

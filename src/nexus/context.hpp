@@ -26,6 +26,7 @@
 #include "nexus/polling.hpp"
 #include "nexus/selector.hpp"
 #include "nexus/startpoint.hpp"
+#include "nexus/telemetry/telemetry.hpp"
 #include "nexus/types.hpp"
 #include "util/pack.hpp"
 #include "util/resource_db.hpp"
@@ -129,6 +130,11 @@ class Context {
   const std::vector<SelectionRecord>& selection_log() const noexcept {
     return selection_log_;
   }
+  /// Structured selection explanation: for every link of `sp`, report each
+  /// descriptor considered, why it was (or would be) rejected, which wins,
+  /// and whether the winner lands on a forwarding node.  Runs the active
+  /// policy without creating connections or touching the selection log.
+  telemetry::SelectionReport explain_selection(const Startpoint& sp);
   /// This context's own descriptor table, fastest-first (the table attached
   /// to startpoints created here).
   const DescriptorTable& local_table() const noexcept { return local_table_; }
@@ -151,7 +157,7 @@ class Context {
   void ensure_connection(const Startpoint& sp, Startpoint::Link& link);
   std::shared_ptr<CommObject> cached_connection(const CommDescriptor& d);
   void send_on_link(Startpoint::Link& link, HandlerId h,
-                    const util::Bytes& payload);
+                    const util::Bytes& payload, telemetry::SpanId span);
 
   Runtime* runtime_;
   ContextId id_;
@@ -173,6 +179,10 @@ class Context {
 
   std::uint64_t rsrs_sent_ = 0;
   std::uint64_t rsrs_delivered_ = 0;
+
+  // Runtime-owned observability bundle (never null after construction).
+  telemetry::Telemetry* tele_ = nullptr;
+  telemetry::ContextMetrics* cmetrics_ = nullptr;
 
   // Realtime blocking pollers: one thread per method handed off.
   struct BlockingPoller;

@@ -1,8 +1,16 @@
 #include "nexus/module.hpp"
 
+#include "nexus/telemetry/metrics.hpp"
 #include "util/error.hpp"
 
 namespace nexus {
+
+void CommModule::bind_metrics(telemetry::MethodMetrics& mm) noexcept {
+  mm.counters.merge(*counters_);
+  own_counters_ = util::MethodCounters{};
+  counters_ = &mm.counters;
+  metrics_ = &mm;
+}
 
 ModuleRegistry& ModuleRegistry::global() {
   static ModuleRegistry instance;

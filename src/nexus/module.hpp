@@ -24,6 +24,10 @@
 
 namespace nexus {
 
+namespace telemetry {
+struct MethodMetrics;
+}
+
 class Context;
 class CommModule;
 
@@ -118,12 +122,37 @@ class CommModule {
   /// explicitly via Startpoint::force_method for loss-tolerant data.
   virtual bool reliable() const { return true; }
 
-  /// Traffic/poll counters for the enquiry interface.
-  util::MethodCounters& counters() noexcept { return counters_; }
-  const util::MethodCounters& counters() const noexcept { return counters_; }
+  /// The context a packet sent with `remote` lands on first.  Differs from
+  /// remote.context when the target's partition has a forwarding node
+  /// (paper §3.3); the selection-explanation enquiry uses this to report
+  /// the relay.
+  virtual ContextId landing_context(const CommDescriptor& remote) const {
+    return remote.context;
+  }
+
+  /// Traffic/poll counters for the enquiry interface.  Module-local by
+  /// default; the owning context rebinds them into the runtime's
+  /// MetricsRegistry (bind_metrics) so one registry holds every context's
+  /// counters and histograms.
+  util::MethodCounters& counters() noexcept { return *counters_; }
+  const util::MethodCounters& counters() const noexcept { return *counters_; }
+
+  /// Rebind this module's counters into registry-owned storage and attach
+  /// the per-method histograms.  Any counts accumulated before the rebind
+  /// are merged into the new storage.
+  void bind_metrics(telemetry::MethodMetrics& mm) noexcept;
+  telemetry::MethodMetrics* metrics() const noexcept { return metrics_; }
+
+  /// Interned tracer label for this module's name (assigned by the owning
+  /// context so trace records avoid string lookups).
+  std::uint16_t trace_label() const noexcept { return trace_label_; }
+  void set_trace_label(std::uint16_t label) noexcept { trace_label_ = label; }
 
  private:
-  util::MethodCounters counters_;
+  util::MethodCounters own_counters_;
+  util::MethodCounters* counters_ = &own_counters_;
+  telemetry::MethodMetrics* metrics_ = nullptr;
+  std::uint16_t trace_label_ = 0;
 };
 
 /// Factory registry, keyed by method name.  Standing in for the paper's

@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <cassert>
 
+#include "nexus/telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace nexus {
+
+void PollingEngine::attach_telemetry(telemetry::Telemetry& tele,
+                                     std::uint32_t context_id) {
+  tracer_ = &tele.tracer();
+  metrics_ = &tele.metrics();
+  cmetrics_ = &tele.metrics().context(context_id);
+  context_id_ = context_id;
+}
 
 void PollingEngine::add_module(CommModule& module, std::uint64_t skip) {
   Entry e;
@@ -103,6 +112,22 @@ bool PollingEngine::poll_once() {
   // for the entries still to be visited.
   const std::uint64_t iter = ++iteration_;
   clock_->advance(per_iteration_overhead_);
+  const bool metrics_on = cmetrics_ != nullptr && metrics_->enabled();
+  if (metrics_on) {
+    // Sampled poll cadence: one clock read per kPollSampleEvery iterations,
+    // recording the windowed mean interval.
+    if (poll_sample_countdown_ == 0) {
+      const Time tnow = clock_->now();
+      if (last_sample_time_ > 0 && tnow > last_sample_time_) {
+        cmetrics_->poll_interval_ns.add(
+            static_cast<std::uint64_t>(tnow - last_sample_time_) /
+            telemetry::kPollSampleEvery);
+      }
+      last_sample_time_ = tnow;
+      poll_sample_countdown_ = telemetry::kPollSampleEvery;
+    }
+    --poll_sample_countdown_;
+  }
   bool delivered = false;
   for (Entry& e : entries_) {
     if (!e.enabled) continue;
@@ -110,13 +135,26 @@ bool PollingEngine::poll_once() {
     clock_->advance(poll_cost_of(e));
     e.module->counters().polls += 1;
     bool hit = false;
+    std::uint64_t drained = 0;
     while (auto pkt = e.module->poll()) {
       hit = true;
       delivered = true;
+      ++drained;
       e.module->counters().poll_hits += 1;
       e.module->counters().recvs += 1;
       e.module->counters().bytes_received += pkt->wire_size();
+      if (drained == 1 && tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->record({clock_->now(), pkt->span, context_id_,
+                         telemetry::Phase::PollHit, e.module->trace_label(),
+                         pkt->wire_size(), 0});
+      }
+      if (metrics_on && e.module->metrics() != nullptr) {
+        e.module->metrics()->recv_bytes.add(pkt->wire_size());
+      }
       sink_(std::move(*pkt));
+    }
+    if (drained > 0 && metrics_on) {
+      cmetrics_->poll_batch.add(drained);
     }
     if (e.adaptive) {
       if (hit) {

@@ -27,6 +27,13 @@
 
 namespace nexus {
 
+namespace telemetry {
+class Telemetry;
+class Tracer;
+class MetricsRegistry;
+struct ContextMetrics;
+}
+
 class PollingEngine {
  public:
   /// `sink` receives every packet the engine pulls off a module.
@@ -40,6 +47,11 @@ class PollingEngine {
   /// Register a module; entries are kept sorted fastest-first (by
   /// speed_rank) so cheap methods are polled at the front of the loop.
   void add_module(CommModule& module, std::uint64_t skip = 1);
+
+  /// Attach the runtime's observability bundle (called by the owning
+  /// context at construction).  When attached, poll_once samples the poll
+  /// cadence into the context's metrics and records poll-hit trace events.
+  void attach_telemetry(telemetry::Telemetry& tele, std::uint32_t context_id);
 
   /// Per-method skip_poll control.
   void set_skip(std::string_view method, std::uint64_t skip);
@@ -125,6 +137,16 @@ class PollingEngine {
   Time blocking_check_cost_;
   std::vector<Entry> entries_;
   std::uint64_t iteration_ = 0;
+
+  // Observability (see attach_telemetry).  Poll intervals are sampled as
+  // the windowed mean over kPollSampleEvery iterations so the per-poll
+  // overhead stays at one counter increment when metrics are on.
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::ContextMetrics* cmetrics_ = nullptr;
+  std::uint32_t context_id_ = 0;
+  std::uint64_t poll_sample_countdown_ = 0;
+  Time last_sample_time_ = 0;
 };
 
 }  // namespace nexus

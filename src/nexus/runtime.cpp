@@ -1,6 +1,7 @@
 #include "nexus/runtime.hpp"
 
 #include <chrono>
+#include <fstream>
 #include <thread>
 
 #include "proto/register.hpp"
@@ -28,6 +29,10 @@ Runtime::Runtime(RuntimeOptions opts) : opts_(std::move(opts)) {
     rt_ = std::make_unique<RtFabric>(opts_.topology);
     opts_.costs = SimCostParams::realtime(opts_.costs);
   }
+  telemetry_.tracer().set_capacity(opts_.trace_capacity);
+  telemetry_.tracer().enable(opts_.tracing);
+  telemetry_.metrics().enable(opts_.metrics);
+  rt_epoch_ = std::chrono::steady_clock::now();
   proto::register_builtin_modules(registry_);
 }
 
@@ -62,7 +67,20 @@ Context& Runtime::context(ContextId id) {
   return *contexts_[id];
 }
 
+void Runtime::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw util::UsageError("write_chrome_trace: cannot open '" + path + "'");
+  }
+  out << telemetry_.tracer().chrome_json();
+}
+
 std::string Runtime::describe() const {
+  // Counters come from a registry snapshot: modules bind their counters
+  // into the registry, so this is the same data the enquiry dumps
+  // (telemetry().metrics().to_text/to_json) report.
+  const telemetry::MetricsRegistry::Snapshot snap =
+      telemetry_.metrics().snapshot();
   std::string out;
   out += "runtime: " + std::to_string(world_size()) + " contexts, " +
          std::to_string(opts_.topology.partition_count()) + " partitions, " +
@@ -77,7 +95,9 @@ std::string Runtime::describe() const {
     out += "context " + std::to_string(id) + " (partition " +
            std::to_string(opts_.topology.partition_of(id)) + "):\n";
     for (const std::string& m : ctx.methods()) {
-      const auto& c = ctx.method_counters(m);
+      const telemetry::MethodMetrics* mm = snap.find_method(id, m);
+      const util::MethodCounters c =
+          mm != nullptr ? mm->counters : util::MethodCounters{};
       const PollingEngine& engine = ctx.polling_engine();
       out += "  " + m;
       if (!engine.enabled(m)) {
@@ -110,8 +130,9 @@ std::unique_ptr<Context> Runtime::make_context(ContextId id) {
   if (sim_) {
     clock = std::make_unique<SimClock>(sim_->scheduler().process(id));
   } else {
-    clock = std::make_unique<RtClock>(std::chrono::steady_clock::now(),
-                                      rt_->host(id).activity);
+    // All realtime clocks share the runtime's epoch so cross-context
+    // timestamp differences (RSR one-way times) are meaningful.
+    clock = std::make_unique<RtClock>(rt_epoch_, rt_->host(id).activity);
   }
   auto ctx = std::make_unique<Context>(*this, id, std::move(clock),
                                        opts_.costs);

@@ -8,6 +8,7 @@
 // function everywhere) or MPMD (one per context).
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "nexus/context.hpp"
+#include "nexus/telemetry/telemetry.hpp"
 #include "nexus/costs.hpp"
 #include "nexus/descriptor.hpp"
 #include "nexus/fabric.hpp"
@@ -50,6 +52,14 @@ struct RuntimeOptions {
   /// causality; tens of milliseconds are appropriate for the seconds-scale
   /// climate runs.
   simnet::Time sim_slack = 0;
+  /// Span tracing of the RSR lifecycle (docs/ARCHITECTURE.md §7).  Off by
+  /// default; when off, every instrumented site costs one branch.
+  bool tracing = false;
+  /// Ring capacity of the tracer (events; oldest overwritten on wrap).
+  std::size_t trace_capacity = telemetry::Tracer::kDefaultCapacity;
+  /// Histogram metrics (one-way times, handler times, poll cadence, sizes).
+  /// The plain per-method counters always run regardless.
+  bool metrics = true;
 };
 
 class Runtime {
@@ -85,6 +95,13 @@ class Runtime {
   RtFabric* rt() noexcept { return rt_.get(); }
   simnet::TraceRecorder& trace() noexcept { return trace_; }
 
+  /// The observability bundle: span tracer + metrics registry, shared by
+  /// every context of this runtime.
+  telemetry::Telemetry& telemetry() noexcept { return telemetry_; }
+  const telemetry::Telemetry& telemetry() const noexcept { return telemetry_; }
+  /// Write the tracer's Chrome about://tracing JSON to `path`.
+  void write_chrome_trace(const std::string& path) const;
+
   /// Access to a context (valid during and after run(), until destruction).
   Context& context(ContextId id);
 
@@ -103,6 +120,12 @@ class Runtime {
   ModuleRegistry registry_;
   std::unique_ptr<SimFabric> sim_;
   std::unique_ptr<RtFabric> rt_;
+  // Declared before contexts_: modules keep pointers into the registry, so
+  // the bundle must outlive every context.
+  telemetry::Telemetry telemetry_;
+  // Realtime fabric: one shared epoch for all context clocks, so timestamps
+  // (and hence cross-context one-way latencies) are comparable.
+  std::chrono::steady_clock::time_point rt_epoch_;
   std::vector<std::unique_ptr<Context>> contexts_;
   std::vector<DescriptorTable> tables_;
   std::vector<std::function<void(Context&)>> fns_;

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "nexus/context.hpp"
+#include "nexus/telemetry/selection_report.hpp"
 
 namespace nexus {
 
@@ -19,6 +20,41 @@ bool is_reliable(const CommDescriptor& d, Context& local) {
   return m != nullptr && m->reliable();
 }
 }  // namespace
+
+void MethodSelector::explain(const DescriptorTable& table, Context& local,
+                             telemetry::LinkReport& out) {
+  std::string reason;
+  const auto win = select(table, local, reason);
+  out.reason = std::move(reason);
+  if (win) out.winner = table.at(*win).method;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const CommDescriptor& d = table.at(i);
+    telemetry::Candidate c;
+    c.position = i;
+    c.method = d.method;
+    CommModule* m = local.module(d.method);
+    if (win && i == *win) {
+      c.status = telemetry::CandidateStatus::Won;
+      c.detail = out.reason;
+    } else if (m == nullptr) {
+      c.status = telemetry::CandidateStatus::NotLoaded;
+      c.detail = "module '" + d.method + "' is not loaded in this context";
+    } else if (!m->applicable(d)) {
+      c.status = telemetry::CandidateStatus::NotApplicable;
+      c.detail = "module reports the descriptor unreachable from here";
+    } else if (!m->reliable()) {
+      c.status = telemetry::CandidateStatus::UnreliableFallback;
+      c.detail =
+          "usable but unreliable; only wins when nothing reliable applies";
+    } else {
+      c.status = telemetry::CandidateStatus::RankedBehind;
+      c.detail = "applicable (speed rank " + std::to_string(m->speed_rank()) +
+                 ") but '" + out.winner + "' was preferred by the '" +
+                 std::string(name()) + "' policy";
+    }
+    out.candidates.push_back(std::move(c));
+  }
+}
 
 std::optional<std::size_t> FirstApplicableSelector::select(
     const DescriptorTable& table, Context& local, std::string& reason) {

@@ -20,6 +20,10 @@
 
 namespace nexus {
 
+namespace telemetry {
+struct LinkReport;
+}
+
 class Context;
 
 /// Enquiry record of one selection decision.
@@ -40,6 +44,16 @@ class MethodSelector {
   virtual std::optional<std::size_t> select(const DescriptorTable& table,
                                             Context& local,
                                             std::string& reason) = 0;
+
+  /// Fill `out.winner`, `out.reason`, and one Candidate per table entry
+  /// explaining what this policy decides for `table` right now.  The
+  /// default implementation runs select() once and classifies every entry
+  /// (not loaded / not applicable / unreliable fallback / ranked behind);
+  /// policies with richer internal scoring may override to add detail.
+  /// Note this *runs* the policy, so stateful selectors (e.g. random)
+  /// advance their state.
+  virtual void explain(const DescriptorTable& table, Context& local,
+                       telemetry::LinkReport& out);
 };
 
 /// Paper default: ordered scan, first applicable entry wins.

@@ -1,0 +1,48 @@
+// Tiny JSON emission helpers shared by the telemetry exporters.
+//
+// The telemetry subsystem writes JSON by hand (no third-party dependency);
+// everything that goes inside a quoted string must pass through
+// json_escape so exported traces stay machine-parseable no matter what
+// handler or method names an application registers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace nexus::telemetry {
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  out += json_escape(s);
+  out += '"';
+  return out;
+}
+
+}  // namespace nexus::telemetry

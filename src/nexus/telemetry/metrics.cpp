@@ -1,0 +1,185 @@
+#include "nexus/telemetry/metrics.hpp"
+
+#include <algorithm>
+
+#include "nexus/telemetry/json.hpp"
+
+namespace nexus::telemetry {
+
+double Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  if (p <= 0.0) return static_cast<double>(min());
+  if (p >= 100.0) return static_cast<double>(max());
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t b = buckets_[static_cast<std::size_t>(i)];
+    if (b == 0) continue;
+    if (static_cast<double>(cum + b) >= target) {
+      const double frac = (target - static_cast<double>(cum)) /
+                          static_cast<double>(b);
+      const double lo =
+          std::max<double>(static_cast<double>(bucket_floor(i)),
+                           static_cast<double>(min()));
+      const double hi =
+          std::min<double>(static_cast<double>(bucket_ceil(i)),
+                           static_cast<double>(max()));
+      return lo + frac * (hi - lo);
+    }
+    cum += b;
+  }
+  return static_cast<double>(max());
+}
+
+void Histogram::merge(const Histogram& o) noexcept {
+  if (o.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        o.buckets_[static_cast<std::size_t>(i)];
+  }
+  if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+  if (o.max_ > max_) max_ = o.max_;
+  count_ += o.count_;
+  sum_ += o.sum_;
+}
+
+MethodMetrics& MetricsRegistry::method(std::uint32_t context,
+                                       std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto key = std::make_pair(context, std::string(name));
+  auto it = methods_.find(key);
+  if (it == methods_.end()) {
+    it = methods_.emplace(std::move(key), std::make_unique<MethodMetrics>())
+             .first;
+  }
+  return *it->second;
+}
+
+ContextMetrics& MetricsRegistry::context(std::uint32_t context) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = contexts_.find(context);
+  if (it == contexts_.end()) {
+    it = contexts_.emplace(context, std::make_unique<ContextMetrics>()).first;
+  }
+  return *it->second;
+}
+
+const MethodMetrics* MetricsRegistry::Snapshot::find_method(
+    std::uint32_t context, std::string_view name) const {
+  auto it = methods.find(std::make_pair(context, std::string(name)));
+  return it == methods.end() ? nullptr : &it->second;
+}
+
+const ContextMetrics* MetricsRegistry::Snapshot::find_context(
+    std::uint32_t context) const {
+  auto it = contexts.find(context);
+  return it == contexts.end() ? nullptr : &it->second;
+}
+
+namespace {
+std::string hist_summary(std::string_view name, const Histogram& h) {
+  if (h.count() == 0) return "";
+  std::string out("    ");
+  out += name;
+  out += ": n=" + std::to_string(h.count()) +
+         " mean=" + util::fmt_fixed(h.mean(), 1) +
+         " p50=" + util::fmt_fixed(h.percentile(50), 1) +
+         " p99=" + util::fmt_fixed(h.percentile(99), 1) +
+         " min=" + std::to_string(h.min()) +
+         " max=" + std::to_string(h.max()) + "\n";
+  return out;
+}
+
+std::string hist_json(const Histogram& h) {
+  std::string out = "{\"count\":" + std::to_string(h.count()) +
+                    ",\"sum\":" + std::to_string(h.sum()) +
+                    ",\"min\":" + std::to_string(h.min()) +
+                    ",\"max\":" + std::to_string(h.max()) + ",\"buckets\":[";
+  // Emit sparse [index, count] pairs: most of the 65 buckets are empty.
+  bool first = true;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    if (h.bucket_count(i) == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "[";
+    out += std::to_string(i);
+    out += ",";
+    out += std::to_string(h.bucket_count(i));
+    out += "]";
+  }
+  out += "]}";
+  return out;
+}
+}  // namespace
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [key, mm] : methods_) snap.methods[key] = *mm;
+  for (const auto& [id, cm] : contexts_) snap.contexts[id] = *cm;
+  return snap;
+}
+
+std::string MetricsRegistry::to_text() const {
+  const Snapshot snap = snapshot();
+  std::string out;
+  std::uint32_t current = ~std::uint32_t{0};
+  for (const auto& [key, mm] : snap.methods) {
+    if (key.first != current) {
+      current = key.first;
+      out += "context " + std::to_string(current) + ":\n";
+      if (const ContextMetrics* cm = snap.find_context(current)) {
+        out += hist_summary("rsr_oneway_ns", cm->rsr_oneway_ns);
+        out += hist_summary("handler_ns", cm->handler_ns);
+        out += hist_summary("poll_interval_ns", cm->poll_interval_ns);
+        out += hist_summary("poll_batch", cm->poll_batch);
+      }
+    }
+    const util::MethodCounters& c = mm.counters;
+    out += "  " + key.second + ": sent " + std::to_string(c.sends) + "/" +
+           std::to_string(c.bytes_sent) + "B recv " +
+           std::to_string(c.recvs) + "/" + std::to_string(c.bytes_received) +
+           "B polls " + std::to_string(c.polls) + " hits " +
+           std::to_string(c.poll_hits) + "\n";
+    out += hist_summary("send_bytes", mm.send_bytes);
+    out += hist_summary("recv_bytes", mm.recv_bytes);
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const Snapshot snap = snapshot();
+  std::string out = "{\"contexts\":[";
+  bool first_ctx = true;
+  for (const auto& [id, cm] : snap.contexts) {
+    if (!first_ctx) out += ",";
+    first_ctx = false;
+    out += "{\"context\":" + std::to_string(id) +
+           ",\"rsr_oneway_ns\":" + hist_json(cm.rsr_oneway_ns) +
+           ",\"handler_ns\":" + hist_json(cm.handler_ns) +
+           ",\"poll_interval_ns\":" + hist_json(cm.poll_interval_ns) +
+           ",\"poll_batch\":" + hist_json(cm.poll_batch) + "}";
+  }
+  out += "],\"methods\":[";
+  bool first_m = true;
+  for (const auto& [key, mm] : snap.methods) {
+    if (!first_m) out += ",";
+    first_m = false;
+    const util::MethodCounters& c = mm.counters;
+    out += "{\"context\":" + std::to_string(key.first) +
+           ",\"method\":" + json_quote(key.second) +
+           ",\"sends\":" + std::to_string(c.sends) +
+           ",\"recvs\":" + std::to_string(c.recvs) +
+           ",\"bytes_sent\":" + std::to_string(c.bytes_sent) +
+           ",\"bytes_received\":" + std::to_string(c.bytes_received) +
+           ",\"polls\":" + std::to_string(c.polls) +
+           ",\"poll_hits\":" + std::to_string(c.poll_hits) +
+           ",\"send_bytes\":" + hist_json(mm.send_bytes) +
+           ",\"recv_bytes\":" + hist_json(mm.recv_bytes) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace nexus::telemetry

@@ -1,0 +1,147 @@
+// Metrics registry: per-context x per-method counters and log-scale
+// histograms for the quantities the paper's figures are built from (RSR
+// one-way time, handler run time, poll cadence, message sizes).
+//
+// The registry is owned by the Runtime; each CommModule's MethodCounters
+// are rebound into it at module-registration time, so the registry is the
+// single source of truth the enquiry interface (Runtime::describe,
+// snapshot(), to_text/to_json) reads.  Histogram updates happen on the
+// owning context's thread (sim contexts are serialized by the scheduler;
+// realtime contexts update their own entries under the context lock);
+// snapshot() may run concurrently and sees monotone, possibly slightly
+// stale values.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/stats.hpp"
+
+namespace nexus::telemetry {
+
+/// Log2-bucketed histogram of non-negative integer samples (nanoseconds,
+/// bytes, counts).  Bucket 0 holds exactly the value 0; bucket i >= 1 holds
+/// [2^(i-1), 2^i - 1].  Constant size, O(1) add, no allocation.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // value 0 + one per bit of uint64
+
+  static int bucket_index(std::uint64_t v) noexcept {
+    return v == 0 ? 0 : std::bit_width(v);
+  }
+  /// Smallest value belonging to bucket i.
+  static std::uint64_t bucket_floor(int i) noexcept {
+    return i <= 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  /// Largest value belonging to bucket i.
+  static std::uint64_t bucket_ceil(int i) noexcept {
+    if (i <= 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  void add(std::uint64_t v) noexcept {
+    buckets_[static_cast<std::size_t>(bucket_index(v))] += 1;
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  std::uint64_t bucket_count(int i) const noexcept {
+    return (i >= 0 && i < kBuckets) ? buckets_[static_cast<std::size_t>(i)]
+                                    : 0;
+  }
+
+  /// Approximate percentile (p in [0,100]): finds the bucket holding the
+  /// target rank and interpolates linearly inside it.  Exact for min/max
+  /// (clamped to the observed extremes); 0 for an empty histogram.
+  double percentile(double p) const noexcept;
+
+  void merge(const Histogram& o) noexcept;
+  void reset() noexcept { *this = Histogram{}; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Everything tracked for one (context, method) pair.
+struct MethodMetrics {
+  util::MethodCounters counters;  ///< canonical storage; modules bind here
+  Histogram send_bytes;           ///< wire bytes per send
+  Histogram recv_bytes;           ///< wire bytes per received packet
+};
+
+/// Per-context quantities not attributable to a single method.
+struct ContextMetrics {
+  Histogram rsr_oneway_ns;     ///< send clock -> dispatch clock, per RSR
+  Histogram handler_ns;        ///< handler body run time (inclusive)
+  Histogram poll_interval_ns;  ///< unified-poll cadence (see kPollSampleEvery)
+  Histogram poll_batch;        ///< packets drained per hitting poll
+};
+
+/// Poll intervals are sampled once per this many poll_once() iterations
+/// (as the windowed mean over the stride) to keep the poll loop cheap.
+inline constexpr std::uint64_t kPollSampleEvery = 16;
+
+class MetricsRegistry {
+ public:
+  /// Histograms are skipped when disabled; MethodCounters always count
+  /// (they are the seed's enquiry data and cost a few adds per event).
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void enable(bool on = true) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Find-or-create; returned references stay valid for the registry's
+  /// lifetime (entries are never removed).
+  MethodMetrics& method(std::uint32_t context, std::string_view name);
+  ContextMetrics& context(std::uint32_t context);
+
+  struct Snapshot {
+    std::map<std::pair<std::uint32_t, std::string>, MethodMetrics> methods;
+    std::map<std::uint32_t, ContextMetrics> contexts;
+
+    const MethodMetrics* find_method(std::uint32_t context,
+                                     std::string_view name) const;
+    const ContextMetrics* find_context(std::uint32_t context) const;
+  };
+  Snapshot snapshot() const;
+
+  /// Human-readable dump of every metric (counters + histogram summaries).
+  std::string to_text() const;
+  /// Machine-readable dump (one JSON object; histograms as bucket arrays).
+  std::string to_json() const;
+
+ private:
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mutex_;  // guards the maps, not the entries
+  std::map<std::pair<std::uint32_t, std::string>,
+           std::unique_ptr<MethodMetrics>>
+      methods_;
+  std::map<std::uint32_t, std::unique_ptr<ContextMetrics>> contexts_;
+};
+
+}  // namespace nexus::telemetry

@@ -1,0 +1,75 @@
+#include "nexus/telemetry/selection_report.hpp"
+
+#include "nexus/telemetry/json.hpp"
+
+namespace nexus::telemetry {
+
+const char* candidate_status_name(CandidateStatus s) noexcept {
+  switch (s) {
+    case CandidateStatus::Won: return "won";
+    case CandidateStatus::NotLoaded: return "not_loaded";
+    case CandidateStatus::NotApplicable: return "not_applicable";
+    case CandidateStatus::UnreliableFallback: return "unreliable_fallback";
+    case CandidateStatus::RankedBehind: return "ranked_behind";
+    case CandidateStatus::NotForced: return "not_forced";
+  }
+  return "?";
+}
+
+std::string SelectionReport::to_text() const {
+  std::string out = "selection report (policy: " + selector + ")\n";
+  for (const LinkReport& link : links) {
+    out += "  link -> context " + std::to_string(link.target) + " endpoint " +
+           std::to_string(link.endpoint) + ":";
+    if (link.winner.empty()) {
+      out += " NO APPLICABLE METHOD";
+    } else {
+      out += " " + link.winner;
+      if (link.forced) out += " (forced)";
+      if (link.forward_via) {
+        out += " [forwarded via context " + std::to_string(*link.forward_via) +
+               "]";
+      }
+    }
+    out += "\n    reason: " + link.reason + "\n";
+    for (const Candidate& c : link.candidates) {
+      out += "    [" + std::to_string(c.position) + "] " + c.method + ": " +
+             candidate_status_name(c.status);
+      if (!c.detail.empty()) out += " -- " + c.detail;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string SelectionReport::to_json() const {
+  std::string out = "{\"selector\":" + json_quote(selector) + ",\"links\":[";
+  bool first_link = true;
+  for (const LinkReport& link : links) {
+    if (!first_link) out += ",";
+    first_link = false;
+    out += "{\"target\":" + std::to_string(link.target) +
+           ",\"endpoint\":" + std::to_string(link.endpoint) +
+           ",\"forced\":" + (link.forced ? "true" : "false") +
+           ",\"winner\":" + json_quote(link.winner) +
+           ",\"reason\":" + json_quote(link.reason);
+    if (link.forward_via) {
+      out += ",\"forward_via\":" + std::to_string(*link.forward_via);
+    }
+    out += ",\"candidates\":[";
+    bool first_cand = true;
+    for (const Candidate& c : link.candidates) {
+      if (!first_cand) out += ",";
+      first_cand = false;
+      out += "{\"position\":" + std::to_string(c.position) +
+             ",\"method\":" + json_quote(c.method) +
+             ",\"status\":" + json_quote(candidate_status_name(c.status)) +
+             ",\"detail\":" + json_quote(c.detail) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace nexus::telemetry

@@ -1,0 +1,61 @@
+// Structured selection-explanation enquiry (paper §4's "which method and
+// why" questions, answered machine-readably).
+//
+// Context::explain_selection(startpoint) walks each link's descriptor
+// table the way the active policy would and reports, per candidate, why it
+// was rejected (module not loaded, not applicable from here, held back as
+// an unreliable fallback, ranked behind a faster applicable entry, or not
+// the application-forced method) and which descriptor wins.  The report is
+// a plain value: render it with to_text() for terminals or to_json() for
+// tooling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nexus::telemetry {
+
+enum class CandidateStatus : std::uint8_t {
+  Won,                 ///< this descriptor is the selected one
+  NotLoaded,           ///< the method's module is not loaded locally
+  NotApplicable,       ///< module loaded, but applicable(descriptor) is false
+  UnreliableFallback,  ///< usable, but unreliable methods only win when
+                       ///< nothing reliable applies (or via force_method)
+  RankedBehind,        ///< usable, but the policy preferred another entry
+  NotForced,           ///< a forced method is in effect and this is not it
+};
+
+const char* candidate_status_name(CandidateStatus s) noexcept;
+
+/// One descriptor-table entry's fate during selection.
+struct Candidate {
+  std::size_t position = 0;  ///< index in the link's descriptor table
+  std::string method;
+  CandidateStatus status = CandidateStatus::NotApplicable;
+  std::string detail;  ///< human-readable elaboration
+};
+
+/// Selection outcome for one link of the startpoint.
+struct LinkReport {
+  std::uint32_t target = 0;    ///< destination context
+  std::uint64_t endpoint = 0;  ///< destination endpoint
+  bool forced = false;         ///< a force_method override is in effect
+  std::string winner;          ///< selected method; empty if none applies
+  std::string reason;          ///< the policy's reason string
+  /// Set when the winning method lands the packet on a different context
+  /// than the target (the forwarding configuration of paper §3.3).
+  std::optional<std::uint32_t> forward_via;
+  std::vector<Candidate> candidates;  ///< one per table entry, table order
+};
+
+struct SelectionReport {
+  std::string selector;  ///< name of the policy that was consulted
+  std::vector<LinkReport> links;
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+}  // namespace nexus::telemetry

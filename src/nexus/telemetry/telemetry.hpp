@@ -1,0 +1,25 @@
+// The observability bundle a Runtime owns: one tracer + one metrics
+// registry shared by every context.  See tracer.hpp / metrics.hpp /
+// selection_report.hpp for the pieces; docs/ARCHITECTURE.md §7 for the
+// design rationale.
+#pragma once
+
+#include "nexus/telemetry/metrics.hpp"
+#include "nexus/telemetry/selection_report.hpp"
+#include "nexus/telemetry/tracer.hpp"
+
+namespace nexus::telemetry {
+
+class Telemetry {
+ public:
+  Tracer& tracer() noexcept { return tracer_; }
+  const Tracer& tracer() const noexcept { return tracer_; }
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+ private:
+  Tracer tracer_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace nexus::telemetry

@@ -1,0 +1,196 @@
+#include "nexus/telemetry/tracer.hpp"
+
+#include <algorithm>
+
+#include "nexus/telemetry/json.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace nexus::telemetry {
+
+const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::Send: return "send";
+    case Phase::Select: return "select";
+    case Phase::Enqueue: return "enqueue";
+    case Phase::PollHit: return "poll_hit";
+    case Phase::Dispatch: return "dispatch";
+    case Phase::HandlerDone: return "handler_done";
+    case Phase::Forward: return "forward";
+    case Phase::Drop: return "drop";
+    case Phase::Custom: return "custom";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) {
+  ring_.resize(std::max<std::size_t>(8, capacity));
+  labels_.emplace_back("");  // id 0 = unnamed
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.assign(std::max<std::size_t>(8, capacity), Event{});
+  head_ = 0;
+  warned_wrap_ = false;
+}
+
+std::size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint16_t Tracer::intern(std::string_view label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = label_ids_.find(label);
+  if (it != label_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint16_t>(labels_.size());
+  labels_.emplace_back(label);
+  label_ids_.emplace(std::string(label), id);
+  return id;
+}
+
+std::string Tracer::label_name(std::uint16_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return id < labels_.size() ? labels_[id] : std::string("?");
+}
+
+void Tracer::record(const Event& ev) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[head_ % ring_.size()] = ev;
+  ++head_;
+  if (head_ == ring_.size() + 1 && !warned_wrap_) {
+    warned_wrap_ = true;
+    util::log_warn("telemetry", "trace ring wrapped after ", ring_.size(),
+                   " events; oldest events are being overwritten");
+  }
+}
+
+void Tracer::record_custom(Time when, std::uint32_t context,
+                           std::string_view what) {
+  if (!enabled()) return;
+  Event ev;
+  ev.when = when;
+  ev.context = context;
+  ev.phase = Phase::Custom;
+  ev.label = intern(what);
+  record(ev);
+}
+
+std::vector<Event> Tracer::snapshot_locked() const {
+  const std::size_t cap = ring_.size();
+  const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
+      head_, cap));
+  std::vector<Event> out;
+  out.reserve(n);
+  const std::uint64_t first = head_ - n;
+  for (std::uint64_t i = first; i < head_; ++i) {
+    out.push_back(ring_[i % cap]);
+  }
+  return out;
+}
+
+std::vector<Event> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_locked();
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return head_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return head_ > ring_.size() ? head_ - ring_.size() : 0;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  head_ = 0;
+  warned_wrap_ = false;
+}
+
+namespace {
+/// Chrome trace timestamps are microseconds; ours are nanoseconds.
+std::string chrome_ts(Time ns) {
+  return util::fmt_fixed(static_cast<double>(ns) / 1000.0, 3);
+}
+}  // namespace
+
+std::string Tracer::chrome_json() const {
+  std::vector<Event> evs;
+  std::vector<std::string> labels;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    evs = snapshot_locked();
+    labels = labels_;
+  }
+  auto name_of = [&](const Event& ev) {
+    std::string n = phase_name(ev.phase);
+    if (ev.label != 0 && ev.label < labels.size()) {
+      n += ":";
+      n += labels[ev.label];
+    }
+    return n;
+  };
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& fields) {
+    if (!first) out += ",";
+    first = false;
+    out += "{" + fields + "}";
+  };
+  for (const Event& ev : evs) {
+    const std::string common =
+        "\"ts\":" + chrome_ts(ev.when) +
+        ",\"pid\":" + std::to_string(ev.context) + ",\"tid\":0";
+    const std::string args = ",\"args\":{\"span\":" + std::to_string(ev.span) +
+                             ",\"size\":" + std::to_string(ev.size) +
+                             ",\"aux\":" + std::to_string(ev.aux) + "}";
+    // Span-linked lifecycle: an async begin at the send, an end at each
+    // dispatch.  Chrome matches begin/end by (cat, id) across processes,
+    // which is exactly the cross-context linkage a span provides.
+    if (ev.span != 0 && ev.phase == Phase::Send) {
+      emit("\"name\":" + json_quote(name_of(ev)) +
+           ",\"cat\":\"rsr\",\"ph\":\"b\",\"id\":" + std::to_string(ev.span) +
+           "," + common + args);
+    } else if (ev.span != 0 && ev.phase == Phase::Dispatch) {
+      emit("\"name\":" + json_quote(name_of(ev)) +
+           ",\"cat\":\"rsr\",\"ph\":\"e\",\"id\":" + std::to_string(ev.span) +
+           "," + common + args);
+    }
+    emit("\"name\":" + json_quote(name_of(ev)) +
+         ",\"cat\":\"nexus\",\"ph\":\"i\",\"s\":\"t\"," + common + args);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::text_timeline() const {
+  std::vector<Event> evs;
+  std::vector<std::string> labels;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    evs = snapshot_locked();
+    labels = labels_;
+  }
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const Event& a, const Event& b) { return a.when < b.when; });
+  std::string out;
+  for (const Event& ev : evs) {
+    out += "t=" + util::fmt_fixed(static_cast<double>(ev.when) / 1000.0, 3) +
+           "us ctx" + std::to_string(ev.context) + " " + phase_name(ev.phase);
+    if (ev.label != 0 && ev.label < labels.size()) {
+      out += " " + labels[ev.label];
+    }
+    if (ev.span != 0) out += " span=" + std::to_string(ev.span);
+    if (ev.size != 0) out += " size=" + std::to_string(ev.size);
+    if (ev.aux != 0) out += " aux=" + std::to_string(ev.aux);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace nexus::telemetry

@@ -1,0 +1,121 @@
+// Bounded ring-buffer event tracer for the RSR lifecycle.
+//
+// One span is allocated per RSR at send time and travels with the packet
+// (Packet::span), so the send in one context and the dispatch in another
+// are linked by the same id even across a forwarding hop.  The tracer is
+// runtime-off by default: every instrumented site pays exactly one relaxed
+// atomic load (enabled()) on the hot path.  When enabled, record() claims a
+// slot in a fixed-capacity ring under a mutex whose critical section is a
+// single struct copy -- safe to call from realtime context threads and
+// blocking pollers; when the ring wraps, the oldest events are overwritten
+// and dropped() counts what was lost (no allocation, no unbounded growth).
+//
+// Exports: Chrome about://tracing JSON (spans become async begin/end pairs
+// matched by id across contexts) and a compact text timeline for terminals.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simnet/time.hpp"
+
+namespace nexus::telemetry {
+
+using Time = simnet::Time;
+using SpanId = std::uint64_t;
+
+/// Lifecycle stages of an RSR as seen by the instrumentation points.
+enum class Phase : std::uint8_t {
+  Send,         ///< context handed the packet to a method's send()
+  Select,       ///< method selection ran for a link (first use)
+  Enqueue,      ///< module posted the packet into the destination queue
+  PollHit,      ///< a poll of a method found at least one packet
+  Dispatch,     ///< handler invocation begins at the destination
+  HandlerDone,  ///< handler invocation returned
+  Forward,      ///< a forwarding node re-sent a packet toward its dst
+  Drop,         ///< an unreliable method lost the packet
+  Custom,       ///< application-recorded marker
+};
+
+const char* phase_name(Phase p) noexcept;
+
+/// One trace record.  Fixed-size (labels are interned to small ids) so the
+/// ring is a flat array and recording never allocates.
+struct Event {
+  Time when = 0;             ///< context-local clock (virtual or wall), ns
+  SpanId span = 0;           ///< RSR correlation id; 0 = not span-scoped
+  std::uint32_t context = 0; ///< context that recorded the event
+  Phase phase = Phase::Custom;
+  std::uint16_t label = 0;   ///< interned name (method, handler, marker)
+  std::uint64_t size = 0;    ///< wire or payload bytes, if meaningful
+  std::uint64_t aux = 0;     ///< phase-specific: target/source context,
+                             ///< scheduled arrival time, ...
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  /// The one hot-path check: instrumented sites do nothing else when off.
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void enable(bool on = true) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Resize the ring (drops recorded events).  Capacity is clamped to >= 8.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  /// Allocate a fresh span id (never returns 0).
+  SpanId next_span() noexcept {
+    return next_span_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Intern a label string, returning a stable small id.  Cold path: call
+  /// once per distinct method/handler name, not per event.
+  std::uint16_t intern(std::string_view label);
+  /// Name for an interned id ("?" for unknown ids).
+  std::string label_name(std::uint16_t id) const;
+
+  void record(const Event& ev);
+  /// Application-facing marker, e.g. phase boundaries of an experiment.
+  void record_custom(Time when, std::uint32_t context, std::string_view what);
+
+  /// Snapshot of retained events, oldest first.
+  std::vector<Event> events() const;
+  /// Total events ever recorded (including overwritten ones).
+  std::uint64_t recorded() const;
+  /// Events lost to ring wrap-around.
+  std::uint64_t dropped() const;
+  void clear();
+
+  /// Chrome about://tracing JSON ({"traceEvents": [...]}).  Each event is an
+  /// instant; span-carrying Send/Dispatch pairs additionally emit async
+  /// begin/end records matched by span id across contexts (pids).
+  std::string chrome_json() const;
+  /// Compact human-readable timeline, time-ordered.
+  std::string text_timeline() const;
+
+ private:
+  std::vector<Event> snapshot_locked() const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<SpanId> next_span_{1};
+  mutable std::mutex mutex_;  // guards ring_, head_, labels_
+  std::vector<Event> ring_;
+  std::uint64_t head_ = 0;  // total recorded; next slot is head_ % capacity
+  bool warned_wrap_ = false;
+  std::vector<std::string> labels_;
+  std::map<std::string, std::uint16_t, std::less<>> label_ids_;
+};
+
+}  // namespace nexus::telemetry

@@ -38,7 +38,17 @@ struct Packet {
   std::uint8_t hops = 0;
   util::Bytes payload;
 
-  /// Bytes this packet occupies on a wire: header plus payload.
+  // --- observability metadata (not modelled as wire bytes) ---
+  /// Trace span id linking this RSR's send to its dispatch across contexts;
+  /// 0 when tracing is disabled.  Preserved across forwarding hops and
+  /// multicast replication.
+  std::uint64_t span = 0;
+  /// Sender's clock at send time, for the one-way latency histogram.
+  Time sent_at = 0;
+
+  /// Bytes this packet occupies on a wire: header plus payload.  The
+  /// span/sent_at telemetry fields are deliberately excluded -- they are
+  /// debugging metadata, not part of the modelled protocol.
   std::uint64_t wire_size() const noexcept {
     return kHeaderBytes + payload.size();
   }

@@ -1,6 +1,7 @@
 #include "proto/rt_modules.hpp"
 
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 #include "proto/codec.hpp"
 #include "proto/sim_modules.hpp"  // pair_key, kMulticastBase
@@ -71,9 +72,18 @@ std::unique_ptr<CommObject> RtQueueModule::connect(
                                   RtDescData::unpack(remote.data).landing);
 }
 
+ContextId RtQueueModule::landing_context(const CommDescriptor& remote) const {
+  return RtDescData::unpack(remote.data).landing;
+}
+
 std::uint64_t RtQueueModule::enqueue(ContextId landing, Packet packet) {
   RtHost& host = fabric().host(landing);
   const std::uint64_t wire = packet.wire_size();
+  telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
+  if (tr.enabled()) {
+    tr.record({ctx_->now(), packet.span, ctx_->id(),
+               telemetry::Phase::Enqueue, trace_label(), wire, landing});
+  }
   host.queue(name()).push(std::move(packet));
   host.activity->notify();
   return wire;
@@ -109,6 +119,15 @@ std::uint64_t RtUdpModule::send(CommObject& conn, Packet packet) {
   const std::uint64_t wire = packet.wire_size();
   if (rng_.chance(drop_prob_)) {
     ++dropped_;
+    util::log_debug("udp", "context " + std::to_string(context().id()) +
+                               " dropped a " + std::to_string(wire) +
+                               "-byte datagram to context " +
+                               std::to_string(packet.dst));
+    telemetry::Tracer& tr = context().runtime().telemetry().tracer();
+    if (tr.enabled()) {
+      tr.record({context().now(), packet.span, context().id(),
+                 telemetry::Phase::Drop, trace_label(), wire, packet.dst});
+    }
     return wire;
   }
   return RtQueueModule::send(conn, std::move(packet));

@@ -62,6 +62,9 @@ class RtQueueModule : public CommModule {
   CommDescriptor local_descriptor() const override;
   bool applicable(const CommDescriptor& remote) const override;
   std::unique_ptr<CommObject> connect(const CommDescriptor& remote) override;
+  /// The landing context packed into the descriptor (the forwarder for
+  /// tcp-class methods in a forwarded partition).
+  ContextId landing_context(const CommDescriptor& remote) const override;
   std::uint64_t send(CommObject& conn, Packet packet) override;
   std::optional<Packet> poll() override;
   Time poll_cost() const override { return 0; }
@@ -120,6 +123,11 @@ class RtMcastModule final : public RtQueueModule {
  public:
   explicit RtMcastModule(Context& ctx);
   std::unique_ptr<CommObject> connect(const CommDescriptor& remote) override;
+  /// Group descriptors carry a group id, not RtDescData; there is no single
+  /// landing context.
+  ContextId landing_context(const CommDescriptor& remote) const override {
+    return remote.context;
+  }
   std::uint64_t send(CommObject& conn, Packet packet) override;
   bool reliable() const override { return false; }
 };

@@ -4,6 +4,7 @@
 
 #include "proto/codec.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace nexus::proto {
 
@@ -17,6 +18,16 @@ util::Bytes pack_u32(std::uint32_t v) {
 std::uint32_t unpack_u32(const util::Bytes& data) {
   util::UnpackBuffer ub(data);
   return ub.get_u32();
+}
+
+/// Trace the hand-off of a packet into `landing`'s inbox (aux = scheduled
+/// arrival).  Call before the packet is moved into the mailbox.
+void trace_enqueue(Context& ctx, const CommModule& m, const Packet& pkt,
+                   std::uint64_t wire, Time arrival) {
+  telemetry::Tracer& tr = ctx.runtime().telemetry().tracer();
+  if (!tr.enabled()) return;
+  tr.record({ctx.now(), pkt.span, ctx.id(), telemetry::Phase::Enqueue,
+             m.trace_label(), wire, static_cast<std::uint64_t>(arrival)});
 }
 }  // namespace
 
@@ -64,6 +75,7 @@ std::uint64_t SimModuleBase::transmit(ContextId landing, Packet packet,
   const Time arrival =
       now() + costs_.latency +
       simnet::transfer_time(wire, costs_.mb_s / bw_divisor);
+  trace_enqueue(*ctx_, *this, packet, wire, arrival);
   fabric().host(landing).box(name_).post(arrival, std::move(packet));
   return wire;
 }
@@ -188,6 +200,7 @@ std::uint64_t TcpSimModule::send(CommObject& conn, Packet packet) {
     arrival += excess * excess * incast_stall_;
   }
   dest.tcp_inflight_bytes += wire;
+  trace_enqueue(*ctx_, *this, packet, wire, arrival);
   dest.box(name()).post(arrival, std::move(packet));
   return wire;
 }
@@ -221,6 +234,10 @@ std::unique_ptr<CommObject> TcpSimModule::connect(
   return std::make_unique<SimConn>(*this, remote, unpack_u32(remote.data));
 }
 
+ContextId TcpSimModule::landing_context(const CommDescriptor& remote) const {
+  return unpack_u32(remote.data);
+}
+
 // ------------------------------------------------------------------ udp ---
 
 UdpSimModule::UdpSimModule(Context& ctx)
@@ -252,10 +269,20 @@ std::uint64_t UdpSimModule::send(CommObject& conn, Packet packet) {
   const std::uint64_t wire = packet.wire_size();
   if (rng_.chance(drop_prob_)) {
     ++dropped_;
+    util::log_debug("udp", "context " + std::to_string(ctx_->id()) +
+                               " dropped a " + std::to_string(wire) +
+                               "-byte datagram to context " +
+                               std::to_string(packet.dst));
+    telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
+    if (tr.enabled()) {
+      tr.record({now(), packet.span, ctx_->id(), telemetry::Phase::Drop,
+                 trace_label(), wire, packet.dst});
+    }
     return wire;  // it left the host; the network lost it
   }
   const Time arrival =
       now() + costs_.latency + simnet::transfer_time(wire, costs_.mb_s);
+  trace_enqueue(*ctx_, *this, packet, wire, arrival);
   fabric()
       .host(static_cast<SimConn&>(conn).landing())
       .box(name())
@@ -397,6 +424,7 @@ std::uint64_t McastSimModule::send(CommObject& conn, Packet packet) {
     Packet copy = packet;
     copy.dst = member;
     copy.endpoint = endpoint;
+    trace_enqueue(*ctx_, *this, copy, wire, arrival);
     fabric().host(member).box(name()).post(arrival, std::move(copy));
   }
   return wire;

@@ -125,6 +125,9 @@ class TcpSimModule final : public SimModuleBase {
   CommDescriptor local_descriptor() const override;
   bool applicable(const CommDescriptor& remote) const override;
   std::unique_ptr<CommObject> connect(const CommDescriptor& remote) override;
+  /// TCP descriptors carry an explicit landing context (the partition's
+  /// forwarder when one is configured); expose it for the enquiry layer.
+  ContextId landing_context(const CommDescriptor& remote) const override;
   /// Adds the incast-collapse stall when the receiver is overloaded.
   std::uint64_t send(CommObject& conn, Packet packet) override;
   std::optional<Packet> poll() override;

@@ -1,14 +1,15 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace nexus::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_mutex;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -21,17 +22,57 @@ const char* level_name(LogLevel l) {
   }
   return "?";
 }
+
+/// NEXUS_LOG=<level> overrides the default threshold for the process.  An
+/// unrecognized value keeps the default and says so once on stderr.
+LogLevel initial_level() {
+  const char* env = std::getenv("NEXUS_LOG");
+  if (env == nullptr || *env == '\0') return LogLevel::Warn;
+  if (auto l = parse_log_level(env)) return *l;
+  std::fprintf(stderr,
+               "[WARN ] log: unrecognized NEXUS_LOG value '%s' "
+               "(expected trace|debug|info|warn|error|off)\n",
+               env);
+  return LogLevel::Warn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
+std::mutex g_mutex;
+
+/// Process-start reference for the timestamp column.
+const std::chrono::steady_clock::time_point g_epoch =
+    std::chrono::steady_clock::now();
+
 }  // namespace
+
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return std::nullopt;
+}
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
 void log_line(LogLevel level, std::string_view component, std::string_view msg) {
   if (level < g_level.load()) return;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - g_epoch)
+          .count();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(msg.size()), msg.data());
+  std::fprintf(stderr, "[%12.6f] [%-5s] %.*s: %.*s\n", elapsed,
+               level_name(level), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(msg.size()), msg.data());
 }
 
 }  // namespace nexus::util

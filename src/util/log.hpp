@@ -2,9 +2,14 @@
 //
 // The runtime is used from benchmarks where output volume matters, so the
 // default level is Warn; tests raise it when diagnosing failures.  The
-// logger is process-global and thread-safe.
+// logger is process-global and thread-safe.  Lines carry a seconds-since-
+// process-start timestamp and a level tag:
+//   [   12.345678] [WARN ] component: message
+// The NEXUS_LOG environment variable (trace|debug|info|warn|error|off)
+// overrides the initial threshold.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -16,6 +21,10 @@ enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off =
 /// Set/get the global logging threshold.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+/// Parse a level name (case-insensitive: trace, debug, info, warn/warning,
+/// error, off/none); nullopt for anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
 
 /// Emit one log line (already formatted) if `level` passes the threshold.
 void log_line(LogLevel level, std::string_view component, std::string_view msg);

@@ -62,7 +62,14 @@ double SampleSet::mean() const noexcept {
 
 double SampleSet::percentile(double p) const {
   if (samples_.empty()) throw std::out_of_range("percentile of empty set");
+  // The negated comparison also rejects NaN.
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw std::invalid_argument("percentile: p must be in [0, 100]");
+  }
   ensure_sorted();
+  // Linear interpolation between closest ranks: the target rank is
+  // p/100 * (n-1); p=0 is the minimum, p=100 the maximum, and a
+  // single-sample set returns that sample for every p.
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, samples_.size() - 1);

@@ -45,7 +45,11 @@ class SampleSet {
   }
   std::size_t count() const noexcept { return samples_.size(); }
   double mean() const noexcept;
-  /// Exact percentile by nearest-rank; p in [0, 100].
+  /// Exact percentile with linear interpolation between closest ranks
+  /// (target rank = p/100 * (count-1)): percentile(0) is the minimum,
+  /// percentile(100) the maximum, and a single-sample set returns that
+  /// sample for every p.  Throws std::out_of_range on an empty set and
+  /// std::invalid_argument when p is outside [0, 100] (including NaN).
   double percentile(double p) const;
   double min() const;
   double max() const;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/stats.hpp"
 
@@ -77,6 +78,36 @@ TEST(SampleSet, EmptyPercentileThrows) {
   SampleSet s;
   EXPECT_THROW(s.percentile(50), std::out_of_range);
   EXPECT_THROW(s.min(), std::out_of_range);
+}
+
+TEST(SampleSet, PercentileRejectsOutOfRangeP) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-0.001), std::invalid_argument);
+  EXPECT_THROW(s.percentile(100.001), std::invalid_argument);
+  EXPECT_THROW(s.percentile(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  // The boundaries themselves are fine.
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 1.0);
+}
+
+TEST(SampleSet, SingleSampleReturnsItForEveryP) {
+  SampleSet s;
+  s.add(42.0);
+  for (double p : {0.0, 12.5, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(s.percentile(p), 42.0) << "p=" << p;
+  }
+}
+
+TEST(SampleSet, InterpolatesBetweenClosestRanks) {
+  // rank = p/100 * (n-1); with samples {10, 20}, p=25 -> rank 0.25 -> 12.5.
+  SampleSet s;
+  s.add(20.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 12.5);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 15.0);
+  EXPECT_DOUBLE_EQ(s.percentile(75), 17.5);
 }
 
 TEST(MethodCounters, MergeAccumulates) {
