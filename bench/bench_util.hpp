@@ -4,12 +4,95 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nexus/runtime.hpp"
 #include "util/stats.hpp"
 
 namespace bench {
+
+/// Git revision baked in by bench/CMakeLists.txt; "unknown" outside a git
+/// checkout.
+inline const char* git_rev() {
+#ifdef BENCH_GIT_REV
+  return BENCH_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+/// Shared BENCH_*.json results writer.  Every micro benchmark funnels its
+/// rows through this so successive perf PRs produce comparable artifacts:
+///   {"bench": ..., "git_rev": ..., "results": [
+///      {"name": ..., "params": {...}, "ns_per_op": ..., "allocs_per_op": ...}]}
+/// allocs_per_op is omitted for benches that do not hook the allocator.
+class JsonResultWriter {
+ public:
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> params;
+    double ns_per_op = 0.0;
+    double allocs_per_op = -1.0;  ///< < 0 means "not measured"
+  };
+
+  explicit JsonResultWriter(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  void add(std::string name,
+           std::vector<std::pair<std::string, std::string>> params,
+           double ns_per_op, double allocs_per_op = -1.0) {
+    rows_.push_back(Row{std::move(name), std::move(params), ns_per_op,
+                        allocs_per_op});
+  }
+
+  const std::vector<Row>& rows() const noexcept { return rows_; }
+
+  /// Serialize all rows; returns false if the file cannot be written.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"git_rev\": \"%s\",\n",
+                 escape(bench_).c_str(), escape(git_rev()).c_str());
+    std::fprintf(f, "  \"results\": [");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"params\": {",
+                   i == 0 ? "" : ",", escape(r.name).c_str());
+      for (std::size_t j = 0; j < r.params.size(); ++j) {
+        std::fprintf(f, "%s\"%s\": \"%s\"", j == 0 ? "" : ", ",
+                     escape(r.params[j].first).c_str(),
+                     escape(r.params[j].second).c_str());
+      }
+      std::fprintf(f, "}, \"ns_per_op\": %.3f", r.ns_per_op);
+      if (r.allocs_per_op >= 0) {
+        std::fprintf(f, ", \"allocs_per_op\": %.4f", r.allocs_per_op);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<Row> rows_;
+};
 
 using nexus::Context;
 using nexus::Runtime;

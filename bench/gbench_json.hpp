@@ -1,0 +1,85 @@
+// Bridge from google-benchmark runs to the shared BENCH_*.json artifact
+// format (bench_util.hpp's JsonResultWriter), so the gbench-based micro
+// benches produce the same machine-readable rows as the hand-rolled
+// harnesses and CI can archive/validate them uniformly.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace bench {
+
+/// ConsoleReporter subclass that keeps the normal console table and mirrors
+/// every per-iteration run into JsonResultWriter rows (real time, converted
+/// to ns/op).  Aggregate and errored runs are skipped.
+class JsonBridgeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonBridgeReporter(JsonResultWriter& writer) : writer_(&writer) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& r : reports) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      double to_ns = 1.0;
+      switch (r.time_unit) {
+        case benchmark::kSecond: to_ns = 1e9; break;
+        case benchmark::kMillisecond: to_ns = 1e6; break;
+        case benchmark::kMicrosecond: to_ns = 1e3; break;
+        case benchmark::kNanosecond: to_ns = 1.0; break;
+      }
+      writer_->add(r.benchmark_name(),
+                   {{"iterations", std::to_string(r.iterations)}},
+                   r.GetAdjustedRealTime() * to_ns);
+    }
+  }
+
+ private:
+  JsonResultWriter* writer_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body: runs all registered
+/// benchmarks through the JSON bridge and writes `default_out` afterwards.
+/// A leading `--out=PATH` argument overrides the output path; all other
+/// arguments pass through to google-benchmark (e.g. --benchmark_filter,
+/// --benchmark_min_time for CI smoke runs).
+inline int gbench_json_main(int argc, char** argv, const char* bench_name,
+                            const char* default_out) {
+  std::string out_path = default_out;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a.rfind("--out=", 0) == 0) {
+      out_path = std::string(a.substr(6));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+
+  JsonResultWriter writer(bench_name);
+  JsonBridgeReporter reporter(writer);
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (ran == 0) {
+    std::fprintf(stderr, "no benchmarks matched\n");
+    return 1;
+  }
+  if (!writer.write(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace bench

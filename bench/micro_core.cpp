@@ -5,6 +5,7 @@
 // selection, handler dispatch, and the wrapper codecs.
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.hpp"
 #include "nexus/descriptor.hpp"
 #include "nexus/handler.hpp"
 #include "nexus/runtime.hpp"
@@ -142,4 +143,7 @@ BENCHMARK(BM_SimulatedRoundtrip)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return bench::gbench_json_main(argc, argv, "micro_core",
+                                 "BENCH_micro_core.json");
+}

@@ -9,6 +9,7 @@
 // RsrRoundtrip/all_off: the acceptance budget is <= 5% overhead.
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.hpp"
 #include "nexus/runtime.hpp"
 #include "nexus/telemetry/telemetry.hpp"
 
@@ -105,4 +106,7 @@ BENCHMARK(BM_HistogramAdd);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return bench::gbench_json_main(argc, argv, "micro_telemetry",
+                                 "BENCH_micro_telemetry.json");
+}

@@ -21,17 +21,13 @@ constexpr int kCouplingTag = 501;
 
 Bytes pack_profile(const std::vector<double>& p) {
   PackBuffer pb(p.size() * 8 + 4);
-  pb.put_u32(static_cast<std::uint32_t>(p.size()));
-  for (double x : p) pb.put_f64(x);
+  pb.put_f64_vector(p);
   return pb.take();
 }
 
 std::vector<double> unpack_profile(const Bytes& raw) {
   UnpackBuffer ub(raw);
-  const std::uint32_t n = ub.get_u32();
-  std::vector<double> p(n);
-  for (auto& x : p) x = ub.get_f64();
-  return p;
+  return ub.get_f64_vector();
 }
 }  // namespace
 

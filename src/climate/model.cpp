@@ -18,19 +18,14 @@ constexpr int kTransposeTag = 103;
 
 Bytes pack_row(std::span<const double> row) {
   PackBuffer pb(row.size() * 8 + 4);
-  pb.put_u32(static_cast<std::uint32_t>(row.size()));
-  for (double x : row) pb.put_f64(x);
+  pb.put_f64_vector(row);
   return pb.take();
 }
 
 void unpack_row(std::span<const nexus::util::Byte> raw,
                 std::span<double> row) {
   UnpackBuffer ub(raw);
-  const std::uint32_t n = ub.get_u32();
-  if (n != row.size()) {
-    throw nexus::util::UsageError("halo row size mismatch");
-  }
-  for (auto& x : row) x = ub.get_f64();
+  ub.get_f64_vector_into(row);
 }
 }  // namespace
 
@@ -155,8 +150,7 @@ std::vector<double> BandModel::global_zonal_profile() {
   auto local = field_.zonal_means();
   PackBuffer pb;
   pb.put_i32(field_.row0());
-  pb.put_u32(static_cast<std::uint32_t>(local.size()));
-  for (double x : local) pb.put_f64(x);
+  pb.put_f64_vector(local);
 
   auto parts = comm_.gather(pb.bytes(), 0);
   Bytes wire;
@@ -171,16 +165,12 @@ std::vector<double> BandModel::global_zonal_profile() {
       }
     }
     PackBuffer out;
-    out.put_u32(static_cast<std::uint32_t>(profile.size()));
-    for (double x : profile) out.put_f64(x);
+    out.put_f64_vector(profile);
     wire = out.take();
   }
   comm_.bcast(wire, 0);
   UnpackBuffer ub(wire);
-  const std::uint32_t n = ub.get_u32();
-  std::vector<double> profile(n);
-  for (auto& x : profile) x = ub.get_f64();
-  return profile;
+  return ub.get_f64_vector();
 }
 
 void BandModel::set_coupled_profile(std::vector<double> profile) {

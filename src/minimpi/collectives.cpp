@@ -50,17 +50,12 @@ void apply_op(std::vector<double>& acc, const std::vector<double>& in,
 
 std::vector<double> unpack_doubles(ByteSpan raw) {
   UnpackBuffer ub(raw);
-  const std::uint32_t n = ub.get_u32();
-  std::vector<double> out;
-  out.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) out.push_back(ub.get_f64());
-  return out;
+  return ub.get_f64_vector();
 }
 
 Bytes pack_doubles(std::span<const double> v) {
   PackBuffer pb(v.size() * 8 + 4);
-  pb.put_u32(static_cast<std::uint32_t>(v.size()));
-  for (double x : v) pb.put_f64(x);
+  pb.put_f64_vector(v);
   return pb.take();
 }
 

@@ -255,19 +255,14 @@ Status Comm::probe(int src, int tag) {
 
 void Comm::send_doubles(std::span<const double> data, int dst, int tag) {
   PackBuffer pb(data.size() * 8 + 4);
-  pb.put_u32(static_cast<std::uint32_t>(data.size()));
-  for (double x : data) pb.put_f64(x);
+  pb.put_f64_vector(data);
   send(pb.bytes(), dst, tag);
 }
 
 std::vector<double> Comm::recv_doubles(int src, int tag, Status* s) {
   Bytes raw = recv(src, tag, s);
   UnpackBuffer ub(raw);
-  const std::uint32_t n = ub.get_u32();
-  std::vector<double> out;
-  out.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) out.push_back(ub.get_f64());
-  return out;
+  return ub.get_f64_vector();
 }
 
 }  // namespace minimpi

@@ -93,7 +93,7 @@ Endpoint& Context::endpoint(EndpointId id) {
 }
 
 bool Context::has_endpoint(EndpointId id) const {
-  return endpoints_.count(id) != 0;
+  return endpoints_.contains(id);
 }
 
 void Context::destroy_endpoint(EndpointId id) {
@@ -140,9 +140,17 @@ Startpoint Context::world_startpoint(ContextId target) const {
   return sp;
 }
 
+Context::MethodId Context::intern_method(std::string_view name) {
+  auto it = method_ids_.find(name);
+  if (it != method_ids_.end()) return it->second;
+  const MethodId id = static_cast<MethodId>(method_ids_.size());
+  method_ids_.emplace(std::string(name), id);
+  return id;
+}
+
 std::shared_ptr<CommObject> Context::cached_connection(
     const CommDescriptor& d) {
-  const auto key = std::make_pair(d.method, d.context);
+  const auto key = std::make_pair(intern_method(d.method), d.context);
   auto it = connections_.find(key);
   if (it != connections_.end()) return it->second;
   CommModule* m = module(d.method);
@@ -196,13 +204,14 @@ void Context::ensure_connection(const Startpoint& sp, Startpoint::Link& link) {
 }
 
 void Context::send_on_link(Startpoint::Link& link, HandlerId h,
-                           const util::Bytes& payload, telemetry::SpanId span) {
+                           const util::SharedBytes& payload,
+                           telemetry::SpanId span) {
   Packet pkt;
   pkt.src = id_;
   pkt.dst = link.context;
   pkt.endpoint = link.endpoint;
   pkt.handler = h;
-  pkt.payload = payload;
+  pkt.payload = payload;  // aliases the caller's buffer: two atomic ops
   pkt.span = span;
 
   clock_->advance(costs_.rsr_send_overhead);
@@ -224,15 +233,14 @@ void Context::send_on_link(Startpoint::Link& link, HandlerId h,
   }
 }
 
-void Context::rsr(Startpoint& sp, std::string_view handler,
-                  util::Bytes payload) {
+void Context::rsr(Startpoint& sp, HandlerId handler,
+                  util::SharedBytes payload) {
   if (!sp.bound()) {
     throw util::UsageError("rsr on an unbound startpoint");
   }
   std::unique_lock<std::recursive_mutex> lock;
   if (rt_mutex_) lock = std::unique_lock<std::recursive_mutex>(*rt_mutex_);
 
-  const HandlerId h = HandlerTable::id_of(handler);
   ++rsrs_sent_;
   // One span per RSR: every link of a multicast shares it, and forwarding
   // nodes pass it through, so send and dispatch line up across contexts.
@@ -240,20 +248,39 @@ void Context::rsr(Startpoint& sp, std::string_view handler,
       tele_->tracer().enabled() ? tele_->tracer().next_span() : 0;
   for (auto& link : sp.links_) {
     ensure_connection(sp, link);
-    send_on_link(link, h, payload, span);
+    send_on_link(link, handler, payload, span);
   }
   // Paper §3.3: the polling function is called at least every time a Nexus
   // operation is performed.
   engine_->poll_once();
 }
 
+void Context::rsr(Startpoint& sp, HandlerId handler,
+                  const util::PackBuffer& args) {
+  rsr(sp, handler, util::SharedBytes::copy_of(args.bytes()));
+}
+
+void Context::rsr(Startpoint& sp, HandlerId handler) {
+  rsr(sp, handler, util::SharedBytes{});
+}
+
+void Context::rsr(Startpoint& sp, std::string_view handler,
+                  util::SharedBytes payload) {
+  rsr(sp, HandlerTable::id_of(handler), std::move(payload));
+}
+
+void Context::rsr(Startpoint& sp, std::string_view handler,
+                  util::Bytes payload) {
+  rsr(sp, HandlerTable::id_of(handler), util::SharedBytes(std::move(payload)));
+}
+
 void Context::rsr(Startpoint& sp, std::string_view handler,
                   const util::PackBuffer& args) {
-  rsr(sp, handler, args.bytes());
+  rsr(sp, HandlerTable::id_of(handler), util::SharedBytes::copy_of(args.bytes()));
 }
 
 void Context::rsr(Startpoint& sp, std::string_view handler) {
-  rsr(sp, handler, util::Bytes{});
+  rsr(sp, HandlerTable::id_of(handler), util::SharedBytes{});
 }
 
 void Context::pack_startpoint(util::PackBuffer& pb,
@@ -339,7 +366,7 @@ void Context::deliver(Packet pkt) {
   }
   const telemetry::SpanId span = pkt.span;
   const Time handler_start = now();
-  util::UnpackBuffer ub(pkt.payload);
+  util::UnpackBuffer ub(pkt.payload.span());
   entry.fn(*this, ep, ub);
   const Time handler_end = now();
   const std::uint64_t handler_ns = static_cast<std::uint64_t>(
@@ -360,15 +387,25 @@ void Context::forward(Packet pkt) {
                             std::to_string(pkt.dst) + ")");
   }
   clock_->advance(costs_.dispatch_overhead);
-  const DescriptorTable& table = runtime_->table_of(pkt.dst);
-  std::string reason;
-  auto idx = selector_->select(table, *this, reason);
-  if (!idx) {
-    throw util::MethodError("forwarder " + std::to_string(id_) +
-                            " has no applicable method to reach context " +
-                            std::to_string(pkt.dst));
+  // Steady-state forwarding resolves the route (selection + connection)
+  // once per destination; the cache is invalidated whenever the selection
+  // policy or poll configuration changes.
+  std::shared_ptr<CommObject> conn;
+  if (auto cached = forward_routes_.find(pkt.dst);
+      cached != forward_routes_.end()) {
+    conn = cached->second;
+  } else {
+    const DescriptorTable& table = runtime_->table_of(pkt.dst);
+    std::string reason;
+    auto idx = selector_->select(table, *this, reason);
+    if (!idx) {
+      throw util::MethodError("forwarder " + std::to_string(id_) +
+                              " has no applicable method to reach context " +
+                              std::to_string(pkt.dst));
+    }
+    conn = cached_connection(table.at(*idx));
+    forward_routes_.emplace(pkt.dst, conn);
   }
-  auto conn = cached_connection(table.at(*idx));
   CommModule& m = conn->module();
   const telemetry::SpanId span = pkt.span;
   const ContextId dst = pkt.dst;
@@ -399,6 +436,7 @@ std::uint64_t Context::skip_poll(std::string_view method) const {
 
 void Context::set_poll_enabled(std::string_view method, bool enabled) {
   engine_->set_enabled(method, enabled);
+  forward_routes_.clear();
   update_interference();
 }
 
@@ -441,6 +479,7 @@ void Context::set_blocking_poller(std::string_view method, bool on) {
 void Context::set_selector(std::unique_ptr<MethodSelector> selector) {
   if (!selector) throw util::UsageError("set_selector: null selector");
   selector_ = std::move(selector);
+  forward_routes_.clear();
 }
 
 std::vector<std::string> Context::methods() const {

@@ -71,6 +71,12 @@ class Context {
   void destroy_endpoint(EndpointId id);
   HandlerId register_handler(std::string_view name, Handler fn,
                              HandlerKind kind = HandlerKind::NonThreaded);
+  /// The wire id `name` dispatches to (the FNV-1a hash; stable across
+  /// contexts).  Steady-state senders resolve once and use the
+  /// rsr(sp, HandlerId, ...) overloads to skip per-call hashing.
+  static HandlerId resolve_handler(std::string_view name) noexcept {
+    return HandlerTable::id_of(name);
+  }
 
   // --- startpoints & links ---
   /// Create an unbound startpoint.
@@ -85,7 +91,16 @@ class Context {
 
   // --- the communication operation ---
   /// Asynchronous remote service request: ship `payload` to every endpoint
-  /// linked to `sp` and invoke `handler` there.
+  /// linked to `sp` and invoke `handler` there.  The shared buffer is
+  /// aliased (never copied) by every link of a multicast and by forwarding
+  /// hops; see docs/ARCHITECTURE.md §8.
+  void rsr(Startpoint& sp, HandlerId handler, util::SharedBytes payload);
+  void rsr(Startpoint& sp, HandlerId handler, const util::PackBuffer& args);
+  /// Zero-payload RSR by pre-resolved handler id.
+  void rsr(Startpoint& sp, HandlerId handler);
+  /// Name-based conveniences: hash the handler name per call.
+  void rsr(Startpoint& sp, std::string_view handler,
+           util::SharedBytes payload);
   void rsr(Startpoint& sp, std::string_view handler, util::Bytes payload);
   void rsr(Startpoint& sp, std::string_view handler,
            const util::PackBuffer& args);
@@ -151,13 +166,17 @@ class Context {
   void update_interference();
 
  private:
+  /// Small integer id for an interned method name (connection-cache keys).
+  using MethodId = std::uint32_t;
+
   void deliver(Packet pkt);
   void dispatch_local(Packet pkt);
   void forward(Packet pkt);
   void ensure_connection(const Startpoint& sp, Startpoint::Link& link);
   std::shared_ptr<CommObject> cached_connection(const CommDescriptor& d);
+  MethodId intern_method(std::string_view name);
   void send_on_link(Startpoint::Link& link, HandlerId h,
-                    const util::Bytes& payload, telemetry::SpanId span);
+                    const util::SharedBytes& payload, telemetry::SpanId span);
 
   Runtime* runtime_;
   ContextId id_;
@@ -172,8 +191,15 @@ class Context {
   EndpointId next_endpoint_id_ = 1;
 
   std::unique_ptr<MethodSelector> selector_;
-  std::map<std::pair<std::string, ContextId>, std::shared_ptr<CommObject>>
+  /// Method names interned to dense ids so connection-cache keys carry no
+  /// string construction or comparison on the hot path.
+  std::map<std::string, MethodId, std::less<>> method_ids_;
+  std::map<std::pair<MethodId, ContextId>, std::shared_ptr<CommObject>>
       connections_;
+  /// Steady-state forwarding route per final destination: selection and
+  /// connection lookup run once per destination, not once per packet.
+  /// Invalidated when the selection policy or poll configuration changes.
+  std::map<ContextId, std::shared_ptr<CommObject>> forward_routes_;
   std::vector<SelectionRecord> selection_log_;
   DescriptorTable local_table_;
 

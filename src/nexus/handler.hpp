@@ -38,7 +38,7 @@ class HandlerTable {
   HandlerId add(std::string_view name, Handler fn,
                 HandlerKind kind = HandlerKind::NonThreaded);
 
-  bool contains(HandlerId id) const { return handlers_.count(id) != 0; }
+  bool contains(HandlerId id) const { return handlers_.contains(id); }
 
   struct Entry {
     std::string name;

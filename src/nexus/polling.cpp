@@ -19,6 +19,7 @@ void PollingEngine::attach_telemetry(telemetry::Telemetry& tele,
 void PollingEngine::add_module(CommModule& module, std::uint64_t skip) {
   Entry e;
   e.module = &module;
+  e.cost = module.poll_cost();
   e.skip = std::max<std::uint64_t>(1, skip);
   entries_.push_back(e);
   std::stable_sort(entries_.begin(), entries_.end(),
@@ -193,6 +194,33 @@ std::uint64_t PollingEngine::detection_steps(const Entry& target,
   const Time now = clock_->now();
   const Time need = arrival > now ? arrival - now : 0;
 
+  // Fast path: with every enabled method at skip 1 (the common case) each
+  // iteration costs the same, so the detecting slot is a division instead
+  // of a binary search over cost_of_next.
+  bool uniform = true;
+  for (const Entry& e : entries_) {
+    if (e.enabled && e.skip != 1) {
+      uniform = false;
+      break;
+    }
+  }
+  if (uniform) {
+    Time head = per_iteration_overhead_;
+    for (const Entry& e : entries_) {
+      if (!e.enabled) continue;
+      head += poll_cost_of(e);
+      if (&e == &target) break;
+    }
+    if (head >= need) return 1;
+    const Time full = full_iteration_cost();
+    if (full <= 0) {
+      throw util::UsageError(
+          "polling engine cannot make progress: zero-cost iterations while "
+          "waiting for a future arrival");
+    }
+    return 1 + static_cast<std::uint64_t>((need - head + full - 1) / full);
+  }
+
   // Cost from the start of iteration (iteration_ + n) up to and including
   // the poll of `target` within that iteration; n must be a poll slot of
   // `target`.
@@ -273,17 +301,29 @@ bool PollingEngine::fast_forward() {
 
 void PollingEngine::account_idle(Time dt) {
   if (dt <= 0 || cost_of_next(1) <= 0 || cost_of_next(1) > dt) return;
-  std::uint64_t lo = 1, hi = 2;
-  while (cost_of_next(hi) <= dt && hi < (1ull << 40)) {
-    lo = hi;
-    hi *= 2;
+  bool uniform = true;
+  for (const Entry& e : entries_) {
+    if (e.enabled && e.skip != 1) {
+      uniform = false;
+      break;
+    }
   }
-  while (lo + 1 < hi) {
-    const std::uint64_t mid = lo + (hi - lo) / 2;
-    if (cost_of_next(mid) <= dt) {
-      lo = mid;
-    } else {
-      hi = mid;
+  std::uint64_t lo = 1, hi = 2;
+  if (uniform) {
+    // Constant per-iteration cost: the iteration count is a division.
+    lo = static_cast<std::uint64_t>(dt / full_iteration_cost());
+  } else {
+    while (cost_of_next(hi) <= dt && hi < (1ull << 40)) {
+      lo = hi;
+      hi *= 2;
+    }
+    while (lo + 1 < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (cost_of_next(mid) <= dt) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
     }
   }
   for (Entry& e : entries_) {

@@ -93,6 +93,10 @@ class PollingEngine {
  private:
   struct Entry {
     CommModule* module = nullptr;
+    /// module->poll_cost(), cached at registration: the cost is a fixed
+    /// parameter of the method, and the fast-forward binary search calls
+    /// poll_cost_of millions of times per run.
+    Time cost = 0;
     std::uint64_t skip = 1;
     bool enabled = true;
     bool blocking = false;
@@ -107,7 +111,7 @@ class PollingEngine {
 
   /// Per-poll cost of an entry (cheap check when blocking-serviced).
   Time poll_cost_of(const Entry& e) const {
-    return e.blocking ? blocking_check_cost_ : e.module->poll_cost();
+    return e.blocking ? blocking_check_cost_ : e.cost;
   }
 
   /// Virtual time consumed by iterations (iteration_, iteration_ + n].

@@ -8,6 +8,7 @@
 #include "simnet/time.hpp"
 #include "util/bytes.hpp"
 #include "util/pack.hpp"
+#include "util/shared_bytes.hpp"
 
 namespace nexus {
 
@@ -23,9 +24,12 @@ inline constexpr ContextId kNoContext =
 
 /// Serialized remote service request as it travels between contexts.
 ///
-/// The payload is always canonically-encoded bytes (produced by PackBuffer),
-/// so moving a Packet between in-process "address spaces" carries no shared
-/// pointers -- contexts stay logically isolated.
+/// The payload is always canonically-encoded bytes (produced by PackBuffer)
+/// held in an immutable shared buffer: multicast links, forwarding hops,
+/// and mailbox entries all alias the single buffer the sender produced
+/// instead of copying it.  Contexts stay logically isolated because the
+/// shared bytes are read-only -- a receiver can only observe or copy them,
+/// never mutate another recipient's view (docs/ARCHITECTURE.md §8).
 struct Packet {
   ContextId src = kNoContext;
   ContextId dst = kNoContext;
@@ -36,7 +40,7 @@ struct Packet {
   /// (dst is then the final destination; the forwarder compares dst with
   /// its own id.)
   std::uint8_t hops = 0;
-  util::Bytes payload;
+  util::SharedBytes payload;
 
   // --- observability metadata (not modelled as wire bytes) ---
   /// Trace span id linking this RSR's send to its dispatch across contexts;

@@ -90,7 +90,17 @@ std::uint64_t RtQueueModule::enqueue(ContextId landing, Packet packet) {
 }
 
 std::uint64_t RtQueueModule::send(CommObject& conn, Packet packet) {
-  return enqueue(static_cast<RtConn&>(conn).landing(), std::move(packet));
+  RtConn& c = static_cast<RtConn&>(conn);
+  RtHost& host = route_host(c);
+  const std::uint64_t wire = packet.wire_size();
+  telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
+  if (tr.enabled()) {
+    tr.record({ctx_->now(), packet.span, ctx_->id(),
+               telemetry::Phase::Enqueue, trace_label(), wire, c.landing()});
+  }
+  route(c).push(std::move(packet));
+  host.activity->notify();
+  return wire;
 }
 
 std::optional<Packet> RtQueueModule::poll() { return inbox_->try_pop(); }
@@ -138,16 +148,16 @@ RtSecureModule::RtSecureModule(Context& ctx)
                     /*blocking_capable=*/false) {}
 
 std::uint64_t RtSecureModule::send(CommObject& conn, Packet packet) {
-  packet.payload =
-      seal(packet.payload, SecureSimModule::pair_key(packet.src, packet.dst));
+  packet.payload = seal(packet.payload.span(),
+                        SecureSimModule::pair_key(packet.src, packet.dst));
   return RtQueueModule::send(conn, std::move(packet));
 }
 
 std::optional<Packet> RtSecureModule::poll() {
   auto pkt = RtQueueModule::poll();
   if (pkt) {
-    pkt->payload =
-        open(pkt->payload, SecureSimModule::pair_key(pkt->src, pkt->dst));
+    pkt->payload = open(pkt->payload.span(),
+                        SecureSimModule::pair_key(pkt->src, pkt->dst));
   }
   return pkt;
 }
@@ -157,13 +167,13 @@ RtZrleModule::RtZrleModule(Context& ctx)
                     /*blocking_capable=*/false) {}
 
 std::uint64_t RtZrleModule::send(CommObject& conn, Packet packet) {
-  packet.payload = rle_encode(packet.payload);
+  packet.payload = rle_encode(packet.payload.span());
   return RtQueueModule::send(conn, std::move(packet));
 }
 
 std::optional<Packet> RtZrleModule::poll() {
   auto pkt = RtQueueModule::poll();
-  if (pkt) pkt->payload = rle_decode(pkt->payload);
+  if (pkt) pkt->payload = rle_decode(pkt->payload.span());
   return pkt;
 }
 

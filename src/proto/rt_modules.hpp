@@ -39,7 +39,13 @@ class RtConn final : public CommObject {
   ContextId landing() const noexcept { return landing_; }
 
  private:
+  friend class RtQueueModule;
   ContextId landing_;
+  // Destination host and queue, resolved on first send and cached (fabric
+  // map nodes are stable).  Never set for group-addressed (mcast)
+  // connections, where landing_ is a group id.
+  RtHost* host_ = nullptr;
+  util::ConcurrentQueue<Packet>* queue_ = nullptr;
 };
 
 class RtQueueModule : public CommModule {
@@ -54,6 +60,17 @@ class RtQueueModule : public CommModule {
   RtFabric& fabric() const;
   /// Deliver a packet into `landing`'s queue for this method.
   std::uint64_t enqueue(ContextId landing, Packet packet);
+  /// Destination host of a direct (context-addressed) connection, resolved
+  /// once per connection instead of once per packet.
+  RtHost& route_host(RtConn& conn) {
+    if (conn.host_ == nullptr) conn.host_ = &fabric().host(conn.landing());
+    return *conn.host_;
+  }
+  /// Destination queue for this method on the connection's landing host.
+  util::ConcurrentQueue<Packet>& route(RtConn& conn) {
+    if (conn.queue_ == nullptr) conn.queue_ = &route_host(conn).queue(name_);
+    return *conn.queue_;
+  }
 
  public:
 

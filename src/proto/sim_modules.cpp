@@ -65,18 +65,18 @@ std::unique_ptr<CommObject> SimModuleBase::connect(
 }
 
 std::uint64_t SimModuleBase::send(CommObject& conn, Packet packet) {
-  return transmit(static_cast<SimConn&>(conn).landing(), std::move(packet));
+  return transmit_into(route(static_cast<SimConn&>(conn)), std::move(packet));
 }
 
-std::uint64_t SimModuleBase::transmit(ContextId landing, Packet packet,
-                                      double bw_divisor) {
+std::uint64_t SimModuleBase::transmit_into(simnet::Mailbox<Packet>& box,
+                                           Packet packet, double bw_divisor) {
   ctx_->clock().advance(costs_.send_cpu);
   const std::uint64_t wire = packet.wire_size();
   const Time arrival =
       now() + costs_.latency +
       simnet::transfer_time(wire, costs_.mb_s / bw_divisor);
   trace_enqueue(*ctx_, *this, packet, wire, arrival);
-  fabric().host(landing).box(name_).post(arrival, std::move(packet));
+  box.post(arrival, std::move(packet));
   return wire;
 }
 
@@ -167,11 +167,11 @@ bool MplSimModule::applicable(const CommDescriptor& remote) const {
 }
 
 std::uint64_t MplSimModule::send(CommObject& conn, Packet packet) {
-  const ContextId landing = static_cast<SimConn&>(conn).landing();
+  SimConn& c = static_cast<SimConn&>(conn);
   // Kernel-call interference (paper §3.3): the receiver's TCP polling slows
   // the drain of this transfer; modelled as a bandwidth divisor.
-  const double drag = fabric().host(landing).inbound_drag;
-  return transmit(landing, std::move(packet), drag);
+  const double drag = route_host(c).inbound_drag;
+  return transmit_into(route(c), std::move(packet), drag);
 }
 
 // ------------------------------------------------------------------ tcp ---
@@ -187,13 +187,14 @@ TcpSimModule::TcpSimModule(Context& ctx)
       incast_stall_(ctx.costs().tcp_incast_stall) {}
 
 std::uint64_t TcpSimModule::send(CommObject& conn, Packet packet) {
-  const ContextId landing = static_cast<SimConn&>(conn).landing();
-  SimHost& dest = fabric().host(landing);
+  SimConn& c = static_cast<SimConn&>(conn);
+  SimHost& dest = route_host(c);
+  simnet::Mailbox<Packet>& box = route(c);
   ctx_->clock().advance(costs_.send_cpu);
   const std::uint64_t wire = packet.wire_size();
   Time arrival =
       now() + costs_.latency + simnet::transfer_time(wire, costs_.mb_s);
-  const std::uint64_t pending = dest.box(name()).pending();
+  const std::uint64_t pending = box.pending();
   if (incast_stall_ > 0 && pending > incast_threshold_ &&
       dest.tcp_inflight_bytes > incast_bytes_) {
     const auto excess = static_cast<Time>(pending - incast_threshold_);
@@ -201,7 +202,7 @@ std::uint64_t TcpSimModule::send(CommObject& conn, Packet packet) {
   }
   dest.tcp_inflight_bytes += wire;
   trace_enqueue(*ctx_, *this, packet, wire, arrival);
-  dest.box(name()).post(arrival, std::move(packet));
+  box.post(arrival, std::move(packet));
   return wire;
 }
 
@@ -283,10 +284,7 @@ std::uint64_t UdpSimModule::send(CommObject& conn, Packet packet) {
   const Time arrival =
       now() + costs_.latency + simnet::transfer_time(wire, costs_.mb_s);
   trace_enqueue(*ctx_, *this, packet, wire, arrival);
-  fabric()
-      .host(static_cast<SimConn&>(conn).landing())
-      .box(name())
-      .post(arrival, std::move(packet));
+  route(static_cast<SimConn&>(conn)).post(arrival, std::move(packet));
   return wire;
 }
 
@@ -334,14 +332,16 @@ bool SecureSimModule::applicable(const CommDescriptor& remote) const {
 std::uint64_t SecureSimModule::send(CommObject& conn, Packet packet) {
   ctx_->clock().advance(static_cast<Time>(packet.payload.size()) *
                         cpu_per_byte_);
-  packet.payload = seal(packet.payload, pair_key(packet.src, packet.dst));
+  // Transform methods replace the shared buffer rather than mutating it:
+  // other aliases of the plaintext payload are unaffected.
+  packet.payload = seal(packet.payload.span(), pair_key(packet.src, packet.dst));
   return SimModuleBase::send(conn, std::move(packet));
 }
 
 std::optional<Packet> SecureSimModule::poll() {
   auto pkt = SimModuleBase::poll();
   if (pkt) {
-    pkt->payload = open(pkt->payload, pair_key(pkt->src, pkt->dst));
+    pkt->payload = open(pkt->payload.span(), pair_key(pkt->src, pkt->dst));
     ctx_->clock().advance(static_cast<Time>(pkt->payload.size()) *
                           cpu_per_byte_);
   }
@@ -369,14 +369,14 @@ bool CompressSimModule::applicable(const CommDescriptor& remote) const {
 std::uint64_t CompressSimModule::send(CommObject& conn, Packet packet) {
   ctx_->clock().advance(static_cast<Time>(packet.payload.size()) *
                         cpu_per_byte_);
-  packet.payload = rle_encode(packet.payload);
+  packet.payload = rle_encode(packet.payload.span());
   return SimModuleBase::send(conn, std::move(packet));
 }
 
 std::optional<Packet> CompressSimModule::poll() {
   auto pkt = SimModuleBase::poll();
   if (pkt) {
-    pkt->payload = rle_decode(pkt->payload);
+    pkt->payload = rle_decode(pkt->payload.span());
     ctx_->clock().advance(static_cast<Time>(pkt->payload.size()) *
                           cpu_per_byte_);
   }

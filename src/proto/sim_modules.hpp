@@ -50,7 +50,13 @@ class SimConn final : public CommObject {
   ContextId landing() const noexcept { return landing_; }
 
  private:
+  friend class SimModuleBase;
   ContextId landing_;
+  // Destination host and inbox, resolved on first send and cached for the
+  // connection's lifetime (fabric map nodes are stable).  Never set for
+  // group-addressed (mcast) connections, where landing_ is a group id.
+  SimHost* host_ = nullptr;
+  simnet::Mailbox<Packet>* box_ = nullptr;
 };
 
 class SimModuleBase : public CommModule {
@@ -73,10 +79,21 @@ class SimModuleBase : public CommModule {
   SimFabric& fabric() const;
   Time now() const { return ctx_->now(); }
   int my_partition() const;
-  /// Charge sender CPU, compute the arrival time, and post into `landing`'s
-  /// inbox for this method.  `bw_divisor` > 1 slows the transfer (used by
-  /// the interference drag).
-  std::uint64_t transmit(ContextId landing, Packet packet, double bw_divisor = 1.0);
+  /// Destination host of a direct (context-addressed) connection, resolved
+  /// once per connection instead of once per packet.
+  SimHost& route_host(SimConn& conn) {
+    if (conn.host_ == nullptr) conn.host_ = &fabric().host(conn.landing());
+    return *conn.host_;
+  }
+  /// Destination inbox for this method on the connection's landing host.
+  simnet::Mailbox<Packet>& route(SimConn& conn) {
+    if (conn.box_ == nullptr) conn.box_ = &route_host(conn).box(name_);
+    return *conn.box_;
+  }
+  /// Charge sender CPU, compute the arrival time, and post into `box`.
+  /// `bw_divisor` > 1 slows the transfer (used by the interference drag).
+  std::uint64_t transmit_into(simnet::Mailbox<Packet>& box, Packet packet,
+                              double bw_divisor = 1.0);
 
   Context* ctx_;
   std::string name_;

@@ -30,7 +30,7 @@ bool StreamSimModule::applicable(const CommDescriptor& remote) const {
 }
 
 std::uint64_t StreamSimModule::send(CommObject& conn, Packet packet) {
-  const ContextId landing = static_cast<SimConn&>(conn).landing();
+  simnet::Mailbox<Packet>& box = route(static_cast<SimConn&>(conn));
   const std::uint64_t stream = next_stream_id_++;
   const std::uint64_t size = packet.payload.size();
   const auto total = static_cast<std::uint32_t>(
@@ -45,9 +45,8 @@ std::uint64_t StreamSimModule::send(CommObject& conn, Packet packet) {
     frag.put_u64(stream);
     frag.put_u32(index);
     frag.put_u32(total);
-    frag.put_bytes(util::ByteSpan(packet.payload)
-                       .subspan(static_cast<std::size_t>(off),
-                                static_cast<std::size_t>(len)));
+    frag.put_bytes(packet.payload.span().subspan(
+        static_cast<std::size_t>(off), static_cast<std::size_t>(len)));
 
     Packet piece;
     piece.src = packet.src;
@@ -55,7 +54,7 @@ std::uint64_t StreamSimModule::send(CommObject& conn, Packet packet) {
     piece.endpoint = packet.endpoint;
     piece.handler = packet.handler;
     piece.hops = packet.hops;
-    piece.payload = frag.take();
+    piece.payload = frag.release();
 
     // Fragments pipeline: the sender pays CPU per fragment, and each
     // fragment's transfer follows the previous one on the wire.
@@ -64,8 +63,7 @@ std::uint64_t StreamSimModule::send(CommObject& conn, Packet packet) {
     wire_total += wire;
     const Time depart = std::max(arrival, now());
     arrival = depart + simnet::transfer_time(wire, costs_.mb_s);
-    fabric().host(landing).box(name()).post(arrival + costs_.latency,
-                                            std::move(piece));
+    box.post(arrival + costs_.latency, std::move(piece));
     ++fragments_sent_;
   }
   return wire_total;
@@ -74,7 +72,7 @@ std::uint64_t StreamSimModule::send(CommObject& conn, Packet packet) {
 std::optional<Packet> StreamSimModule::poll() {
   while (auto piece = SimModuleBase::poll()) {
     ++fragments_received_;
-    util::UnpackBuffer ub(piece->payload);
+    util::UnpackBuffer ub(piece->payload.span());
     const std::uint64_t stream = ub.get_u64();
     const std::uint32_t index = ub.get_u32();
     const std::uint32_t total = ub.get_u32();

@@ -18,6 +18,12 @@
 
 namespace nexus::simnet {
 
+/// The common traffic pattern -- one steady sender, or senders whose
+/// arrival stamps happen to be monotone -- keeps a mailbox in FIFO mode:
+/// a plain vector with a consumed-prefix index, so post is an append and
+/// poll is a move-out (no heap sift of whole entries).  The first
+/// out-of-order post converts the live suffix into a (arrival, seq)
+/// min-heap; the mailbox drops back to FIFO mode once it drains.
 template <typename T>
 class Mailbox {
  public:
@@ -26,39 +32,85 @@ class Mailbox {
 
   /// Deliver `item` at virtual time `arrival`.
   void post(Time arrival, T item) {
-    entries_.push_back(Entry{arrival, seq_++, std::move(item)});
-    std::push_heap(entries_.begin(), entries_.end(), Later{});
-    sched_->wake_at(*owner_, arrival);
+    if (!heap_) {
+      if (entries_.size() == head_ || arrival >= entries_.back().arrival) {
+        entries_.push_back(Entry{arrival, seq_++, std::move(item)});
+      } else {
+        // Out-of-order arrival: shed the consumed prefix and heapify the
+        // live entries.
+        entries_.erase(entries_.begin(),
+                       entries_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+        entries_.push_back(Entry{arrival, seq_++, std::move(item)});
+        std::make_heap(entries_.begin(), entries_.end(), Later{});
+        heap_ = true;
+      }
+    } else {
+      entries_.push_back(Entry{arrival, seq_++, std::move(item)});
+      std::push_heap(entries_.begin(), entries_.end(), Later{});
+    }
+    // One live wake timer at <= the earliest pending arrival suffices to
+    // resume a blocked owner; burst senders would otherwise push one timer
+    // per item through the scheduler's heap.  A timer that fires while the
+    // owner is runnable is dropped by the scheduler -- poll() re-arms when
+    // it notices the cover is gone (fired_until has passed it).
+    if (!timer_covers(arrival)) arm(arrival);
   }
 
   /// Pop the earliest item whose arrival time has been reached.
   std::optional<T> poll(Time now) {
-    if (entries_.empty() || entries_.front().arrival > now) return std::nullopt;
-    std::pop_heap(entries_.begin(), entries_.end(), Later{});
-    T item = std::move(entries_.back().item);
-    entries_.pop_back();
+    if (head_ == entries_.size()) return std::nullopt;
+    if (entries_[heap_ ? 0 : head_].arrival > now) {
+      // Future traffic only: make sure an unfired wake still covers it (the
+      // posting-time timer may have fired and been dropped while the owner
+      // was runnable), so the owner can safely block after this miss.
+      ensure_cover(now);
+      return std::nullopt;
+    }
+    T item;
+    if (heap_) {
+      std::pop_heap(entries_.begin(), entries_.end(), Later{});
+      item = std::move(entries_.back().item);
+      entries_.pop_back();
+      if (entries_.empty()) heap_ = false;
+    } else {
+      item = std::move(entries_[head_].item);
+      ++head_;
+      if (head_ == entries_.size()) {
+        entries_.clear();  // capacity retained for the next burst
+        head_ = 0;
+      } else if (head_ >= 64 && head_ * 2 >= entries_.size()) {
+        entries_.erase(entries_.begin(),
+                       entries_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+      }
+    }
+    if (head_ != entries_.size()) ensure_cover(now);
     return item;
   }
 
   /// Earliest arrival time among all queued items (even future ones).
   std::optional<Time> earliest() const {
-    if (entries_.empty()) return std::nullopt;
-    return entries_.front().arrival;
+    if (head_ == entries_.size()) return std::nullopt;
+    return entries_[heap_ ? 0 : head_].arrival;
   }
 
   bool has_ready(Time now) const {
-    return !entries_.empty() && entries_.front().arrival <= now;
+    return head_ != entries_.size() &&
+           entries_[heap_ ? 0 : head_].arrival <= now;
   }
 
-  std::size_t pending() const noexcept { return entries_.size(); }
+  std::size_t pending() const noexcept { return entries_.size() - head_; }
 
   /// Push back the arrival of every still-in-flight item by `delta`.
   /// Models interference with transfers in progress (paper §3.3: repeated
   /// select calls slow the drain of the SP2 communication device).  Adding a
-  /// uniform delta to all arrivals > now preserves heap order.
+  /// uniform delta to all arrivals > now preserves both heap order and the
+  /// FIFO mode's sortedness (entries already landed keep their stamps and
+  /// sort before every shifted future one).
   void penalize_pending(Time now, Time delta) {
-    for (Entry& e : entries_) {
-      if (e.arrival > now) e.arrival += delta;
+    for (std::size_t i = head_; i < entries_.size(); ++i) {
+      if (entries_[i].arrival > now) entries_[i].arrival += delta;
     }
   }
 
@@ -76,10 +128,38 @@ class Mailbox {
     }
   };
 
+  /// True if a wake timer armed at <= `needed` is still pending in the
+  /// scheduler.  Early wakes are harmless (the owner polls, misses, and
+  /// blocks again behind a fresh cover); a missing cover would deadlock a
+  /// blocked owner, so post/poll re-arm whenever this turns false.
+  bool timer_covers(Time needed) const {
+    return armed_valid_ && armed_ <= needed && armed_ > sched_->fired_until();
+  }
+
+  void arm(Time t) {
+    sched_->wake_at(*owner_, t);
+    armed_ = t;
+    armed_valid_ = true;
+  }
+
+  /// Re-arm for the earliest still-future entry if no live timer covers it.
+  void ensure_cover(Time now) {
+    const Time front = entries_[heap_ ? 0 : head_].arrival;
+    if (front > now && !timer_covers(front)) arm(front);
+  }
+
   Scheduler* sched_;
   SimProcess* owner_;
-  std::vector<Entry> entries_;  // min-heap by (arrival, seq)
+  /// FIFO mode (heap_ == false): entries_[head_..) sorted by (arrival, seq),
+  /// head_ counts consumed slots.  Heap mode: head_ == 0 and the whole
+  /// vector is a min-heap under Later.
+  std::vector<Entry> entries_;
+  std::size_t head_ = 0;
+  bool heap_ = false;
   std::uint64_t seq_ = 0;
+  /// Latest-armed wake timer; live iff armed_ > sched_->fired_until().
+  Time armed_ = 0;
+  bool armed_valid_ = false;
 };
 
 }  // namespace nexus::simnet

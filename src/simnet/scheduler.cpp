@@ -39,6 +39,7 @@ void Scheduler::fire_timers_until(Time t) {
     }
     // Timers for runnable/running/finished processes are stale; drop them.
   }
+  if (t > fired_until_) fired_until_ = t;
 }
 
 Time Scheduler::horizon_for(const SimProcess& p) const {

@@ -64,6 +64,13 @@ class Scheduler {
   /// Earliest pending timer, or kInfinity.
   Time next_timer() const;
 
+  /// Monotone fire frontier: every timer with when <= fired_until() has been
+  /// popped (fired or dropped).  A caller that armed a timer at t can test
+  /// `t > fired_until()` to learn whether it is still pending, which lets
+  /// mailboxes skip arming duplicate wakes for traffic already covered by an
+  /// earlier unfired timer.
+  Time fired_until() const noexcept { return fired_until_; }
+
   std::size_t process_count() const noexcept { return procs_.size(); }
   SimProcess& process(std::size_t i) { return *procs_.at(i); }
 
@@ -98,6 +105,7 @@ class Scheduler {
   std::vector<std::unique_ptr<SimProcess>> procs_;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
   std::uint64_t timer_seq_ = 0;
+  Time fired_until_ = -kInfinity;
   std::uint64_t dispatch_seq_ = 0;
   Time tie_window_ = 50 * kUs;
   std::vector<std::uint64_t> last_dispatch_;  ///< per-process, for LRU ties

@@ -10,6 +10,7 @@
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -17,8 +18,48 @@
 
 #include "util/bytes.hpp"
 #include "util/error.hpp"
+#include "util/shared_bytes.hpp"
 
 namespace nexus::util {
+
+namespace detail {
+inline std::uint64_t bswap64(std::uint64_t v) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap64(v);
+#else
+  v = ((v & 0x00ff00ff00ff00ffull) << 8) | ((v >> 8) & 0x00ff00ff00ff00ffull);
+  v = ((v & 0x0000ffff0000ffffull) << 16) |
+      ((v >> 16) & 0x0000ffff0000ffffull);
+  return (v << 32) | (v >> 32);
+#endif
+}
+
+inline std::uint32_t bswap32(std::uint32_t v) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap32(v);
+#else
+  v = ((v & 0x00ff00ffu) << 8) | ((v >> 8) & 0x00ff00ffu);
+  return (v << 16) | (v >> 16);
+#endif
+}
+
+/// Host value -> canonical big-endian bit pattern (and back: involution).
+inline std::uint64_t to_be64(std::uint64_t v) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    return bswap64(v);
+  } else {
+    return v;
+  }
+}
+
+inline std::uint32_t to_be32(std::uint32_t v) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    return bswap32(v);
+  } else {
+    return v;
+  }
+}
+}  // namespace detail
 
 /// Append-only serialization buffer.
 class PackBuffer {
@@ -52,15 +93,47 @@ class PackBuffer {
   /// Raw append with no length prefix (caller knows the size).
   void put_raw(ByteSpan s) { data_.insert(data_.end(), s.begin(), s.end()); }
 
+  /// Bulk variant of put_u32 + n * put_f64: one resize, then in-place
+  /// big-endian encode.  Wire format is byte-identical to the per-element
+  /// loop.
   template <typename T>
-  void put_f64_vector(const std::vector<T>& v) {
+  void put_f64_vector(std::span<const T> v) {
     static_assert(std::is_floating_point_v<T>);
     put_u32(static_cast<std::uint32_t>(v.size()));
-    for (T x : v) put_f64(static_cast<double>(x));
+    const std::size_t base = data_.size();
+    data_.resize(base + v.size() * sizeof(std::uint64_t));
+    Byte* out = data_.data() + base;
+    for (T x : v) {
+      const std::uint64_t be = detail::to_be64(
+          std::bit_cast<std::uint64_t>(static_cast<double>(x)));
+      std::memcpy(out, &be, sizeof(be));
+      out += sizeof(be);
+    }
+  }
+
+  template <typename T>
+  void put_f64_vector(const std::vector<T>& v) {
+    put_f64_vector(std::span<const T>(v));
+  }
+
+  /// Bulk variant of put_u32 + n * put_u32, same wire format.
+  void put_u32_vector(const std::vector<std::uint32_t>& v) {
+    put_u32(static_cast<std::uint32_t>(v.size()));
+    const std::size_t base = data_.size();
+    data_.resize(base + v.size() * sizeof(std::uint32_t));
+    Byte* out = data_.data() + base;
+    for (std::uint32_t x : v) {
+      const std::uint32_t be = detail::to_be32(x);
+      std::memcpy(out, &be, sizeof(be));
+      out += sizeof(be);
+    }
   }
 
   const Bytes& bytes() const { return data_; }
   Bytes take() { return std::move(data_); }
+  /// Move the accumulated bytes into an immutable shared buffer without
+  /// copying them; the PackBuffer is left empty and reusable.
+  SharedBytes release() { return SharedBytes(std::move(data_)); }
   std::size_t size() const { return data_.size(); }
 
  private:
@@ -113,11 +186,53 @@ class UnpackBuffer {
     return take(n);
   }
 
+  /// Bulk variant of get_u32 + n * get_f64: one bounds check and one
+  /// allocation, then in-place big-endian decode.
   std::vector<double> get_f64_vector() {
-    std::uint32_t n = get_u32();
-    std::vector<double> v;
-    v.reserve(n);
-    for (std::uint32_t i = 0; i < n; ++i) v.push_back(get_f64());
+    const std::uint32_t n = get_u32();
+    ByteSpan s = take(static_cast<std::size_t>(n) * sizeof(std::uint64_t));
+    std::vector<double> v(n);
+    const Byte* in = s.data();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint64_t be;
+      std::memcpy(&be, in, sizeof(be));
+      v[i] = std::bit_cast<double>(detail::to_be64(be));
+      in += sizeof(be);
+    }
+    return v;
+  }
+
+  /// Decode a counted f64 field into caller-owned storage (no allocation);
+  /// throws UnpackError if the wire count does not match out.size().
+  void get_f64_vector_into(std::span<double> out) {
+    const std::uint32_t n = get_u32();
+    if (n != out.size()) {
+      throw UnpackError("f64 vector count " + std::to_string(n) +
+                        " does not match expected " +
+                        std::to_string(out.size()));
+    }
+    ByteSpan s = take(static_cast<std::size_t>(n) * sizeof(std::uint64_t));
+    const Byte* in = s.data();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint64_t be;
+      std::memcpy(&be, in, sizeof(be));
+      out[i] = std::bit_cast<double>(detail::to_be64(be));
+      in += sizeof(be);
+    }
+  }
+
+  /// Bulk variant of get_u32 + n * get_u32.
+  std::vector<std::uint32_t> get_u32_vector() {
+    const std::uint32_t n = get_u32();
+    ByteSpan s = take(static_cast<std::size_t>(n) * sizeof(std::uint32_t));
+    std::vector<std::uint32_t> v(n);
+    const Byte* in = s.data();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint32_t be;
+      std::memcpy(&be, in, sizeof(be));
+      v[i] = detail::to_be32(be);
+      in += sizeof(be);
+    }
     return v;
   }
 

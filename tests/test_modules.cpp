@@ -124,7 +124,11 @@ TEST(Modules, SecureTamperDetectedOnDelivery) {
         // (Test-only surgery: pull, corrupt, repost.)
         auto stolen = box.poll(simnet::kInfinity / 2);
         ASSERT_TRUE(stolen.has_value());
-        stolen->payload[3] ^= 0x40;
+        // Payload buffers are immutable; tampering means replacing the
+        // shared buffer with a corrupted copy.
+        util::Bytes tampered = stolen->payload.to_bytes();
+        tampered[3] ^= 0x40;
+        stolen->payload = std::move(tampered);
         box.post(ctx.now() + simnet::kMs, std::move(*stolen));
       }),
       util::MethodError);

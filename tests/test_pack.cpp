@@ -101,6 +101,61 @@ TEST(Pack, F64VectorRoundtrip) {
   EXPECT_EQ(ub.get_f64_vector(), v);
 }
 
+TEST(Pack, LargeF64VectorRoundtrip) {
+  std::vector<double> v(10'000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = (static_cast<double>(i) - 5000.0) * 1.25e-3;
+  }
+  PackBuffer pb;
+  pb.put_f64_vector(v);
+  UnpackBuffer ub(pb.bytes());
+  EXPECT_EQ(ub.get_f64_vector(), v);
+  EXPECT_TRUE(ub.empty());
+}
+
+TEST(Pack, U32VectorRoundtrip) {
+  std::vector<std::uint32_t> v{0u, 1u, 0xdeadbeefu, 0xffffffffu, 42u};
+  PackBuffer pb;
+  pb.put_u32_vector(v);
+  UnpackBuffer ub(pb.bytes());
+  EXPECT_EQ(ub.get_u32_vector(), v);
+  EXPECT_TRUE(ub.empty());
+}
+
+TEST(Pack, BulkVectorsMatchPerElementWireFormat) {
+  // The bulk codecs must be byte-identical to the per-element loops they
+  // replaced, or old and new builds could not interoperate.
+  std::vector<double> f{3.14159, -0.0, 2.5e-10, 1e308};
+  std::vector<std::uint32_t> u{7u, 0u, 0xcafef00du};
+
+  PackBuffer bulk;
+  bulk.put_f64_vector(f);
+  bulk.put_u32_vector(u);
+
+  PackBuffer loop;
+  loop.put_u32(static_cast<std::uint32_t>(f.size()));
+  for (double x : f) loop.put_f64(x);
+  loop.put_u32(static_cast<std::uint32_t>(u.size()));
+  for (std::uint32_t x : u) loop.put_u32(x);
+
+  EXPECT_EQ(bulk.bytes(), loop.bytes());
+}
+
+TEST(Pack, F64VectorIntoDecodesAndChecksCount) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  PackBuffer pb;
+  pb.put_f64_vector(v);
+
+  std::vector<double> out(3);
+  UnpackBuffer ub(pb.bytes());
+  ub.get_f64_vector_into(out);
+  EXPECT_EQ(out, v);
+
+  std::vector<double> wrong(4);
+  UnpackBuffer ub2(pb.bytes());
+  EXPECT_THROW(ub2.get_f64_vector_into(wrong), nexus::util::UnpackError);
+}
+
 TEST(Unpack, TruncationThrows) {
   PackBuffer pb;
   pb.put_u32(7);

@@ -1,0 +1,109 @@
+// SharedBytes: the immutable ref-counted buffer underlying zero-copy RSR
+// payloads.  These tests pin the ownership semantics the data path relies
+// on: adopt moves storage, copy_of snapshots, views alias, and to_bytes is
+// the only way out to mutable storage.
+#include <gtest/gtest.h>
+
+#include "util/pack.hpp"
+#include "util/shared_bytes.hpp"
+
+namespace {
+
+using nexus::util::Byte;
+using nexus::util::Bytes;
+using nexus::util::ByteSpan;
+using nexus::util::PackBuffer;
+using nexus::util::SharedBytes;
+
+TEST(SharedBytes, DefaultIsEmpty) {
+  SharedBytes sb;
+  EXPECT_TRUE(sb.empty());
+  EXPECT_EQ(sb.size(), 0u);
+  EXPECT_EQ(sb.use_count(), 0);
+  EXPECT_TRUE(sb.span().empty());
+}
+
+TEST(SharedBytes, AdoptReusesVectorStorage) {
+  Bytes b{1, 2, 3, 4};
+  const Byte* raw = b.data();
+  SharedBytes sb(std::move(b));
+  ASSERT_EQ(sb.size(), 4u);
+  // The vector's heap block was moved into the shared owner, not copied.
+  EXPECT_EQ(sb.data(), raw);
+  EXPECT_EQ(sb[2], 3);
+}
+
+TEST(SharedBytes, CopyOfSnapshotsSource) {
+  Bytes src{10, 20, 30};
+  SharedBytes sb = SharedBytes::copy_of(src);
+  src[0] = 99;  // mutating the source must not affect the snapshot
+  ASSERT_EQ(sb.size(), 3u);
+  EXPECT_EQ(sb[0], 10);
+  EXPECT_NE(sb.data(), src.data());
+}
+
+TEST(SharedBytes, CopiesAliasOneBuffer) {
+  SharedBytes a = SharedBytes::copy_of(Bytes{5, 6, 7});
+  SharedBytes b = a;
+  SharedBytes c = b;
+  EXPECT_TRUE(a.aliases(b));
+  EXPECT_TRUE(a.aliases(c));
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a.use_count(), 3);
+  c = SharedBytes();
+  EXPECT_EQ(a.use_count(), 2);
+}
+
+TEST(SharedBytes, ViewAliasesWithoutCopy) {
+  SharedBytes whole = SharedBytes::copy_of(Bytes{0, 1, 2, 3, 4, 5});
+  SharedBytes mid = whole.view(2, 3);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.data(), whole.data() + 2);
+  EXPECT_TRUE(mid.aliases(whole));
+  EXPECT_EQ(mid[0], 2);
+  EXPECT_THROW(whole.view(4, 3), nexus::util::UsageError);
+}
+
+TEST(SharedBytes, ViewKeepsBufferAlive) {
+  SharedBytes mid;
+  {
+    SharedBytes whole = SharedBytes::copy_of(Bytes{7, 8, 9, 10});
+    mid = whole.view(1, 2);
+  }  // `whole` gone; the view still owns the block
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid[0], 8);
+  EXPECT_EQ(mid[1], 9);
+  EXPECT_EQ(mid.use_count(), 1);
+}
+
+TEST(SharedBytes, ToBytesIsIndependentCopy) {
+  SharedBytes sb = SharedBytes::copy_of(Bytes{1, 1, 2, 3});
+  Bytes copy = sb.to_bytes();
+  copy[0] = 42;
+  EXPECT_EQ(sb[0], 1);
+  EXPECT_NE(copy.data(), sb.data());
+}
+
+TEST(SharedBytes, PackBufferReleaseMovesStorage) {
+  PackBuffer pb;
+  pb.put_u32(0xabcd1234u);
+  pb.put_string("payload");
+  const std::size_t packed = pb.size();
+  SharedBytes sb = pb.release();
+  EXPECT_EQ(sb.size(), packed);
+  EXPECT_EQ(pb.size(), 0u);  // buffer handed off, PackBuffer reusable
+  EXPECT_EQ(sb.use_count(), 1);
+  EXPECT_EQ(sb[0], 0xab);
+}
+
+TEST(SharedBytes, EqualityComparesContents) {
+  SharedBytes a = SharedBytes::copy_of(Bytes{1, 2, 3});
+  SharedBytes b = SharedBytes::copy_of(Bytes{1, 2, 3});
+  SharedBytes c = SharedBytes::copy_of(Bytes{1, 2, 4});
+  EXPECT_FALSE(a.aliases(b));
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(SharedBytes() == SharedBytes());
+}
+
+}  // namespace
