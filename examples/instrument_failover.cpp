@@ -4,11 +4,13 @@
 // load").
 //
 // A satellite ground station streams image tiles to a compute cluster over
-// the fast metropolitan ATM path (aal5).  Mid-stream the ATM service
-// degrades; the application reacts by re-selecting the method on the same
-// startpoint -- first by re-running automatic selection with the dead
-// method deleted from the descriptor table, then by switching back when
-// service is restored.  The program text issuing RSRs never changes.
+// the fast metropolitan ATM path (aal5).  Mid-stream the ATM service goes
+// dark for half a second -- injected here through the runtime's fault
+// plane -- and the *runtime* reacts: the failed send quarantines aal5, the
+// link fails over to tcp, restore probes ride the exponential backoff, and
+// when the outage ends the link is won back by the faster method.  The
+// application never edits a descriptor table and never re-selects by hand;
+// the program text issuing RSRs is identical to the fault-free version.
 #include <cstdio>
 
 #include "nexus/runtime.hpp"
@@ -19,49 +21,72 @@ int main() {
   RuntimeOptions opts;
   opts.topology = simnet::Topology::two_partitions(1, 1);  // station | cluster
   opts.modules = {"local", "aal5", "tcp"};
-  Runtime rt(opts);
 
   constexpr int kTiles = 30;
-  constexpr int kFailAt = 10;
-  constexpr int kRestoreAt = 20;
+  constexpr Time kFrame = 50 * simnet::kMs;  // instrument frame interval
   constexpr std::size_t kTileBytes = 64 * 1024;
 
+  // The ATM outage: aal5 is a blackhole from 0.5s to 0.98s of virtual time
+  // (tiles 10..19 of the 50ms cadence).
+  opts.faults.blackhole("aal5", 500 * simnet::kMs, 980 * simnet::kMs);
+
+  // Failover policy: probe the dead path every 100ms, doubling to 400ms.
+  // With the outage ending at 0.98s the successful restore probe lands
+  // around tile 24, so the tail of the stream runs fast again.
+  opts.health.backoff_initial = 100 * simnet::kMs;
+  opts.health.backoff_multiplier = 2.0;
+  opts.health.backoff_max = 400 * simnet::kMs;
+
+  Runtime rt(opts);
+
+  bool both_methods_used = false;
+  std::uint64_t tiles_received = 0;
+
   rt.run(std::vector<std::function<void(Context&)>>{
-      // Context 0: ground station, streams tiles to the cluster.
+      // Context 0: ground station.  Note the loop body: pack, rsr, wait a
+      // frame.  No failure handling anywhere -- that is the point.
       [&](Context& ctx) {
         Startpoint cluster = ctx.world_startpoint(1);
         const util::Bytes tile(kTileBytes, 0x11);
         std::string current;
         for (int t = 0; t < kTiles; ++t) {
-          if (t == kFailAt) {
-            // ATM path reported errors: drop it from this link's table and
-            // re-run automatic selection.
-            cluster.table().remove("aal5");
-            cluster.invalidate_selection();
-            std::printf("[station] tile %d: aal5 failed; re-selecting\n", t);
-          }
-          if (t == kRestoreAt) {
-            // Service restored: put the fast descriptor back at the front.
-            cluster.table().insert(
-                0, CommDescriptor{"aal5", 1,
-                                  ctx.runtime().table_of(1)
-                                      .at(*ctx.runtime().table_of(1).find(
-                                          "aal5"))
-                                      .data});
-            cluster.invalidate_selection();
-            std::printf("[station] tile %d: aal5 restored\n", t);
-          }
           util::PackBuffer pb;
           pb.put_i32(t);
           pb.put_bytes(tile);
           ctx.rsr(cluster, "tile", pb);
           if (cluster.selected_method() != current) {
             current = cluster.selected_method();
-            std::printf("[station] tile %d goes via %s\n", t,
-                        current.c_str());
+            std::printf("[station] tile %d goes via %s (t=%.0fms)\n", t,
+                        current.c_str(), simnet::to_ms(ctx.now()));
           }
-          ctx.compute(50 * simnet::kMs);  // instrument frame interval
+          ctx.compute(kFrame);
         }
+
+        // Enquiry: what happened to aal5, from the runtime's own records.
+        const auto h = ctx.method_health("aal5", 1);
+        std::printf(
+            "[station] aal5 health: %s; %llu failures, %llu failovers, "
+            "%llu restores\n",
+            method_health_name(h.state),
+            static_cast<unsigned long long>(h.failures),
+            static_cast<unsigned long long>(h.failovers),
+            static_cast<unsigned long long>(h.restores));
+        for (const auto& rec : ctx.selection_log()) {
+          if (rec.reason.find("failover") != std::string::npos) {
+            std::printf("[station] selection log: %s\n", rec.reason.c_str());
+          }
+        }
+        std::printf("%s", ctx.explain_selection(cluster).to_text().c_str());
+
+        const auto& aal5 = ctx.method_counters("aal5");
+        const auto& tcp = ctx.method_counters("tcp");
+        std::printf("[station] sends: aal5=%llu (+%llu failed) tcp=%llu\n",
+                    static_cast<unsigned long long>(aal5.sends -
+                                                    aal5.send_errors),
+                    static_cast<unsigned long long>(aal5.send_errors),
+                    static_cast<unsigned long long>(tcp.sends));
+        both_methods_used = aal5.sends > aal5.send_errors && tcp.sends > 0 &&
+                            h.failovers > 0 && h.restores > 0;
       },
       // Context 1: compute cluster; processes tiles as they arrive.
       [&](Context& ctx) {
@@ -77,14 +102,26 @@ int main() {
                                ++tiles;
                              });
         ctx.wait_count(tiles, kTiles);
-        std::printf("[cluster] %llu tiles in %.1f virtual ms; per method: "
-                    "aal5=%llu tcp=%llu\n",
-                    static_cast<unsigned long long>(tiles),
+        std::printf("[cluster] %llu/%d tiles in %.1f virtual ms; received "
+                    "via aal5=%llu tcp=%llu\n",
+                    static_cast<unsigned long long>(tiles), kTiles,
                     simnet::to_ms(last - first),
                     static_cast<unsigned long long>(
                         ctx.method_counters("aal5").recvs),
                     static_cast<unsigned long long>(
                         ctx.method_counters("tcp").recvs));
+        tiles_received = tiles;
       }});
+
+  if (tiles_received != kTiles || !both_methods_used) {
+    std::fprintf(stderr,
+                 "FAILED: %llu/%d tiles, failover%s observed\n",
+                 static_cast<unsigned long long>(tiles_received), kTiles,
+                 both_methods_used ? "" : " not");
+    return 1;
+  }
+  std::printf("OK: %d/%d tiles survived the outage with automatic "
+              "failover and restore\n",
+              kTiles, kTiles);
   return 0;
 }

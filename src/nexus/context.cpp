@@ -25,6 +25,12 @@ struct Context::BlockingPoller {
     thread = std::thread([this] {
       while (auto pkt = module->blocking_poll()) {
         std::lock_guard<std::recursive_mutex> lock(*ctx->rt_mutex_);
+        if (pkt->corrupted) {
+          // Receiver-side quarantine: a fault rule damaged the packet in
+          // flight; never dispatch it.
+          module->counters().recv_corrupt += 1;
+          continue;
+        }
         module->counters().recvs += 1;
         module->counters().bytes_received += pkt->wire_size();
         ctx->deliver(std::move(*pkt));
@@ -48,6 +54,10 @@ Context::Context(Runtime& runtime, ContextId id,
   cmetrics_ = &tele_->metrics().context(id_);
   engine_->attach_telemetry(*tele_, id_);
   selector_ = std::make_unique<FirstApplicableSelector>();
+  // Per-context jitter stream: contexts probing the same dead method must
+  // not re-probe in lock-step.
+  health_ = HealthTracker(runtime.options().health,
+                          runtime.options().seed ^ (0x48ea17ull * (id_ + 1)));
   if (!clock_->simulated()) {
     rt_mutex_ = std::make_unique<std::recursive_mutex>();
   }
@@ -164,8 +174,92 @@ std::shared_ptr<CommObject> Context::cached_connection(
   return conn;
 }
 
+bool Context::method_usable(const CommDescriptor& d) {
+  CommModule* m = module(d.method);
+  if (m == nullptr || !m->applicable(d)) return false;
+  return health_.empty() || health_usable(d);
+}
+
+bool Context::health_usable(const CommDescriptor& d) {
+  return health_.usable(intern_method(d.method), d.context, now());
+}
+
+HealthTracker::Status Context::method_health(std::string_view method,
+                                             ContextId target) {
+  return health_.status(intern_method(method), target, now());
+}
+
+std::optional<std::size_t> Context::quarantined_fallback(
+    const DescriptorTable& table) {
+  // Everything applicable is quarantined.  Dropping the RSR would turn a
+  // transient outage into data loss, so probe the entry whose backoff
+  // expires soonest (least-recently-declared-dead) instead.
+  std::optional<std::size_t> best;
+  Time best_retry = 0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const CommDescriptor& d = table.at(i);
+    CommModule* m = module(d.method);
+    if (m == nullptr || !m->applicable(d)) continue;
+    const Time retry =
+        health_.status(intern_method(d.method), d.context, now()).retry_at;
+    if (!best || retry < best_retry) {
+      best = i;
+      best_retry = retry;
+    }
+  }
+  return best;
+}
+
+void Context::refresh_link_degradation(Startpoint::Link& link,
+                                       std::size_t winner) {
+  link.degraded = false;
+  link.reprobe_at = 0;
+  if (health_.empty()) return;
+  for (std::size_t i = 0; i < link.table.size(); ++i) {
+    if (i == winner) continue;
+    const CommDescriptor& d = link.table.at(i);
+    CommModule* m = module(d.method);
+    if (m == nullptr || !m->applicable(d)) continue;
+    if (health_usable(d)) continue;
+    const Time retry =
+        health_.status(intern_method(d.method), d.context, now()).retry_at;
+    if (!link.degraded || retry < link.reprobe_at) {
+      link.degraded = true;
+      link.reprobe_at = retry;
+    }
+  }
+}
+
+void Context::evict_connection(Startpoint::Link& link) {
+  if (link.conn) {
+    // Purge every cache entry sharing the dead connection: the link-level
+    // cache, the (method, context) connection cache, and any forwarding
+    // routes that would keep resurrecting it.
+    std::erase_if(connections_, [&](const auto& kv) {
+      return kv.second == link.conn;
+    });
+    std::erase_if(forward_routes_, [&](const auto& kv) {
+      return kv.second == link.conn;
+    });
+  }
+  link.conn.reset();
+  link.selected_method.clear();
+  link.degraded = false;
+  link.reprobe_at = 0;
+}
+
 void Context::ensure_connection(const Startpoint& sp, Startpoint::Link& link) {
-  if (link.conn) return;
+  if (link.conn) {
+    if (!link.degraded || now() < link.reprobe_at) return;
+    // A quarantined entry's backoff has expired: re-run selection so the
+    // restored method can win the link back (the next send is its probe).
+    // The existing connection stays in the cache -- if selection picks the
+    // same method again, cached_connection returns it unchanged.
+    link.conn.reset();
+    link.selected_method.clear();
+    link.degraded = false;
+    link.reprobe_at = 0;
+  }
   std::string reason;
   std::optional<std::size_t> idx;
   if (sp.forced_method()) {
@@ -186,6 +280,13 @@ void Context::ensure_connection(const Startpoint& sp, Startpoint::Link& link) {
   } else {
     idx = selector_->select(link.table, *this, reason);
     if (!idx) {
+      idx = quarantined_fallback(link.table);
+      if (idx) {
+        reason = "all applicable methods quarantined; probing the entry "
+                 "whose backoff expires soonest";
+      }
+    }
+    if (!idx) {
       throw util::MethodError(
           "no applicable communication method from context " +
           std::to_string(id_) + " to context " + std::to_string(link.context));
@@ -194,6 +295,7 @@ void Context::ensure_connection(const Startpoint& sp, Startpoint::Link& link) {
   const CommDescriptor& d = link.table.at(*idx);
   link.conn = cached_connection(d);
   link.selected_method = d.method;
+  refresh_link_degradation(link, *idx);
   if (tele_->tracer().enabled()) {
     tele_->tracer().record({now(), 0, id_, telemetry::Phase::Select,
                             link.conn->module().trace_label(), *idx,
@@ -203,9 +305,11 @@ void Context::ensure_connection(const Startpoint& sp, Startpoint::Link& link) {
                                            std::move(reason), now()});
 }
 
-void Context::send_on_link(Startpoint::Link& link, HandlerId h,
-                           const util::SharedBytes& payload,
-                           telemetry::SpanId span) {
+SendResult Context::send_on_link(Startpoint::Link& link, HandlerId h,
+                                 const util::SharedBytes& payload,
+                                 telemetry::SpanId span) {
+  // The Packet is rebuilt per attempt (send() consumes it even on failure);
+  // construction is cheap and the payload buffer is aliased, never copied.
   Packet pkt;
   pkt.src = id_;
   pkt.dst = link.context;
@@ -217,19 +321,117 @@ void Context::send_on_link(Startpoint::Link& link, HandlerId h,
   clock_->advance(costs_.rsr_send_overhead);
   pkt.sent_at = now();
   CommModule& m = link.conn->module();
-  const std::uint64_t wire = m.send(*link.conn, std::move(pkt));
+  const SendResult r = m.send(*link.conn, std::move(pkt));
   m.counters().sends += 1;
-  m.counters().bytes_sent += wire;
+  if (!r.ok()) {
+    m.counters().send_errors += 1;
+    return r;
+  }
+  m.counters().bytes_sent += r.wire;
   if (tele_->metrics().enabled() && m.metrics() != nullptr) {
-    m.metrics()->send_bytes.add(wire);
+    m.metrics()->send_bytes.add(r.wire);
   }
   if (tele_->tracer().enabled()) {
     tele_->tracer().record({now(), span, id_, telemetry::Phase::Send,
-                            m.trace_label(), wire, link.context});
+                            m.trace_label(), r.wire, link.context});
   }
   if (runtime_->trace().enabled()) {
     runtime_->trace().record({now(), id_, simnet::TraceKind::Send,
-                              std::string(m.name()), wire, ""});
+                              std::string(m.name()), r.wire, ""});
+  }
+  return r;
+}
+
+void Context::note_send_success(MethodId mid, ContextId target,
+                                std::uint16_t trace_label) {
+  const MethodHealth prev = health_.status(mid, target, now()).state;
+  if (!health_.on_success(mid, target)) return;
+  if (prev == MethodHealth::Dead || prev == MethodHealth::Probation) {
+    // A restore probe succeeded: the quarantined method is back in use.
+    ++cmetrics_->restores;
+    if (tele_->tracer().enabled()) {
+      tele_->tracer().record({now(), 0, id_, telemetry::Phase::Restore,
+                              trace_label, 0, target});
+    }
+  }
+}
+
+HealthTracker::FailAction Context::note_send_failure(MethodId mid,
+                                                     ContextId target,
+                                                     std::uint16_t trace_label,
+                                                     DeliveryStatus status) {
+  const MethodHealth prev = health_.status(mid, target, now()).state;
+  const HealthTracker::FailAction action = health_.on_failure(
+      mid, target, now(), /*hard=*/status == DeliveryStatus::Dead);
+  if (prev == MethodHealth::Healthy) {
+    ++cmetrics_->suspects;
+    if (tele_->tracer().enabled()) {
+      tele_->tracer().record({now(), 0, id_, telemetry::Phase::Suspect,
+                              trace_label, 0, target});
+    }
+  }
+  if (action == HealthTracker::FailAction::Failover) {
+    ++cmetrics_->failovers;
+    if (tele_->tracer().enabled()) {
+      tele_->tracer().record({now(), 0, id_, telemetry::Phase::Failover,
+                              trace_label, 0, target});
+    }
+  }
+  return action;
+}
+
+void Context::send_with_failover(Startpoint& sp, Startpoint::Link& link,
+                                 HandlerId h,
+                                 const util::SharedBytes& payload,
+                                 telemetry::SpanId span) {
+  // Bounded by the worst case of every table entry walking through its full
+  // failure threshold plus a few restore probes; a healthy fabric exits on
+  // the first iteration.
+  const std::uint64_t max_attempts =
+      health_.params().fail_threshold * (link.table.size() + 1) + 8;
+  std::uint64_t failures = 0;
+  for (;;) {
+    ensure_connection(sp, link);
+    const SendResult r = send_on_link(link, h, payload, span);
+    if (r.ok()) {
+      if (!health_.empty()) {
+        note_send_success(intern_method(link.selected_method), link.context,
+                          link.conn->module().trace_label());
+      }
+      if (failures > 0 && tele_->metrics().enabled()) {
+        cmetrics_->rsr_retries.add(failures);
+      }
+      return;
+    }
+    ++failures;
+    const MethodId mid = intern_method(link.selected_method);
+    const HealthTracker::FailAction action = note_send_failure(
+        mid, link.context, link.conn->module().trace_label(), r.status);
+    if (failures >= max_attempts) {
+      throw util::MethodError(
+          "rsr to context " + std::to_string(link.context) + " failed " +
+          std::to_string(failures) + " times across every applicable method");
+    }
+    if (sp.forced_method()) {
+      if (action == HealthTracker::FailAction::Failover) {
+        throw util::MethodError(
+            "forced method '" + *sp.forced_method() + "' to context " +
+            std::to_string(link.context) +
+            " was declared dead (failover is disabled while a method is "
+            "forced)");
+      }
+      continue;  // transient: retry the forced method
+    }
+    if (action == HealthTracker::FailAction::Retry) continue;
+    // Failover: drop the dead connection and let selection pick the next
+    // applicable method (the health gate now excludes the quarantined one).
+    selection_log_.push_back(SelectionRecord{
+        link.context, link.selected_method,
+        "failover: method declared dead after " +
+            std::to_string(health_.status(mid, link.context, now()).failures) +
+            " failures",
+        now()});
+    evict_connection(link);
   }
 }
 
@@ -247,8 +449,7 @@ void Context::rsr(Startpoint& sp, HandlerId handler,
   const telemetry::SpanId span =
       tele_->tracer().enabled() ? tele_->tracer().next_span() : 0;
   for (auto& link : sp.links_) {
-    ensure_connection(sp, link);
-    send_on_link(link, handler, payload, span);
+    send_with_failover(sp, link, handler, payload, span);
   }
   // Paper §3.3: the polling function is called at least every time a Nexus
   // operation is performed.
@@ -389,39 +590,74 @@ void Context::forward(Packet pkt) {
   clock_->advance(costs_.dispatch_overhead);
   // Steady-state forwarding resolves the route (selection + connection)
   // once per destination; the cache is invalidated whenever the selection
-  // policy or poll configuration changes.
-  std::shared_ptr<CommObject> conn;
-  if (auto cached = forward_routes_.find(pkt.dst);
-      cached != forward_routes_.end()) {
-    conn = cached->second;
-  } else {
-    const DescriptorTable& table = runtime_->table_of(pkt.dst);
-    std::string reason;
-    auto idx = selector_->select(table, *this, reason);
-    if (!idx) {
-      throw util::MethodError("forwarder " + std::to_string(id_) +
-                              " has no applicable method to reach context " +
-                              std::to_string(pkt.dst));
-    }
-    conn = cached_connection(table.at(*idx));
-    forward_routes_.emplace(pkt.dst, conn);
-  }
-  CommModule& m = conn->module();
+  // policy or poll configuration changes, and evicted on failover.
   const telemetry::SpanId span = pkt.span;
   const ContextId dst = pkt.dst;
-  const std::uint64_t wire = m.send(*conn, std::move(pkt));
-  m.counters().sends += 1;
-  m.counters().bytes_sent += wire;
-  if (tele_->metrics().enabled() && m.metrics() != nullptr) {
-    m.metrics()->send_bytes.add(wire);
-  }
-  if (tele_->tracer().enabled()) {
-    tele_->tracer().record({now(), span, id_, telemetry::Phase::Forward,
-                            m.trace_label(), wire, dst});
-  }
-  if (runtime_->trace().enabled()) {
-    runtime_->trace().record({now(), id_, simnet::TraceKind::Forward,
-                              std::string(m.name()), wire, ""});
+  const DescriptorTable& table = runtime_->table_of(dst);
+  const std::uint64_t max_attempts =
+      health_.params().fail_threshold * (table.size() + 1) + 8;
+  std::uint64_t failures = 0;
+  for (;;) {
+    std::shared_ptr<CommObject> conn;
+    if (auto cached = forward_routes_.find(dst);
+        cached != forward_routes_.end()) {
+      conn = cached->second;
+    } else {
+      std::string reason;
+      auto idx = selector_->select(table, *this, reason);
+      if (!idx) idx = quarantined_fallback(table);
+      if (!idx) {
+        throw util::MethodError("forwarder " + std::to_string(id_) +
+                                " has no applicable method to reach context " +
+                                std::to_string(dst));
+      }
+      conn = cached_connection(table.at(*idx));
+      forward_routes_.emplace(dst, conn);
+    }
+    CommModule& m = conn->module();
+    // Each attempt copies the packet (a SharedBytes refcount bump, no byte
+    // copy) because send() consumes its argument even when delivery fails.
+    Packet attempt = pkt;
+    const SendResult r = m.send(*conn, std::move(attempt));
+    m.counters().sends += 1;
+    if (r.ok()) {
+      m.counters().bytes_sent += r.wire;
+      if (!health_.empty()) {
+        note_send_success(intern_method(m.name()), dst, m.trace_label());
+      }
+      if (tele_->metrics().enabled() && m.metrics() != nullptr) {
+        m.metrics()->send_bytes.add(r.wire);
+      }
+      if (tele_->tracer().enabled()) {
+        tele_->tracer().record({now(), span, id_, telemetry::Phase::Forward,
+                                m.trace_label(), r.wire, dst});
+      }
+      if (runtime_->trace().enabled()) {
+        runtime_->trace().record({now(), id_, simnet::TraceKind::Forward,
+                                  std::string(m.name()), r.wire, ""});
+      }
+      return;
+    }
+    m.counters().send_errors += 1;
+    ++failures;
+    const HealthTracker::FailAction action = note_send_failure(
+        intern_method(m.name()), dst, m.trace_label(), r.status);
+    if (failures >= max_attempts) {
+      throw util::MethodError(
+          "forwarder " + std::to_string(id_) + " failed " +
+          std::to_string(failures) + " times relaying to context " +
+          std::to_string(dst));
+    }
+    if (action == HealthTracker::FailAction::Failover) {
+      // Evict the dead route and connection; the next iteration re-selects
+      // with the quarantined method excluded by the health gate.
+      std::erase_if(connections_, [&](const auto& kv) {
+        return kv.second == conn;
+      });
+      std::erase_if(forward_routes_, [&](const auto& kv) {
+        return kv.second == conn;
+      });
+    }
   }
 }
 

@@ -22,6 +22,7 @@
 #include "nexus/descriptor.hpp"
 #include "nexus/endpoint.hpp"
 #include "nexus/handler.hpp"
+#include "nexus/health.hpp"
 #include "nexus/module.hpp"
 #include "nexus/polling.hpp"
 #include "nexus/selector.hpp"
@@ -153,6 +154,16 @@ class Context {
   /// This context's own descriptor table, fastest-first (the table attached
   /// to startpoints created here).
   const DescriptorTable& local_table() const noexcept { return local_table_; }
+  /// Failover health state (per-(method, target) failure history).
+  const HealthTracker& health() const noexcept { return health_; }
+  /// Selection gate used by the policies: module loaded, applicable, and
+  /// not quarantined by the health tracker.
+  bool method_usable(const CommDescriptor& d);
+  /// The health gate alone (assumes the descriptor is otherwise usable).
+  bool health_usable(const CommDescriptor& d);
+  /// Health status of one (method, target) pair at the current clock.
+  HealthTracker::Status method_health(std::string_view method,
+                                      ContextId target);
   PollingEngine& polling_engine() noexcept { return *engine_; }
   const PollingEngine& polling_engine() const noexcept { return *engine_; }
   ContextClock& clock() noexcept { return *clock_; }
@@ -175,8 +186,29 @@ class Context {
   void ensure_connection(const Startpoint& sp, Startpoint::Link& link);
   std::shared_ptr<CommObject> cached_connection(const CommDescriptor& d);
   MethodId intern_method(std::string_view name);
-  void send_on_link(Startpoint::Link& link, HandlerId h,
-                    const util::SharedBytes& payload, telemetry::SpanId span);
+  SendResult send_on_link(Startpoint::Link& link, HandlerId h,
+                          const util::SharedBytes& payload,
+                          telemetry::SpanId span);
+  /// The failover loop around one link's send: feed outcomes to the health
+  /// tracker, retry transient failures, evict + re-select dead methods.
+  void send_with_failover(Startpoint& sp, Startpoint::Link& link, HandlerId h,
+                          const util::SharedBytes& payload,
+                          telemetry::SpanId span);
+  /// Drop a link's cached connection (and every cache entry sharing it) so
+  /// the next attempt re-runs selection.
+  void evict_connection(Startpoint::Link& link);
+  /// When everything applicable is quarantined, probe the entry whose
+  /// backoff expires soonest instead of failing the RSR.
+  std::optional<std::size_t> quarantined_fallback(const DescriptorTable& table);
+  /// Recompute Link::degraded/reprobe_at after a selection won at `winner`.
+  void refresh_link_degradation(Startpoint::Link& link, std::size_t winner);
+  /// Health-tracker bookkeeping shared by the rsr and forwarding send paths.
+  /// Returns the action to take; updates telemetry counters and traces.
+  HealthTracker::FailAction note_send_failure(MethodId mid, ContextId target,
+                                              std::uint16_t trace_label,
+                                              DeliveryStatus status);
+  void note_send_success(MethodId mid, ContextId target,
+                         std::uint16_t trace_label);
 
   Runtime* runtime_;
   ContextId id_;
@@ -200,6 +232,7 @@ class Context {
   /// connection lookup run once per destination, not once per packet.
   /// Invalidated when the selection policy or poll configuration changes.
   std::map<ContextId, std::shared_ptr<CommObject>> forward_routes_;
+  HealthTracker health_;
   std::vector<SelectionRecord> selection_log_;
   DescriptorTable local_table_;
 

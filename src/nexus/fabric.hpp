@@ -6,15 +6,18 @@
 // and an activity channel for idle waits.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "nexus/clock.hpp"
 #include "nexus/types.hpp"
+#include "simnet/fault.hpp"
 #include "simnet/mailbox.hpp"
 #include "simnet/scheduler.hpp"
 #include "simnet/topology.hpp"
@@ -63,12 +66,27 @@ class SimFabric {
     return multicast_groups_;
   }
 
+  /// Deterministic fault-injection plan every simulated module consults at
+  /// send time.  Mutable mid-run (the scheduler serializes sim processes),
+  /// so tests can script partition/heal sequences.
+  void set_faults(simnet::FaultPlan plan, std::uint64_t seed) {
+    faults_ = std::move(plan);
+    fault_rng_ = util::Rng(seed ^ 0xfa171fab71c5ull);
+  }
+  simnet::FaultPlan& faults() noexcept { return faults_; }
+  const simnet::FaultPlan& faults() const noexcept { return faults_; }
+  /// The single rng behind every probabilistic fault rule: one consumer
+  /// stream, deterministic under the scheduler's total event order.
+  util::Rng& fault_rng() noexcept { return fault_rng_; }
+
  private:
   simnet::Scheduler scheduler_;
   simnet::Topology topology_;
   std::vector<std::unique_ptr<SimHost>> hosts_;
   std::map<std::uint32_t, std::vector<std::pair<ContextId, EndpointId>>>
       multicast_groups_;
+  simnet::FaultPlan faults_;
+  util::Rng fault_rng_;
 };
 
 /// Per-context endpoint of the realtime fabric.
@@ -111,12 +129,22 @@ class RtFabric {
                : it->second;
   }
 
+  /// Fault-injection hook for the realtime fabric: called by every rt
+  /// module before enqueueing a packet.  Must be installed before run()
+  /// (sends happen on context threads) and must itself be thread-safe.
+  /// extra_delay verdicts are ignored -- real time cannot be scripted.
+  using FaultHook = std::function<simnet::FaultVerdict(
+      std::string_view method, ContextId src, ContextId dst)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  const FaultHook& fault_hook() const noexcept { return fault_hook_; }
+
  private:
   simnet::Topology topology_;
   std::vector<std::unique_ptr<RtHost>> hosts_;
   mutable std::mutex mcast_mutex_;
   std::map<std::uint32_t, std::vector<std::pair<ContextId, EndpointId>>>
       multicast_groups_;
+  FaultHook fault_hook_;
 };
 
 }  // namespace nexus

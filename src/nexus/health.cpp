@@ -1,0 +1,24 @@
+#include "nexus/health.hpp"
+
+namespace nexus {
+
+const char* delivery_status_name(DeliveryStatus s) noexcept {
+  switch (s) {
+    case DeliveryStatus::Ok: return "ok";
+    case DeliveryStatus::Transient: return "transient";
+    case DeliveryStatus::Dead: return "dead";
+  }
+  return "?";
+}
+
+const char* method_health_name(MethodHealth s) noexcept {
+  switch (s) {
+    case MethodHealth::Healthy: return "healthy";
+    case MethodHealth::Suspect: return "suspect";
+    case MethodHealth::Dead: return "dead";
+    case MethodHealth::Probation: return "probation";
+  }
+  return "?";
+}
+
+}  // namespace nexus

@@ -1,0 +1,178 @@
+// Per-(method, target context) health tracking for automatic failover.
+//
+// The paper's §1 motivating scenario has an instrument stream "switch among
+// alternative communication substrates in the event of error or high load";
+// the HealthTracker is the runtime's memory of which substrates are
+// currently failing.  Every send outcome feeds it:
+//
+//                   threshold transient failures
+//     Healthy ── or one dead verdict ──────────▶ Dead (backoff running)
+//        ▲  ╲                                      │
+//        │   ╲ transient failure                   │ backoff expires
+//        │    ▼                                    ▼
+//        │   Suspect ── success ──▶ Healthy     Probation (selectable again)
+//        │                                         │
+//        └───────── probe success ─────────────────┘   probe failure:
+//                                                      backoff doubles
+//
+// A Dead entry is skipped by method selection until its backoff expires;
+// the first send after expiry is the restore probe.  A failed probe doubles
+// the backoff (capped, jittered from a seeded rng so simultaneous probers
+// de-synchronize deterministically); a successful one restores the method.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "nexus/types.hpp"
+#include "util/rng.hpp"
+
+namespace nexus {
+
+/// Failure-handling policy knobs (RuntimeOptions::health).
+struct HealthParams {
+  /// Consecutive transient failures before a method is declared dead for a
+  /// target.  Dead verdicts (blackhole, connection refused) skip the count.
+  std::uint32_t fail_threshold = 3;
+  /// First quarantine interval after a method is declared dead.
+  Time backoff_initial = 20 * simnet::kMs;
+  /// Growth factor applied on every failed restore probe.
+  double backoff_multiplier = 2.0;
+  /// Quarantine interval ceiling.
+  Time backoff_max = 500 * simnet::kMs;
+  /// Fraction of the interval randomized (+/-) to de-synchronize probers.
+  double backoff_jitter = 0.1;
+};
+
+enum class MethodHealth : std::uint8_t {
+  Healthy,    ///< no recent failures
+  Suspect,    ///< failing but below the threshold; still selectable
+  Dead,       ///< quarantined; unselectable until the backoff expires
+  Probation,  ///< backoff expired; the next send is the restore probe
+};
+
+const char* method_health_name(MethodHealth s) noexcept;
+
+class HealthTracker {
+ public:
+  /// Keys are (interned method id, target context id) -- the same pair the
+  /// connection cache uses.
+  using Key = std::pair<std::uint32_t, std::uint32_t>;
+
+  /// What the caller should do after a failed send.
+  enum class FailAction : std::uint8_t {
+    Retry,     ///< below threshold: resend on the same method
+    Failover,  ///< method quarantined: re-select and evict the connection
+  };
+
+  struct Status {
+    MethodHealth state = MethodHealth::Healthy;
+    std::uint32_t consecutive_failures = 0;
+    Time retry_at = 0;  ///< quarantine end (meaningful when Dead/Probation)
+    Time backoff = 0;   ///< current quarantine interval
+    std::uint64_t failures = 0;   ///< total failed sends ever
+    std::uint64_t failovers = 0;  ///< Healthy/Suspect -> Dead transitions
+    std::uint64_t restores = 0;   ///< Dead/Probation -> Healthy transitions
+  };
+
+  explicit HealthTracker(HealthParams params = {}, std::uint64_t seed = 1)
+      : params_(params), rng_(seed) {}
+
+  const HealthParams& params() const noexcept { return params_; }
+
+  /// True while no failure has ever been recorded -- the hot-path guard
+  /// that keeps fault-free runs at one branch per send.
+  bool empty() const noexcept { return entries_.empty(); }
+
+  /// Selection gate: false only while quarantined with an unexpired
+  /// backoff.  A Probation entry is selectable -- that send is the probe.
+  bool usable(std::uint32_t method, std::uint32_t target,
+              Time now) const noexcept {
+    auto it = entries_.find(Key{method, target});
+    if (it == entries_.end()) return true;
+    const Entry& e = it->second;
+    return e.state != MethodHealth::Dead || now >= e.retry_at;
+  }
+
+  /// Enquiry view (Probation is derived from Dead + expired backoff).
+  Status status(std::uint32_t method, std::uint32_t target,
+                Time now) const noexcept {
+    auto it = entries_.find(Key{method, target});
+    if (it == entries_.end()) return Status{};
+    Status s = it->second;
+    if (s.state == MethodHealth::Dead && now >= s.retry_at) {
+      s.state = MethodHealth::Probation;
+    }
+    return s;
+  }
+
+  bool tracked(std::uint32_t method, std::uint32_t target) const noexcept {
+    return entries_.find(Key{method, target}) != entries_.end();
+  }
+
+  /// Record a failed send.  `hard` marks a dead verdict (quarantine
+  /// immediately); transient failures count toward the threshold first.
+  FailAction on_failure(std::uint32_t method, std::uint32_t target, Time now,
+                        bool hard) {
+    Entry& e = entries_[Key{method, target}];
+    ++e.failures;
+    ++e.consecutive_failures;
+    if (e.state == MethodHealth::Dead) {
+      // A failed restore probe: stay dead, grow the backoff.
+      e.backoff = next_backoff(e.backoff);
+      e.retry_at = now + jittered(e.backoff);
+      return FailAction::Failover;
+    }
+    if (!hard && e.consecutive_failures < params_.fail_threshold) {
+      e.state = MethodHealth::Suspect;
+      return FailAction::Retry;
+    }
+    e.state = MethodHealth::Dead;
+    ++e.failovers;
+    e.backoff = params_.backoff_initial;
+    e.retry_at = now + jittered(e.backoff);
+    return FailAction::Failover;
+  }
+
+  /// Record a successful send; returns true when it restored a method that
+  /// was Suspect/Dead/Probation (telemetry records those transitions).
+  bool on_success(std::uint32_t method, std::uint32_t target) {
+    auto it = entries_.find(Key{method, target});
+    if (it == entries_.end()) return false;
+    Entry& e = it->second;
+    const bool restored = e.state != MethodHealth::Healthy;
+    if (e.state == MethodHealth::Dead) ++e.restores;
+    e.state = MethodHealth::Healthy;
+    e.consecutive_failures = 0;
+    e.backoff = 0;
+    e.retry_at = 0;
+    return restored;
+  }
+
+ private:
+  struct Entry : Status {};
+
+  Time next_backoff(Time current) const noexcept {
+    const double grown =
+        static_cast<double>(current) * params_.backoff_multiplier;
+    const auto capped = static_cast<Time>(grown);
+    return capped > params_.backoff_max || capped < current
+               ? params_.backoff_max
+               : capped;
+  }
+
+  Time jittered(Time interval) noexcept {
+    if (params_.backoff_jitter <= 0.0) return interval;
+    const double f =
+        1.0 + params_.backoff_jitter * (2.0 * rng_.next_double() - 1.0);
+    const auto t = static_cast<Time>(static_cast<double>(interval) * f);
+    return t > 0 ? t : 1;
+  }
+
+  HealthParams params_;
+  util::Rng rng_;
+  std::map<Key, Entry> entries_;
+};
+
+}  // namespace nexus

@@ -84,9 +84,13 @@ class CommModule {
 
   /// Transmit one RSR packet over an established connection.  Charges the
   /// sender's per-message software overhead to the caller's clock and
-  /// returns the number of bytes that actually crossed the wire (which may
-  /// differ from the packet's size for compressing/encrypting methods).
-  virtual std::uint64_t send(CommObject& conn, Packet packet) = 0;
+  /// returns the delivery verdict plus the number of bytes that crossed (or
+  /// would have crossed) the wire -- which may differ from the packet's
+  /// size for compressing/encrypting methods.  A non-Ok status means the
+  /// packet was NOT delivered and the caller owns recovery (retry or
+  /// failover); silent loss remains the province of unreliable methods,
+  /// which return Ok for packets the network may still lose.
+  virtual SendResult send(CommObject& conn, Packet packet) = 0;
 
   /// Check for one incoming packet.  Does NOT charge poll cost -- the
   /// polling engine does that, so skip_poll accounting stays in one place.

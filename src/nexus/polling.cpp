@@ -139,6 +139,14 @@ bool PollingEngine::poll_once() {
     std::uint64_t drained = 0;
     while (auto pkt = e.module->poll()) {
       hit = true;
+      if (pkt->corrupted) {
+        // Receiver-side quarantine: a fault rule damaged this packet in
+        // flight.  It counts as a poll hit (the wire delivered bytes) but
+        // is never dispatched.
+        e.module->counters().poll_hits += 1;
+        e.module->counters().recv_corrupt += 1;
+        continue;
+      }
       delivered = true;
       ++drained;
       e.module->counters().poll_hits += 1;

@@ -25,6 +25,7 @@ Runtime::Runtime(RuntimeOptions opts) : opts_(std::move(opts)) {
   }
   if (opts_.fabric == RuntimeOptions::Fabric::Simulated) {
     sim_ = std::make_unique<SimFabric>(opts_.topology);
+    sim_->set_faults(opts_.faults, opts_.seed);
   } else {
     rt_ = std::make_unique<RtFabric>(opts_.topology);
     opts_.costs = SimCostParams::realtime(opts_.costs);

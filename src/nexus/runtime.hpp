@@ -21,8 +21,10 @@
 #include "nexus/costs.hpp"
 #include "nexus/descriptor.hpp"
 #include "nexus/fabric.hpp"
+#include "nexus/health.hpp"
 #include "nexus/module.hpp"
 #include "nexus/types.hpp"
+#include "simnet/fault.hpp"
 #include "simnet/topology.hpp"
 #include "simnet/trace.hpp"
 #include "util/resource_db.hpp"
@@ -45,8 +47,16 @@ struct RuntimeOptions {
   /// receives all inter-partition TCP traffic for that partition.  When a
   /// partition has a forwarder, its other members stop polling TCP.
   std::map<int, ContextId> forwarders;
-  /// Seed for stochastic models (UDP drops).
+  /// Seed for stochastic models (UDP drops, fault rules, backoff jitter).
   std::uint64_t seed = 1;
+  /// Simulated fabric only: deterministic fault-injection plan (drop /
+  /// delay / corrupt / blackhole schedules) installed on the SimFabric
+  /// before run(); see simnet/fault.hpp.  Realtime fabrics inject faults
+  /// through RtFabric::set_fault_hook instead.
+  simnet::FaultPlan faults;
+  /// Failure-handling policy of the automatic failover layer (consecutive
+  /// -failure threshold, quarantine backoff); see nexus/health.hpp.
+  HealthParams health;
   /// Simulated fabric only: bounded conservatism relaxation (see
   /// simnet::SimProcess::set_horizon_slack).  0 = exact microsecond-level
   /// causality; tens of milliseconds are appropriate for the seconds-scale

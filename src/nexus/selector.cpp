@@ -8,11 +8,13 @@
 namespace nexus {
 
 namespace {
-/// A descriptor is usable when the local context has the module loaded and
-/// the module's applicability test passes (paper §3.2).
+/// A descriptor is usable when the local context has the module loaded, the
+/// module's applicability test passes (paper §3.2), and the health tracker
+/// has not quarantined the (method, target) pair after repeated delivery
+/// failures -- every policy consults the same gate, so failover works under
+/// any selector.
 bool usable(const CommDescriptor& d, Context& local) {
-  CommModule* m = local.module(d.method);
-  return m != nullptr && m->applicable(d);
+  return local.method_usable(d);
 }
 
 bool is_reliable(const CommDescriptor& d, Context& local) {
@@ -42,6 +44,12 @@ void MethodSelector::explain(const DescriptorTable& table, Context& local,
     } else if (!m->applicable(d)) {
       c.status = telemetry::CandidateStatus::NotApplicable;
       c.detail = "module reports the descriptor unreachable from here";
+    } else if (!local.health_usable(d)) {
+      const HealthTracker::Status st = local.method_health(d.method, d.context);
+      c.status = telemetry::CandidateStatus::Quarantined;
+      c.detail = "quarantined after " + std::to_string(st.failures) +
+                 " delivery failures; restore probe at t=" +
+                 std::to_string(st.retry_at) + "ns";
     } else if (!m->reliable()) {
       c.status = telemetry::CandidateStatus::UnreliableFallback;
       c.detail =

@@ -34,6 +34,13 @@ class Startpoint {
     // --- local (never serialized) selection state ---
     std::shared_ptr<CommObject> conn;
     std::string selected_method;
+    // Failover: true when selection passed over an applicable entry that the
+    // health tracker had quarantined, i.e. the current winner is not the
+    // policy's first choice.  `reprobe_at` is the earliest retry time among
+    // the skipped entries; once the clock passes it the next RSR re-runs
+    // selection so a restored method can win back the link.
+    bool degraded = false;
+    Time reprobe_at = 0;
   };
 
   Startpoint() = default;
@@ -65,6 +72,8 @@ class Startpoint {
     for (auto& l : links_) {
       l.conn.reset();
       l.selected_method.clear();
+      l.degraded = false;
+      l.reprobe_at = 0;
     }
   }
 

@@ -134,6 +134,12 @@ std::string MetricsRegistry::to_text() const {
         out += hist_summary("handler_ns", cm->handler_ns);
         out += hist_summary("poll_interval_ns", cm->poll_interval_ns);
         out += hist_summary("poll_batch", cm->poll_batch);
+        out += hist_summary("rsr_retries", cm->rsr_retries);
+        if (cm->failovers != 0 || cm->suspects != 0 || cm->restores != 0) {
+          out += "    failover: triggered " + std::to_string(cm->failovers) +
+                 " suspects " + std::to_string(cm->suspects) + " restores " +
+                 std::to_string(cm->restores) + "\n";
+        }
       }
     }
     const util::MethodCounters& c = mm.counters;
@@ -141,7 +147,12 @@ std::string MetricsRegistry::to_text() const {
            std::to_string(c.bytes_sent) + "B recv " +
            std::to_string(c.recvs) + "/" + std::to_string(c.bytes_received) +
            "B polls " + std::to_string(c.polls) + " hits " +
-           std::to_string(c.poll_hits) + "\n";
+           std::to_string(c.poll_hits);
+    if (c.send_errors != 0) out += " send_errors " +
+                                   std::to_string(c.send_errors);
+    if (c.recv_corrupt != 0) out += " recv_corrupt " +
+                                    std::to_string(c.recv_corrupt);
+    out += "\n";
     out += hist_summary("send_bytes", mm.send_bytes);
     out += hist_summary("recv_bytes", mm.recv_bytes);
   }
@@ -159,7 +170,11 @@ std::string MetricsRegistry::to_json() const {
            ",\"rsr_oneway_ns\":" + hist_json(cm.rsr_oneway_ns) +
            ",\"handler_ns\":" + hist_json(cm.handler_ns) +
            ",\"poll_interval_ns\":" + hist_json(cm.poll_interval_ns) +
-           ",\"poll_batch\":" + hist_json(cm.poll_batch) + "}";
+           ",\"poll_batch\":" + hist_json(cm.poll_batch) +
+           ",\"rsr_retries\":" + hist_json(cm.rsr_retries) +
+           ",\"failovers\":" + std::to_string(cm.failovers) +
+           ",\"suspects\":" + std::to_string(cm.suspects) +
+           ",\"restores\":" + std::to_string(cm.restores) + "}";
   }
   out += "],\"methods\":[";
   bool first_m = true;
@@ -175,6 +190,8 @@ std::string MetricsRegistry::to_json() const {
            ",\"bytes_received\":" + std::to_string(c.bytes_received) +
            ",\"polls\":" + std::to_string(c.polls) +
            ",\"poll_hits\":" + std::to_string(c.poll_hits) +
+           ",\"send_errors\":" + std::to_string(c.send_errors) +
+           ",\"recv_corrupt\":" + std::to_string(c.recv_corrupt) +
            ",\"send_bytes\":" + hist_json(mm.send_bytes) +
            ",\"recv_bytes\":" + hist_json(mm.recv_bytes) + "}";
   }

@@ -98,6 +98,13 @@ struct ContextMetrics {
   Histogram handler_ns;        ///< handler body run time (inclusive)
   Histogram poll_interval_ns;  ///< unified-poll cadence (see kPollSampleEvery)
   Histogram poll_batch;        ///< packets drained per hitting poll
+  Histogram rsr_retries;       ///< extra send attempts per RSR that needed any
+  // Failover-layer counters (always counted, like MethodCounters): method
+  // declared dead + re-selection, first failure on a healthy pair, and
+  // successful restore probe after quarantine.
+  std::uint64_t failovers = 0;
+  std::uint64_t suspects = 0;
+  std::uint64_t restores = 0;
 };
 
 /// Poll intervals are sampled once per this many poll_once() iterations

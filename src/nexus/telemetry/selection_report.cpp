@@ -12,6 +12,7 @@ const char* candidate_status_name(CandidateStatus s) noexcept {
     case CandidateStatus::UnreliableFallback: return "unreliable_fallback";
     case CandidateStatus::RankedBehind: return "ranked_behind";
     case CandidateStatus::NotForced: return "not_forced";
+    case CandidateStatus::Quarantined: return "quarantined";
   }
   return "?";
 }

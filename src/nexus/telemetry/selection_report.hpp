@@ -25,6 +25,8 @@ enum class CandidateStatus : std::uint8_t {
                        ///< nothing reliable applies (or via force_method)
   RankedBehind,        ///< usable, but the policy preferred another entry
   NotForced,           ///< a forced method is in effect and this is not it
+  Quarantined,         ///< usable, but the health tracker has it in backoff
+                       ///< after repeated delivery failures
 };
 
 const char* candidate_status_name(CandidateStatus s) noexcept;

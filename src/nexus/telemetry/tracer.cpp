@@ -18,6 +18,9 @@ const char* phase_name(Phase p) noexcept {
     case Phase::HandlerDone: return "handler_done";
     case Phase::Forward: return "forward";
     case Phase::Drop: return "drop";
+    case Phase::Failover: return "failover";
+    case Phase::Suspect: return "suspect";
+    case Phase::Restore: return "restore";
     case Phase::Custom: return "custom";
   }
   return "?";

@@ -39,6 +39,9 @@ enum class Phase : std::uint8_t {
   HandlerDone,  ///< handler invocation returned
   Forward,      ///< a forwarding node re-sent a packet toward its dst
   Drop,         ///< an unreliable method lost the packet
+  Failover,     ///< health tracker declared a method dead; re-selecting
+  Suspect,      ///< first failure observed on a healthy method/target pair
+  Restore,      ///< a probe succeeded on a quarantined method; back in use
   Custom,       ///< application-recorded marker
 };
 

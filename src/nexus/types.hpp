@@ -22,6 +22,29 @@ using Time = simnet::Time;
 inline constexpr ContextId kNoContext =
     std::numeric_limits<ContextId>::max();
 
+/// Outcome of handing one packet to a communication method, as observed by
+/// the sender (docs/ARCHITECTURE.md §9).  Ordered as a severity lattice:
+/// Ok < Transient < Dead.
+enum class DeliveryStatus : std::uint8_t {
+  Ok,         ///< the method accepted the packet for delivery
+  Transient,  ///< the packet was lost but a retry may succeed (detected
+              ///< drop, momentary congestion)
+  Dead,       ///< the method cannot currently reach the target at all
+              ///< (link down / connection refused); fail over
+};
+
+const char* delivery_status_name(DeliveryStatus s) noexcept;
+
+/// What a CommModule::send returns: the verdict plus the bytes that would
+/// have crossed (or crossed) the wire.  `wire` stays meaningful on failure
+/// so retry accounting can reason about attempted traffic.
+struct SendResult {
+  DeliveryStatus status = DeliveryStatus::Ok;
+  std::uint64_t wire = 0;
+
+  bool ok() const noexcept { return status == DeliveryStatus::Ok; }
+};
+
 /// Serialized remote service request as it travels between contexts.
 ///
 /// The payload is always canonically-encoded bytes (produced by PackBuffer)
@@ -40,6 +63,11 @@ struct Packet {
   /// (dst is then the final destination; the forwarder compares dst with
   /// its own id.)
   std::uint8_t hops = 0;
+  /// Set by the fault plane when a Corrupt rule fires: models an integrity
+  /// failure the receiver's checksum detects.  The payload bytes are left
+  /// intact (transform methods still decode them); the receiving polling
+  /// engine quarantines the packet instead of dispatching it.
+  bool corrupted = false;
   util::SharedBytes payload;
 
   // --- observability metadata (not modelled as wire bytes) ---

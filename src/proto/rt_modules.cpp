@@ -76,9 +76,28 @@ ContextId RtQueueModule::landing_context(const CommDescriptor& remote) const {
   return RtDescData::unpack(remote.data).landing;
 }
 
-std::uint64_t RtQueueModule::enqueue(ContextId landing, Packet packet) {
-  RtHost& host = fabric().host(landing);
+SendResult RtQueueModule::consult_hook(ContextId dst, Packet& packet,
+                                       std::uint64_t wire) const {
+  const RtFabric::FaultHook& hook = fabric().fault_hook();
+  if (!hook) return {DeliveryStatus::Ok, wire};
+  const simnet::FaultVerdict v = hook(name_, ctx_->id(), dst);
+  if (v.failed()) {
+    telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
+    if (tr.enabled()) {
+      tr.record({ctx_->now(), packet.span, ctx_->id(),
+                 telemetry::Phase::Drop, trace_label(), wire, dst});
+    }
+    return {v.dead ? DeliveryStatus::Dead : DeliveryStatus::Transient, wire};
+  }
+  if (v.corrupt) packet.corrupted = true;
+  return {DeliveryStatus::Ok, wire};
+}
+
+SendResult RtQueueModule::enqueue(ContextId landing, Packet packet) {
   const std::uint64_t wire = packet.wire_size();
+  const SendResult verdict = consult_hook(landing, packet, wire);
+  if (!verdict.ok()) return verdict;
+  RtHost& host = fabric().host(landing);
   telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
   if (tr.enabled()) {
     tr.record({ctx_->now(), packet.span, ctx_->id(),
@@ -86,13 +105,15 @@ std::uint64_t RtQueueModule::enqueue(ContextId landing, Packet packet) {
   }
   host.queue(name()).push(std::move(packet));
   host.activity->notify();
-  return wire;
+  return verdict;
 }
 
-std::uint64_t RtQueueModule::send(CommObject& conn, Packet packet) {
+SendResult RtQueueModule::send(CommObject& conn, Packet packet) {
   RtConn& c = static_cast<RtConn&>(conn);
-  RtHost& host = route_host(c);
   const std::uint64_t wire = packet.wire_size();
+  const SendResult verdict = consult_hook(c.landing(), packet, wire);
+  if (!verdict.ok()) return verdict;
+  RtHost& host = route_host(c);
   telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
   if (tr.enabled()) {
     tr.record({ctx_->now(), packet.span, ctx_->id(),
@@ -100,7 +121,7 @@ std::uint64_t RtQueueModule::send(CommObject& conn, Packet packet) {
   }
   route(c).push(std::move(packet));
   host.activity->notify();
-  return wire;
+  return verdict;
 }
 
 std::optional<Packet> RtQueueModule::poll() { return inbox_->try_pop(); }
@@ -119,7 +140,7 @@ RtUdpModule::RtUdpModule(Context& ctx)
       drop_prob_(ctx.runtime().options().costs.udp_drop_prob),
       mtu_(ctx.runtime().options().costs.udp_mtu) {}
 
-std::uint64_t RtUdpModule::send(CommObject& conn, Packet packet) {
+SendResult RtUdpModule::send(CommObject& conn, Packet packet) {
   if (packet.payload.size() > mtu_) {
     throw util::MethodError("udp payload of " +
                             std::to_string(packet.payload.size()) +
@@ -138,7 +159,9 @@ std::uint64_t RtUdpModule::send(CommObject& conn, Packet packet) {
       tr.record({context().now(), packet.span, context().id(),
                  telemetry::Phase::Drop, trace_label(), wire, packet.dst});
     }
-    return wire;
+    // Undetectable loss: the sender sees Ok (udp is unreliable by
+    // contract); detected failures come from the fault hook underneath.
+    return {DeliveryStatus::Ok, wire};
   }
   return RtQueueModule::send(conn, std::move(packet));
 }
@@ -147,7 +170,7 @@ RtSecureModule::RtSecureModule(Context& ctx)
     : RtQueueModule(ctx, "secure", Scope::Anywhere, 7,
                     /*blocking_capable=*/false) {}
 
-std::uint64_t RtSecureModule::send(CommObject& conn, Packet packet) {
+SendResult RtSecureModule::send(CommObject& conn, Packet packet) {
   packet.payload = seal(packet.payload.span(),
                         SecureSimModule::pair_key(packet.src, packet.dst));
   return RtQueueModule::send(conn, std::move(packet));
@@ -166,7 +189,7 @@ RtZrleModule::RtZrleModule(Context& ctx)
     : RtQueueModule(ctx, "zrle", Scope::Anywhere, 8,
                     /*blocking_capable=*/false) {}
 
-std::uint64_t RtZrleModule::send(CommObject& conn, Packet packet) {
+SendResult RtZrleModule::send(CommObject& conn, Packet packet) {
   packet.payload = rle_encode(packet.payload.span());
   return RtQueueModule::send(conn, std::move(packet));
 }
@@ -188,7 +211,7 @@ std::unique_ptr<CommObject> RtMcastModule::connect(
   return std::make_unique<RtConn>(*this, remote, ub.get_u32());
 }
 
-std::uint64_t RtMcastModule::send(CommObject& conn, Packet packet) {
+SendResult RtMcastModule::send(CommObject& conn, Packet packet) {
   const std::uint32_t group = static_cast<RtConn&>(conn).landing();
   auto members = fabric().multicast_members(group);
   if (members.empty()) {
@@ -200,9 +223,11 @@ std::uint64_t RtMcastModule::send(CommObject& conn, Packet packet) {
     Packet copy = packet;
     copy.dst = member;
     copy.endpoint = endpoint;
+    // Faulted members are silently skipped: multicast is unreliable, so
+    // per-member failures never surface to the sender.
     enqueue(member, std::move(copy));
   }
-  return wire;
+  return {DeliveryStatus::Ok, wire};
 }
 
 }  // namespace nexus::proto

@@ -58,8 +58,14 @@ class RtQueueModule : public CommModule {
  protected:
   Context& context() const noexcept { return *ctx_; }
   RtFabric& fabric() const;
-  /// Deliver a packet into `landing`'s queue for this method.
-  std::uint64_t enqueue(ContextId landing, Packet packet);
+  /// Deliver a packet into `landing`'s queue for this method, via the
+  /// fabric's fault hook when one is installed.
+  SendResult enqueue(ContextId landing, Packet packet);
+  /// Consult the fabric's fault hook for a send to `dst`; applies the
+  /// corrupt flag in place.  Realtime delays are not injectable (real time
+  /// cannot be scripted), so extra_delay verdicts are ignored.
+  SendResult consult_hook(ContextId dst, Packet& packet,
+                          std::uint64_t wire) const;
   /// Destination host of a direct (context-addressed) connection, resolved
   /// once per connection instead of once per packet.
   RtHost& route_host(RtConn& conn) {
@@ -82,7 +88,7 @@ class RtQueueModule : public CommModule {
   /// The landing context packed into the descriptor (the forwarder for
   /// tcp-class methods in a forwarded partition).
   ContextId landing_context(const CommDescriptor& remote) const override;
-  std::uint64_t send(CommObject& conn, Packet packet) override;
+  SendResult send(CommObject& conn, Packet packet) override;
   std::optional<Packet> poll() override;
   Time poll_cost() const override { return 0; }
   std::optional<Time> earliest_arrival() const override {
@@ -107,7 +113,7 @@ class RtQueueModule : public CommModule {
 class RtUdpModule final : public RtQueueModule {
  public:
   explicit RtUdpModule(Context& ctx);
-  std::uint64_t send(CommObject& conn, Packet packet) override;
+  SendResult send(CommObject& conn, Packet packet) override;
   bool reliable() const override { return false; }
   std::uint64_t dropped() const noexcept { return dropped_; }
 
@@ -122,7 +128,7 @@ class RtUdpModule final : public RtQueueModule {
 class RtSecureModule final : public RtQueueModule {
  public:
   explicit RtSecureModule(Context& ctx);
-  std::uint64_t send(CommObject& conn, Packet packet) override;
+  SendResult send(CommObject& conn, Packet packet) override;
   std::optional<Packet> poll() override;
 };
 
@@ -130,7 +136,7 @@ class RtSecureModule final : public RtQueueModule {
 class RtZrleModule final : public RtQueueModule {
  public:
   explicit RtZrleModule(Context& ctx);
-  std::uint64_t send(CommObject& conn, Packet packet) override;
+  SendResult send(CommObject& conn, Packet packet) override;
   std::optional<Packet> poll() override;
 };
 
@@ -145,7 +151,7 @@ class RtMcastModule final : public RtQueueModule {
   ContextId landing_context(const CommDescriptor& remote) const override {
     return remote.context;
   }
-  std::uint64_t send(CommObject& conn, Packet packet) override;
+  SendResult send(CommObject& conn, Packet packet) override;
   bool reliable() const override { return false; }
 };
 

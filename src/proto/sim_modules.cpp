@@ -64,20 +64,46 @@ std::unique_ptr<CommObject> SimModuleBase::connect(
   return std::make_unique<SimConn>(*this, remote, remote.context);
 }
 
-std::uint64_t SimModuleBase::send(CommObject& conn, Packet packet) {
-  return transmit_into(route(static_cast<SimConn&>(conn)), std::move(packet));
+SendResult SimModuleBase::send(CommObject& conn, Packet packet) {
+  SimConn& c = static_cast<SimConn&>(conn);
+  return transmit_into(c.landing(), route(c), std::move(packet));
 }
 
-std::uint64_t SimModuleBase::transmit_into(simnet::Mailbox<Packet>& box,
-                                           Packet packet, double bw_divisor) {
+SendResult SimModuleBase::transmit_into(ContextId dst,
+                                        simnet::Mailbox<Packet>& box,
+                                        Packet packet, double bw_divisor) {
   ctx_->clock().advance(costs_.send_cpu);
   const std::uint64_t wire = packet.wire_size();
   const Time arrival =
       now() + costs_.latency +
       simnet::transfer_time(wire, costs_.mb_s / bw_divisor);
+  return post_faulted(dst, box, std::move(packet), arrival, wire);
+}
+
+SendResult SimModuleBase::post_faulted(ContextId dst,
+                                       simnet::Mailbox<Packet>& box,
+                                       Packet packet, Time arrival,
+                                       std::uint64_t wire) {
+  SimFabric& f = fabric();
+  if (!f.faults().empty()) {
+    const simnet::FaultVerdict v = f.faults().consult(
+        name_, my_partition(), f.topology().partition_of(dst), now(),
+        f.fault_rng());
+    if (v.failed()) {
+      telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
+      if (tr.enabled()) {
+        tr.record({now(), packet.span, ctx_->id(), telemetry::Phase::Drop,
+                   trace_label(), wire, dst});
+      }
+      return {v.dead ? DeliveryStatus::Dead : DeliveryStatus::Transient,
+              wire};
+    }
+    if (v.corrupt) packet.corrupted = true;
+    arrival += v.extra_delay;
+  }
   trace_enqueue(*ctx_, *this, packet, wire, arrival);
   box.post(arrival, std::move(packet));
-  return wire;
+  return {DeliveryStatus::Ok, wire};
 }
 
 // ---------------------------------------------------------------- local ---
@@ -166,12 +192,12 @@ bool MplSimModule::applicable(const CommDescriptor& remote) const {
          static_cast<int>(unpack_u32(remote.data)) == my_partition();
 }
 
-std::uint64_t MplSimModule::send(CommObject& conn, Packet packet) {
+SendResult MplSimModule::send(CommObject& conn, Packet packet) {
   SimConn& c = static_cast<SimConn&>(conn);
   // Kernel-call interference (paper §3.3): the receiver's TCP polling slows
   // the drain of this transfer; modelled as a bandwidth divisor.
   const double drag = route_host(c).inbound_drag;
-  return transmit_into(route(c), std::move(packet), drag);
+  return transmit_into(c.landing(), route(c), std::move(packet), drag);
 }
 
 // ------------------------------------------------------------------ tcp ---
@@ -186,7 +212,7 @@ TcpSimModule::TcpSimModule(Context& ctx)
       incast_bytes_(ctx.costs().tcp_incast_bytes),
       incast_stall_(ctx.costs().tcp_incast_stall) {}
 
-std::uint64_t TcpSimModule::send(CommObject& conn, Packet packet) {
+SendResult TcpSimModule::send(CommObject& conn, Packet packet) {
   SimConn& c = static_cast<SimConn&>(conn);
   SimHost& dest = route_host(c);
   simnet::Mailbox<Packet>& box = route(c);
@@ -200,10 +226,12 @@ std::uint64_t TcpSimModule::send(CommObject& conn, Packet packet) {
     const auto excess = static_cast<Time>(pending - incast_threshold_);
     arrival += excess * excess * incast_stall_;
   }
-  dest.tcp_inflight_bytes += wire;
-  trace_enqueue(*ctx_, *this, packet, wire, arrival);
-  box.post(arrival, std::move(packet));
-  return wire;
+  const SendResult r =
+      post_faulted(c.landing(), box, std::move(packet), arrival, wire);
+  // A failed send never reached the destination's receive window, so it
+  // must not contribute to the incast inflight accounting.
+  if (r.ok()) dest.tcp_inflight_bytes += wire;
+  return r;
 }
 
 std::optional<Packet> TcpSimModule::poll() {
@@ -259,7 +287,7 @@ bool UdpSimModule::applicable(const CommDescriptor& remote) const {
   return remote.method == name();
 }
 
-std::uint64_t UdpSimModule::send(CommObject& conn, Packet packet) {
+SendResult UdpSimModule::send(CommObject& conn, Packet packet) {
   if (packet.payload.size() > mtu_) {
     throw util::MethodError("udp payload of " +
                             std::to_string(packet.payload.size()) +
@@ -279,13 +307,15 @@ std::uint64_t UdpSimModule::send(CommObject& conn, Packet packet) {
       tr.record({now(), packet.span, ctx_->id(), telemetry::Phase::Drop,
                  trace_label(), wire, packet.dst});
     }
-    return wire;  // it left the host; the network lost it
+    // Undetectable loss: it left the host and the network ate it.  The
+    // sender sees Ok -- this is exactly why udp reports reliable()==false.
+    return {DeliveryStatus::Ok, wire};
   }
   const Time arrival =
       now() + costs_.latency + simnet::transfer_time(wire, costs_.mb_s);
-  trace_enqueue(*ctx_, *this, packet, wire, arrival);
-  route(static_cast<SimConn&>(conn)).post(arrival, std::move(packet));
-  return wire;
+  SimConn& c = static_cast<SimConn&>(conn);
+  return post_faulted(c.landing(), route(c), std::move(packet), arrival,
+                      wire);
 }
 
 // ----------------------------------------------------------------- aal5 ---
@@ -329,7 +359,7 @@ bool SecureSimModule::applicable(const CommDescriptor& remote) const {
   return remote.method == name();
 }
 
-std::uint64_t SecureSimModule::send(CommObject& conn, Packet packet) {
+SendResult SecureSimModule::send(CommObject& conn, Packet packet) {
   ctx_->clock().advance(static_cast<Time>(packet.payload.size()) *
                         cpu_per_byte_);
   // Transform methods replace the shared buffer rather than mutating it:
@@ -366,7 +396,7 @@ bool CompressSimModule::applicable(const CommDescriptor& remote) const {
   return remote.method == name();
 }
 
-std::uint64_t CompressSimModule::send(CommObject& conn, Packet packet) {
+SendResult CompressSimModule::send(CommObject& conn, Packet packet) {
   ctx_->clock().advance(static_cast<Time>(packet.payload.size()) *
                         cpu_per_byte_);
   packet.payload = rle_encode(packet.payload.span());
@@ -408,7 +438,7 @@ std::unique_ptr<CommObject> McastSimModule::connect(
   return std::make_unique<SimConn>(*this, remote, unpack_u32(remote.data));
 }
 
-std::uint64_t McastSimModule::send(CommObject& conn, Packet packet) {
+SendResult McastSimModule::send(CommObject& conn, Packet packet) {
   const std::uint32_t group = static_cast<SimConn&>(conn).landing();
   auto it = fabric().multicast_groups().find(group);
   if (it == fabric().multicast_groups().end() || it->second.empty()) {
@@ -424,10 +454,12 @@ std::uint64_t McastSimModule::send(CommObject& conn, Packet packet) {
     Packet copy = packet;
     copy.dst = member;
     copy.endpoint = endpoint;
-    trace_enqueue(*ctx_, *this, copy, wire, arrival);
-    fabric().host(member).box(name()).post(arrival, std::move(copy));
+    // Per-member fault consultation; faulted members are silently skipped
+    // (multicast is unreliable, so the sender never sees member failures).
+    post_faulted(member, fabric().host(member).box(name()), std::move(copy),
+                 arrival, wire);
   }
-  return wire;
+  return {DeliveryStatus::Ok, wire};
 }
 
 void multicast_join(Context& ctx, std::uint32_t group, const Endpoint& ep) {

@@ -73,7 +73,7 @@ class SimModuleBase : public CommModule {
   /// Default connect: land directly at the descriptor's context.
   std::unique_ptr<CommObject> connect(const CommDescriptor& remote) override;
   /// Default send: one copy to the connection's landing context.
-  std::uint64_t send(CommObject& conn, Packet packet) override;
+  SendResult send(CommObject& conn, Packet packet) override;
 
  protected:
   SimFabric& fabric() const;
@@ -90,10 +90,17 @@ class SimModuleBase : public CommModule {
     if (conn.box_ == nullptr) conn.box_ = &route_host(conn).box(name_);
     return *conn.box_;
   }
-  /// Charge sender CPU, compute the arrival time, and post into `box`.
-  /// `bw_divisor` > 1 slows the transfer (used by the interference drag).
-  std::uint64_t transmit_into(simnet::Mailbox<Packet>& box, Packet packet,
-                              double bw_divisor = 1.0);
+  /// Charge sender CPU, compute the arrival time, and post into `box`
+  /// through the fault plane.  `bw_divisor` > 1 slows the transfer (used by
+  /// the interference drag); `dst` is the landing context (partition-pair
+  /// fault matching).
+  SendResult transmit_into(ContextId dst, simnet::Mailbox<Packet>& box,
+                           Packet packet, double bw_divisor = 1.0);
+  /// Consult the fabric's fault plan, then post (unless a fault eats the
+  /// packet).  Every simulated send funnels through here so drop / delay /
+  /// corrupt / blackhole rules apply uniformly.
+  SendResult post_faulted(ContextId dst, simnet::Mailbox<Packet>& box,
+                          Packet packet, Time arrival, std::uint64_t wire);
 
   Context* ctx_;
   std::string name_;
@@ -133,7 +140,7 @@ class MplSimModule final : public SimModuleBase {
   CommDescriptor local_descriptor() const override;
   bool applicable(const CommDescriptor& remote) const override;
   /// Applies the destination's inbound interference drag.
-  std::uint64_t send(CommObject& conn, Packet packet) override;
+  SendResult send(CommObject& conn, Packet packet) override;
 };
 
 class TcpSimModule final : public SimModuleBase {
@@ -146,7 +153,7 @@ class TcpSimModule final : public SimModuleBase {
   /// forwarder when one is configured); expose it for the enquiry layer.
   ContextId landing_context(const CommDescriptor& remote) const override;
   /// Adds the incast-collapse stall when the receiver is overloaded.
-  std::uint64_t send(CommObject& conn, Packet packet) override;
+  SendResult send(CommObject& conn, Packet packet) override;
   std::optional<Packet> poll() override;
   bool supports_blocking() const override { return true; }
 
@@ -161,7 +168,7 @@ class UdpSimModule final : public SimModuleBase {
   explicit UdpSimModule(Context& ctx);
   CommDescriptor local_descriptor() const override;
   bool applicable(const CommDescriptor& remote) const override;
-  std::uint64_t send(CommObject& conn, Packet packet) override;
+  SendResult send(CommObject& conn, Packet packet) override;
   bool reliable() const override { return false; }
   std::uint64_t dropped() const noexcept { return dropped_; }
 
@@ -184,7 +191,7 @@ class SecureSimModule final : public SimModuleBase {
   explicit SecureSimModule(Context& ctx);
   CommDescriptor local_descriptor() const override;
   bool applicable(const CommDescriptor& remote) const override;
-  std::uint64_t send(CommObject& conn, Packet packet) override;
+  SendResult send(CommObject& conn, Packet packet) override;
   std::optional<Packet> poll() override;
 
   /// Symmetric per-pair key (both ends derive the same value).
@@ -199,7 +206,7 @@ class CompressSimModule final : public SimModuleBase {
   explicit CompressSimModule(Context& ctx);
   CommDescriptor local_descriptor() const override;
   bool applicable(const CommDescriptor& remote) const override;
-  std::uint64_t send(CommObject& conn, Packet packet) override;
+  SendResult send(CommObject& conn, Packet packet) override;
   std::optional<Packet> poll() override;
 
  private:
@@ -216,7 +223,7 @@ class McastSimModule final : public SimModuleBase {
   CommDescriptor local_descriptor() const override;
   bool applicable(const CommDescriptor& remote) const override;
   std::unique_ptr<CommObject> connect(const CommDescriptor& remote) override;
-  std::uint64_t send(CommObject& conn, Packet packet) override;
+  SendResult send(CommObject& conn, Packet packet) override;
   bool reliable() const override { return false; }  // rides the udp model
 };
 

@@ -29,8 +29,9 @@ bool StreamSimModule::applicable(const CommDescriptor& remote) const {
   return remote.method == name();
 }
 
-std::uint64_t StreamSimModule::send(CommObject& conn, Packet packet) {
-  simnet::Mailbox<Packet>& box = route(static_cast<SimConn&>(conn));
+SendResult StreamSimModule::send(CommObject& conn, Packet packet) {
+  SimConn& c = static_cast<SimConn&>(conn);
+  simnet::Mailbox<Packet>& box = route(c);
   const std::uint64_t stream = next_stream_id_++;
   const std::uint64_t size = packet.payload.size();
   const auto total = static_cast<std::uint32_t>(
@@ -63,10 +64,18 @@ std::uint64_t StreamSimModule::send(CommObject& conn, Packet packet) {
     wire_total += wire;
     const Time depart = std::max(arrival, now());
     arrival = depart + simnet::transfer_time(wire, costs_.mb_s);
-    box.post(arrival + costs_.latency, std::move(piece));
+    const SendResult r =
+        post_faulted(c.landing(), box, std::move(piece),
+                     arrival + costs_.latency, wire);
+    if (!r.ok()) {
+      // A fault ate this fragment: the stream cannot complete, so surface
+      // the failure (the receiver's partial assembly is abandoned; a retry
+      // uses a fresh stream id and cannot be confused with it).
+      return {r.status, wire_total};
+    }
     ++fragments_sent_;
   }
-  return wire_total;
+  return {DeliveryStatus::Ok, wire_total};
 }
 
 std::optional<Packet> StreamSimModule::poll() {
@@ -82,7 +91,11 @@ std::optional<Packet> StreamSimModule::poll() {
     if (as.total == 0) {
       as.total = total;
       as.header = *piece;
-    } else if (as.total != total) {
+    }
+    // One corrupt fragment poisons the whole message: the reassembled
+    // packet keeps the flag so the receiving engine quarantines it.
+    if (piece->corrupted) as.header.corrupted = true;
+    if (as.total != total) {
       throw util::MethodError("stream: inconsistent fragment count");
     }
     // Same-pipe fragments arrive in order; guard anyway.

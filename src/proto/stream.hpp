@@ -26,7 +26,7 @@ class StreamSimModule final : public SimModuleBase {
 
   CommDescriptor local_descriptor() const override;
   bool applicable(const CommDescriptor& remote) const override;
-  std::uint64_t send(CommObject& conn, Packet packet) override;
+  SendResult send(CommObject& conn, Packet packet) override;
   std::optional<Packet> poll() override;
 
   std::uint64_t fragments_sent() const noexcept { return fragments_sent_; }

@@ -69,6 +69,9 @@ struct MethodCounters {
   std::uint64_t bytes_received = 0;
   std::uint64_t polls = 0;
   std::uint64_t poll_hits = 0;  ///< polls that found at least one message
+  std::uint64_t send_errors = 0;   ///< sends that failed (transient or dead)
+  std::uint64_t recv_corrupt = 0;  ///< received packets quarantined for
+                                   ///< integrity failure (never dispatched)
 
   void merge(const MethodCounters& o) noexcept {
     sends += o.sends;
@@ -77,6 +80,8 @@ struct MethodCounters {
     bytes_received += o.bytes_received;
     polls += o.polls;
     poll_hits += o.poll_hits;
+    send_errors += o.send_errors;
+    recv_corrupt += o.recv_corrupt;
   }
 };
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "fixture_runtime.hpp"
 #include "nexus/runtime.hpp"
 #include "proto/sim_modules.hpp"
 #include "util/pack.hpp"
@@ -14,22 +15,8 @@ namespace {
 using namespace nexus;
 using simnet::kMs;
 using simnet::kUs;
-
-RuntimeOptions sim_opts(simnet::Topology topo,
-                        std::vector<std::string> modules = {"local", "mpl",
-                                                            "tcp"}) {
-  RuntimeOptions opts;
-  opts.fabric = RuntimeOptions::Fabric::Simulated;
-  opts.topology = std::move(topo);
-  opts.modules = std::move(modules);
-  return opts;
-}
-
-/// MPMD helper: run one function per context.
-void run_mpmd(Runtime& rt,
-              std::vector<std::function<void(Context&)>> fns) {
-  rt.run(std::move(fns));
-}
+using nexus::testing::run_mpmd;
+using nexus::testing::sim_opts;
 
 TEST(ContextRsr, BasicRequestReply) {
   Runtime rt(sim_opts(simnet::Topology::single_partition(2)));

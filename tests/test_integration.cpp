@@ -8,17 +8,18 @@
 
 #include <numeric>
 
+#include "fixture_runtime.hpp"
 #include "minimpi/mpi.hpp"
 #include "nexus/runtime.hpp"
 
 namespace {
 
 using namespace nexus;
+using nexus::testing::opts_with;
 
 TEST(Integration, MetacomputingPipeline) {
-  RuntimeOptions opts;
-  opts.topology = simnet::Topology::partitions({4, 1, 1});
-  opts.modules = {"local", "mpl", "tcp", "udp", "secure"};
+  RuntimeOptions opts = opts_with({"local", "mpl", "tcp", "udp", "secure"},
+                                  simnet::Topology::partitions({4, 1, 1}));
   opts.costs.udp_drop_prob = 0.0;  // determinism for the assertion below
   Runtime rt(opts);
 
@@ -131,9 +132,8 @@ TEST(Integration, MetacomputingPipeline) {
 }
 
 TEST(Integration, ThreadedHandlersChargeSwitchCost) {
-  RuntimeOptions opts;
-  opts.topology = simnet::Topology::single_partition(2);
-  opts.modules = {"local", "mpl", "tcp"};
+  RuntimeOptions opts =
+      opts_with({"local", "mpl", "tcp"}, simnet::Topology::single_partition(2));
   Runtime rt(opts);
   Time inline_done = -1, threaded_done = -1;
   rt.run(std::vector<std::function<void(Context&)>>{
@@ -171,9 +171,8 @@ TEST(Integration, HandlersCanChainRsrsAcrossManyContexts) {
   // whole world.
   constexpr int kRing = 5;
   constexpr int kLaps = 10;
-  RuntimeOptions opts;
-  opts.topology = simnet::Topology::single_partition(kRing);
-  opts.modules = {"local", "mpl", "tcp"};
+  RuntimeOptions opts = opts_with({"local", "mpl", "tcp"},
+                                  simnet::Topology::single_partition(kRing));
   Runtime rt(opts);
   int final_hops = 0;
   rt.run([&](Context& ctx) {

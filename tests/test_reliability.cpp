@@ -2,40 +2,36 @@
 // hand RSR traffic to an unreliable method while a reliable one applies.
 #include <gtest/gtest.h>
 
+#include "fixture_runtime.hpp"
 #include "nexus/runtime.hpp"
 #include "proto/sim_modules.hpp"
 
 namespace {
 
 using namespace nexus;
-
-RuntimeOptions opts_with(std::vector<std::string> modules,
-                         simnet::Topology topo) {
-  RuntimeOptions opts;
-  opts.topology = std::move(topo);
-  opts.modules = std::move(modules);
-  return opts;
-}
+using nexus::testing::opts_with;
 
 TEST(Reliability, UdpNotAutoSelectedOverTcp) {
   // udp has a better speed rank than tcp, but is lossy; cross-partition
   // selection must pick tcp.
   Runtime rt(opts_with({"local", "mpl", "udp", "tcp"},
                        simnet::Topology::two_partitions(1, 1)));
+  std::uint64_t done = 0;
   rt.run([&](Context& ctx) {
-    std::uint64_t done = 0;
-    ctx.register_handler("noop",
-                         [&](Context&, Endpoint&, util::UnpackBuffer&) {
-                           ++done;
-                         });
+    nexus::testing::register_counter(ctx, "noop", done);
     if (ctx.id() != 1) {
       ctx.wait_count(done, 1);
+      // Isolation check: keep draining well past the delivery -- a
+      // duplicate (e.g. a retried send that was actually delivered) would
+      // land here and fail the exact-count assertion below.
+      ctx.compute_with_polling(2 * simnet::kMs, 100 * simnet::kUs);
       return;
     }
     Startpoint sp = ctx.world_startpoint(0);
     ctx.rsr(sp, "noop");
     EXPECT_EQ(sp.selected_method(), "tcp");
   });
+  EXPECT_EQ(done, 1u);  // exactly once, no duplicates
 }
 
 TEST(Reliability, FallbackToUnreliableWhenNothingElseApplies) {
@@ -45,14 +41,12 @@ TEST(Reliability, FallbackToUnreliableWhenNothingElseApplies) {
                                   simnet::Topology::two_partitions(1, 1));
   opts.costs.udp_drop_prob = 0.0;
   Runtime rt(opts);
+  std::uint64_t done = 0;
   rt.run([&](Context& ctx) {
-    std::uint64_t done = 0;
-    ctx.register_handler("noop",
-                         [&](Context&, Endpoint&, util::UnpackBuffer&) {
-                           ++done;
-                         });
+    nexus::testing::register_counter(ctx, "noop", done);
     if (ctx.id() != 1) {
       ctx.wait_count(done, 1);
+      ctx.compute_with_polling(2 * simnet::kMs, 100 * simnet::kUs);
       return;
     }
     Startpoint sp = ctx.world_startpoint(0);
@@ -62,6 +56,7 @@ TEST(Reliability, FallbackToUnreliableWhenNothingElseApplies) {
     EXPECT_NE(ctx.selection_log().back().reason.find("unreliable"),
               std::string::npos);
   });
+  EXPECT_EQ(done, 1u);  // exactly once, no duplicates
 }
 
 TEST(Reliability, ForcedUnreliableMethodIsHonoured) {
@@ -69,14 +64,12 @@ TEST(Reliability, ForcedUnreliableMethodIsHonoured) {
                                   simnet::Topology::two_partitions(1, 1));
   opts.costs.udp_drop_prob = 0.0;
   Runtime rt(opts);
+  std::uint64_t done = 0;
   rt.run([&](Context& ctx) {
-    std::uint64_t done = 0;
-    ctx.register_handler("noop",
-                         [&](Context&, Endpoint&, util::UnpackBuffer&) {
-                           ++done;
-                         });
+    nexus::testing::register_counter(ctx, "noop", done);
     if (ctx.id() != 1) {
       ctx.wait_count(done, 1);
+      ctx.compute_with_polling(2 * simnet::kMs, 100 * simnet::kUs);
       return;
     }
     Startpoint sp = ctx.world_startpoint(0);
@@ -84,6 +77,7 @@ TEST(Reliability, ForcedUnreliableMethodIsHonoured) {
     ctx.rsr(sp, "noop");
     EXPECT_EQ(sp.selected_method(), "udp");
   });
+  EXPECT_EQ(done, 1u);  // exactly once, no duplicates
 }
 
 TEST(Reliability, QosAlsoPrefersReliable) {
@@ -132,6 +126,7 @@ TEST(Reliability, MulticastStillWorksAsOnlyEntry) {
                            });
       nexus::proto::multicast_join(ctx, 3, ep);
       ctx.wait_count(done, 1);
+      ctx.compute_with_polling(2 * simnet::kMs, 100 * simnet::kUs);
     } else {
       ctx.compute(50 * simnet::kUs);  // let the member join
       Startpoint group = nexus::proto::multicast_startpoint(ctx, 3);

@@ -1,20 +1,14 @@
 // Tests for automatic method selection policies (paper §3.2).
 #include <gtest/gtest.h>
 
+#include "fixture_runtime.hpp"
 #include "nexus/runtime.hpp"
 #include "nexus/selector.hpp"
 
 namespace {
 
 using namespace nexus;
-
-RuntimeOptions opts_with(std::vector<std::string> modules,
-                         simnet::Topology topo) {
-  RuntimeOptions opts;
-  opts.topology = std::move(topo);
-  opts.modules = std::move(modules);
-  return opts;
-}
+using nexus::testing::opts_with;
 
 TEST(Selector, FirstApplicableHonoursTableOrder) {
   // Figure 3 scenario: a startpoint whose table lists [mpl, tcp].  From the
