@@ -3,11 +3,14 @@
 //
 // Three contexts: 0 is a workstation on its own (partition 1); 1 and 2 are
 // nodes of an SP2 partition (partition 0), so they can talk MPL to each
-// other but only TCP to context 0.  Context 2 creates an endpoint and hands
-// the startpoint to context 0; selection there picks TCP (MPL is
-// inapplicable).  Context 0 then migrates the startpoint to context 1,
-// where re-selection picks MPL.  Finally the demo shows the manual
-// controls: table reordering and forced methods.
+// other but cross the partition boundary only over wide-area methods.
+// Context 2 creates an endpoint and hands the startpoint to context 0;
+// selection there picks rel+udp -- the reliability wrapper passes the
+// reliable() gate at udp's speed rank, so it beats tcp without any
+// application-side protocol code (the paper's "protocols are just more
+// methods").  Context 0 then migrates the startpoint to context 1, where
+// re-selection picks MPL.  Finally the demo shows the manual controls:
+// table editing and forced methods.
 //
 // Along the way each decision is explained with the structured enquiry
 // (Context::explain_selection), which reports every descriptor considered,
@@ -22,7 +25,7 @@ int main() {
   RuntimeOptions opts;
   // contexts 1, 2 share the SP partition; context 0 is the outside node.
   opts.topology = simnet::Topology(std::vector<int>{1, 0, 0});
-  opts.modules = {"local", "mpl", "tcp"};
+  opts.modules = {"local", "mpl", "rel+udp", "tcp"};
   Runtime rt(opts);
 
   rt.run(std::vector<std::function<void(Context&)>>{
@@ -43,8 +46,11 @@ int main() {
               // before actually using the startpoint.
               std::printf("%s", c.explain_selection(sp).to_text().c_str());
               c.rsr(sp, "poke");  // automatic selection runs here
-              std::printf("[ctx0] selected: %s (expected tcp: different "
-                          "partition)\n",
+              // The explanation above renders the winner's wrapper stack:
+              //   1. rel+udp  <- selected ... [wraps udp]
+              std::printf("[ctx0] selected: %s (expected rel+udp: different "
+                          "partition; the reliable wrapper runs at udp's "
+                          "rank and beats tcp)\n",
                           sp.selected_method().c_str());
               // Migrate the startpoint onward to node 1.
               util::PackBuffer pb;
@@ -68,7 +74,8 @@ int main() {
                           "partition as ctx2)\n",
                           sp.selected_method().c_str());
 
-              // Manual control 1: delete the fast entry -> falls to tcp.
+              // Manual control 1: delete the fast entry -> falls to the
+              // next reliable method, the rel+udp wrapper.
               Startpoint edited = sp;
               edited.table().remove("mpl");
               edited.invalidate_selection();
@@ -102,10 +109,12 @@ int main() {
         ctx.rsr(to0, "take", pb);
         ctx.wait_count(pokes, 4);  // 1 from ctx0 + 3 from ctx1
         std::printf("[ctx2] endpoint received %llu RSRs over: mpl=%llu "
-                    "tcp=%llu\n",
+                    "rel+udp=%llu tcp=%llu\n",
                     static_cast<unsigned long long>(pokes),
                     static_cast<unsigned long long>(
                         ctx.method_counters("mpl").recvs),
+                    static_cast<unsigned long long>(
+                        ctx.method_counters("rel+udp").recvs),
                     static_cast<unsigned long long>(
                         ctx.method_counters("tcp").recvs));
       }});

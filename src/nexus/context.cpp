@@ -767,6 +767,9 @@ telemetry::SelectionReport Context::explain_selection(const Startpoint& sp) {
         telemetry::Candidate c;
         c.position = i;
         c.method = d.method;
+        if (CommModule* wm = module(d.method)) {
+          if (auto inner = wm->wraps()) c.wraps = *inner;
+        }
         if (forced_idx && i == *forced_idx) {
           CommModule* m = module(method);
           if (m == nullptr) {

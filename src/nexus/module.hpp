@@ -126,6 +126,12 @@ class CommModule {
   /// explicitly via Startpoint::force_method for loss-tolerant data.
   virtual bool reliable() const { return true; }
 
+  /// For protocol wrappers (rel+udp): the name of the inner transport this
+  /// method layers over.  Plain transports return nullopt.  The enquiry
+  /// interface uses this to render the wrapper stack so quarantine/restore
+  /// events attribute to the right layer.
+  virtual std::optional<std::string> wraps() const { return std::nullopt; }
+
   /// The context a packet sent with `remote` lands on first.  Differs from
   /// remote.context when the target's partition has a forwarding node
   /// (paper §3.3); the selection-explanation enquiry uses this to report

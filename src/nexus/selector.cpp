@@ -35,6 +35,9 @@ void MethodSelector::explain(const DescriptorTable& table, Context& local,
     c.position = i;
     c.method = d.method;
     CommModule* m = local.module(d.method);
+    if (m != nullptr) {
+      if (auto inner = m->wraps()) c.wraps = *inner;
+    }
     if (win && i == *win) {
       c.status = telemetry::CandidateStatus::Won;
       c.detail = out.reason;

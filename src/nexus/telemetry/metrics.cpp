@@ -152,9 +152,18 @@ std::string MetricsRegistry::to_text() const {
                                    std::to_string(c.send_errors);
     if (c.recv_corrupt != 0) out += " recv_corrupt " +
                                     std::to_string(c.recv_corrupt);
+    if (c.rel_retransmits != 0) out += " rel_retransmits " +
+                                       std::to_string(c.rel_retransmits);
+    if (c.rel_dup_drops != 0) out += " rel_dup_drops " +
+                                     std::to_string(c.rel_dup_drops);
+    if (c.rel_acks_sent != 0) out += " rel_acks_sent " +
+                                     std::to_string(c.rel_acks_sent);
+    if (c.rel_acks_received != 0) out += " rel_acks_received " +
+                                         std::to_string(c.rel_acks_received);
     out += "\n";
     out += hist_summary("send_bytes", mm.send_bytes);
     out += hist_summary("recv_bytes", mm.recv_bytes);
+    out += hist_summary("window_occupancy", mm.window_occupancy);
   }
   return out;
 }
@@ -192,8 +201,13 @@ std::string MetricsRegistry::to_json() const {
            ",\"poll_hits\":" + std::to_string(c.poll_hits) +
            ",\"send_errors\":" + std::to_string(c.send_errors) +
            ",\"recv_corrupt\":" + std::to_string(c.recv_corrupt) +
+           ",\"rel_retransmits\":" + std::to_string(c.rel_retransmits) +
+           ",\"rel_dup_drops\":" + std::to_string(c.rel_dup_drops) +
+           ",\"rel_acks_sent\":" + std::to_string(c.rel_acks_sent) +
+           ",\"rel_acks_received\":" + std::to_string(c.rel_acks_received) +
            ",\"send_bytes\":" + hist_json(mm.send_bytes) +
-           ",\"recv_bytes\":" + hist_json(mm.recv_bytes) + "}";
+           ",\"recv_bytes\":" + hist_json(mm.recv_bytes) +
+           ",\"window_occupancy\":" + hist_json(mm.window_occupancy) + "}";
   }
   out += "]}";
   return out;

@@ -90,6 +90,9 @@ struct MethodMetrics {
   util::MethodCounters counters;  ///< canonical storage; modules bind here
   Histogram send_bytes;           ///< wire bytes per send
   Histogram recv_bytes;           ///< wire bytes per received packet
+  /// Reliability wrappers only: unacked window entries sampled at each
+  /// accepted send (occupancy *after* the packet entered the window).
+  Histogram window_occupancy;
 };
 
 /// Per-context quantities not attributable to a single method.

@@ -26,6 +26,12 @@ std::string SelectionReport::to_text() const {
       out += " NO APPLICABLE METHOD";
     } else {
       out += " " + link.winner;
+      for (const Candidate& c : link.candidates) {
+        if (c.status == CandidateStatus::Won && !c.wraps.empty()) {
+          out += " [wraps " + c.wraps + "]";
+          break;
+        }
+      }
       if (link.forced) out += " (forced)";
       if (link.forward_via) {
         out += " [forwarded via context " + std::to_string(*link.forward_via) +
@@ -34,8 +40,10 @@ std::string SelectionReport::to_text() const {
     }
     out += "\n    reason: " + link.reason + "\n";
     for (const Candidate& c : link.candidates) {
-      out += "    [" + std::to_string(c.position) + "] " + c.method + ": " +
-             candidate_status_name(c.status);
+      out += "    [" + std::to_string(c.position) + "] " + c.method;
+      if (!c.wraps.empty()) out += " [wraps " + c.wraps + "]";
+      out += ": ";
+      out += candidate_status_name(c.status);
       if (!c.detail.empty()) out += " -- " + c.detail;
       out += "\n";
     }
@@ -65,7 +73,9 @@ std::string SelectionReport::to_json() const {
       out += "{\"position\":" + std::to_string(c.position) +
              ",\"method\":" + json_quote(c.method) +
              ",\"status\":" + json_quote(candidate_status_name(c.status)) +
-             ",\"detail\":" + json_quote(c.detail) + "}";
+             ",\"detail\":" + json_quote(c.detail);
+      if (!c.wraps.empty()) out += ",\"wraps\":" + json_quote(c.wraps);
+      out += "}";
     }
     out += "]}";
   }

@@ -37,6 +37,9 @@ struct Candidate {
   std::string method;
   CandidateStatus status = CandidateStatus::NotApplicable;
   std::string detail;  ///< human-readable elaboration
+  /// For wrapper methods (rel+udp): the inner transport the method layers
+  /// over, so reports distinguish the wrapper from its carrier.
+  std::string wraps;
 };
 
 /// Selection outcome for one link of the startpoint.

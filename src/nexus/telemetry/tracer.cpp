@@ -21,6 +21,9 @@ const char* phase_name(Phase p) noexcept {
     case Phase::Failover: return "failover";
     case Phase::Suspect: return "suspect";
     case Phase::Restore: return "restore";
+    case Phase::Retransmit: return "retransmit";
+    case Phase::Ack: return "ack";
+    case Phase::DupDrop: return "dup_drop";
     case Phase::Custom: return "custom";
   }
   return "?";

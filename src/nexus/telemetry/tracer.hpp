@@ -42,6 +42,9 @@ enum class Phase : std::uint8_t {
   Failover,     ///< health tracker declared a method dead; re-selecting
   Suspect,      ///< first failure observed on a healthy method/target pair
   Restore,      ///< a probe succeeded on a quarantined method; back in use
+  Retransmit,   ///< a reliability wrapper resent a timed-out window entry
+  Ack,          ///< a reliability wrapper emitted a standalone ack frame
+  DupDrop,      ///< a reliability wrapper suppressed a duplicate data frame
   Custom,       ///< application-recorded marker
 };
 

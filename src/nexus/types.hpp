@@ -35,6 +35,16 @@ enum class DeliveryStatus : std::uint8_t {
 
 const char* delivery_status_name(DeliveryStatus s) noexcept;
 
+/// Role of a packet within the reliability wrapper protocol (rel+<method>,
+/// docs/ARCHITECTURE.md §10).  None marks ordinary traffic of the inner
+/// transport; Data carries an application RSR under a sequence number;
+/// Ack is a standalone acknowledgement frame with an empty payload.
+enum class RelKind : std::uint8_t {
+  None,  ///< not reliability-wrapped
+  Data,  ///< sequenced application payload
+  Ack,   ///< standalone cumulative + selective acknowledgement
+};
+
 /// What a CommModule::send returns: the verdict plus the bytes that would
 /// have crossed (or crossed) the wire.  `wire` stays meaningful on failure
 /// so retry accounting can reason about attempted traffic.
@@ -70,6 +80,20 @@ struct Packet {
   bool corrupted = false;
   util::SharedBytes payload;
 
+  // --- reliability-wrapper header (rel+<method>, §10) ---
+  /// None for ordinary traffic; Data/Ack only between two rel+<method>
+  /// endpoints.  The receiving wrapper strips these fields before the
+  /// packet is dispatched or forwarded onward.
+  RelKind rel_kind = RelKind::None;
+  /// Hop-local sender of this rel frame (the ack return address);
+  /// restamped by each forwarding hop's wrapper, unlike src.
+  ContextId rel_from = kNoContext;
+  std::uint64_t rel_seq = 0;   ///< sequence number of a Data frame
+  std::uint64_t rel_ack = 0;   ///< cumulative ack: next expected sequence
+  /// Selective-ack bitmap: bit i set means sequence rel_ack + 1 + i was
+  /// received out of order.
+  std::uint64_t rel_sack = 0;
+
   // --- observability metadata (not modelled as wire bytes) ---
   /// Trace span id linking this RSR's send to its dispatch across contexts;
   /// 0 when tracing is disabled.  Preserved across forwarding hops and
@@ -82,12 +106,16 @@ struct Packet {
   /// span/sent_at telemetry fields are deliberately excluded -- they are
   /// debugging metadata, not part of the modelled protocol.
   std::uint64_t wire_size() const noexcept {
-    return kHeaderBytes + payload.size();
+    return kHeaderBytes + payload.size() +
+           (rel_kind == RelKind::None ? 0 : kRelHeaderBytes);
   }
 
   /// Fixed header size modelled for all methods (src, dst, endpoint,
   /// handler, hops, length).
   static constexpr std::uint64_t kHeaderBytes = 29;
+  /// Extra header modelled for reliability-wrapped frames (kind, rel_from,
+  /// rel_seq, rel_ack, rel_sack).
+  static constexpr std::uint64_t kRelHeaderBytes = 29;
 };
 
 }  // namespace nexus

@@ -1,6 +1,7 @@
 #include "proto/register.hpp"
 
 #include "nexus/context.hpp"
+#include "proto/reliable.hpp"
 #include "proto/rt_modules.hpp"
 #include "proto/sim_modules.hpp"
 #include "proto/stream.hpp"
@@ -75,6 +76,9 @@ void register_builtin_modules(ModuleRegistry& registry) {
   registry.register_factory("myrinet", sim_only<MyrinetSimModule>("myrinet"));
   registry.register_factory("aal5", sim_only<Aal5SimModule>("aal5"));
   registry.register_factory("stream", sim_only<StreamSimModule>("stream"));
+  // Reliability wrapper over the unreliable datagram transport: exactly-
+  // once, in-order delivery at udp's speed rank (docs/ARCHITECTURE.md §10).
+  register_reliable_wrapper(registry, "udp");
 }
 
 }  // namespace nexus::proto

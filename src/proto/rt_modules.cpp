@@ -142,10 +142,22 @@ RtUdpModule::RtUdpModule(Context& ctx)
 
 SendResult RtUdpModule::send(CommObject& conn, Packet packet) {
   if (packet.payload.size() > mtu_) {
-    throw util::MethodError("udp payload of " +
-                            std::to_string(packet.payload.size()) +
-                            " bytes exceeds the MTU of " +
-                            std::to_string(mtu_));
+    // Same contract as the simulated udp module: oversized datagrams fail
+    // with a deterministic Dead verdict instead of throwing, so failover
+    // (or a rel wrapper) owns the recovery.
+    util::log_debug("udp", "context " + std::to_string(context().id()) +
+                               " rejected a " +
+                               std::to_string(packet.payload.size()) +
+                               "-byte payload over the " +
+                               std::to_string(mtu_) + "-byte MTU");
+    const std::uint64_t oversized_wire = packet.wire_size();
+    telemetry::Tracer& tr = context().runtime().telemetry().tracer();
+    if (tr.enabled()) {
+      tr.record({context().now(), packet.span, context().id(),
+                 telemetry::Phase::Drop, trace_label(), oversized_wire,
+                 packet.dst});
+    }
+    return {DeliveryStatus::Dead, oversized_wire};
   }
   const std::uint64_t wire = packet.wire_size();
   if (rng_.chance(drop_prob_)) {

@@ -40,6 +40,7 @@ class RtConn final : public CommObject {
 
  private:
   friend class RtQueueModule;
+  friend class ReliableModule;  // pre-points queue_ at the wrapper's inbox
   ContextId landing_;
   // Destination host and queue, resolved on first send and cached (fabric
   // map nodes are stable).  Never set for group-addressed (mcast)

@@ -289,10 +289,21 @@ bool UdpSimModule::applicable(const CommDescriptor& remote) const {
 
 SendResult UdpSimModule::send(CommObject& conn, Packet packet) {
   if (packet.payload.size() > mtu_) {
-    throw util::MethodError("udp payload of " +
-                            std::to_string(packet.payload.size()) +
-                            " bytes exceeds the MTU of " +
-                            std::to_string(mtu_));
+    // Deterministic rejection, not an exception: oversized datagrams can
+    // never cross this link, so the sender gets a Dead verdict it can feed
+    // into the health/failover machinery (and a rel wrapper can escalate).
+    util::log_debug("udp", "context " + std::to_string(ctx_->id()) +
+                               " rejected a " +
+                               std::to_string(packet.payload.size()) +
+                               "-byte payload over the " +
+                               std::to_string(mtu_) + "-byte MTU");
+    const std::uint64_t wire = packet.wire_size();
+    telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
+    if (tr.enabled()) {
+      tr.record({now(), packet.span, ctx_->id(), telemetry::Phase::Drop,
+                 trace_label(), wire, packet.dst});
+    }
+    return {DeliveryStatus::Dead, wire};
   }
   ctx_->clock().advance(costs_.send_cpu);
   const std::uint64_t wire = packet.wire_size();

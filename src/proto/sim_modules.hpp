@@ -51,6 +51,7 @@ class SimConn final : public CommObject {
 
  private:
   friend class SimModuleBase;
+  friend class ReliableModule;  // pre-points box_ at the wrapper's inbox
   ContextId landing_;
   // Destination host and inbox, resolved on first send and cached for the
   // connection's lifetime (fabric map nodes are stable).  Never set for

@@ -72,6 +72,11 @@ struct MethodCounters {
   std::uint64_t send_errors = 0;   ///< sends that failed (transient or dead)
   std::uint64_t recv_corrupt = 0;  ///< received packets quarantined for
                                    ///< integrity failure (never dispatched)
+  // Reliability-wrapper protocol counters (zero for plain transports).
+  std::uint64_t rel_retransmits = 0;    ///< window entries resent on timeout
+  std::uint64_t rel_dup_drops = 0;      ///< duplicate Data frames suppressed
+  std::uint64_t rel_acks_sent = 0;      ///< standalone Ack frames emitted
+  std::uint64_t rel_acks_received = 0;  ///< standalone Ack frames consumed
 
   void merge(const MethodCounters& o) noexcept {
     sends += o.sends;
@@ -82,6 +87,10 @@ struct MethodCounters {
     poll_hits += o.poll_hits;
     send_errors += o.send_errors;
     recv_corrupt += o.recv_corrupt;
+    rel_retransmits += o.rel_retransmits;
+    rel_dup_drops += o.rel_dup_drops;
+    rel_acks_sent += o.rel_acks_sent;
+    rel_acks_received += o.rel_acks_received;
   }
 };
 
