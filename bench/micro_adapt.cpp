@@ -1,0 +1,339 @@
+// Adaptive-selection microbenchmark: does payload-aware adaptive routing
+// (a) beat the static fastest-first policy on a mixed small/large workload
+// when the fabric inverts the usual latency/bandwidth ranking, and (b) stay
+// within a few percent of FirstApplicableSelector's per-RSR cost on the
+// steady-state cache-hit path?
+//
+// Part (a) runs in virtual time: tcp is configured as the low-latency /
+// low-bandwidth method (150 us, 8 MB/s) and mpl as the high-setup bulk pipe
+// (2.5 ms, 200 MB/s), so small RSRs want tcp and large ones want mpl -- a
+// split no static table order can express.  Both sides of the ping-pong run
+// the policy under test; the figure is virtual ns per (small, large) round
+// pair, and the adaptive row must come out ahead (vs_static_ratio > 1).
+//
+// Part (b) is wall-clock: a one-way RSR blast with the selection decision
+// long since cached, where the adaptive tax is one payload-class check and
+// a method-name compare per send.  The acceptance bound for the subsystem
+// is <= 1.10x FirstApplicable (the vs_first ratio printed per row).
+// Allocations are counted with the same global operator new hook as
+// micro_rsr_hotpath.cpp.
+//
+// Usage: micro_adapt [rounds] [output.json]
+//   rounds defaults to 20000 (part b; part a uses rounds/100 ping-pong
+//   pairs); CI passes a small count for the smoke job.  Results go to
+//   BENCH_adaptive.json.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "nexus/adapt/adaptive_selector.hpp"
+#include "simnet/topology.hpp"
+
+// ----------------------------------------------------------------------
+// Counting allocator hook (same shape as micro_rsr_hotpath.cpp): every
+// global new bumps one relaxed atomic; frees are uncounted.
+static std::atomic<std::uint64_t> g_allocs{0};
+
+static void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+static void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     n ? n : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+// ----------------------------------------------------------------------
+
+namespace {
+
+using bench::Context;
+using bench::Runtime;
+using bench::RuntimeOptions;
+using bench::Startpoint;
+using nexus::Time;
+using nexus::simnet::kUs;
+
+constexpr std::size_t kSmall = 64;
+constexpr std::size_t kLarge = 1 << 16;
+
+std::unique_ptr<nexus::MethodSelector> make_selector(bool adaptive) {
+  if (adaptive) return std::make_unique<nexus::adapt::AdaptiveSelector>();
+  return std::make_unique<nexus::FirstApplicableSelector>();
+}
+
+/// The two-method fabric of the subsystem's acceptance scenario: a static
+/// order must pick one method for everything, the adaptive policy can split
+/// by payload class.
+RuntimeOptions two_method_opts() {
+  RuntimeOptions opts;
+  opts.metrics = false;
+  opts.adaptive = true;  // both runs pay the echo tax: selector-only diff
+  opts.topology = nexus::simnet::Topology::single_partition(2);
+  opts.modules = {"local", "mpl", "tcp"};
+  opts.costs.tcp_latency = 150 * kUs;
+  opts.costs.tcp_poll_cost = 20 * kUs;
+  opts.costs.tcp_mb_s = 8.0;
+  opts.costs.tcp_interference = 0;
+  opts.costs.mpl_latency = 2500 * kUs;
+  opts.costs.mpl_mb_s = 200.0;
+  return opts;
+}
+
+/// Part (a): virtual ns per (small, large) ping-pong round pair.  Both
+/// contexts install the policy under test.
+double run_workload_case(bool adaptive, long pairs) {
+  const std::uint64_t warmup = static_cast<std::uint64_t>(pairs) / 4 + 10;
+  const std::uint64_t total = 2 * (warmup + static_cast<std::uint64_t>(pairs));
+  double virtual_ns_per_pair = 0.0;
+
+  Runtime rt(two_method_opts());
+  rt.run(std::vector<std::function<void(Context&)>>{
+      [&](Context& ctx) {  // responder
+        ctx.set_selector(make_selector(adaptive));
+        std::uint64_t pings = 0;
+        Startpoint back = ctx.world_startpoint(1);
+        ctx.register_handler("ping",
+                             [&](Context& c, nexus::Endpoint&,
+                                 nexus::util::UnpackBuffer&) {
+                               ++pings;
+                               c.rsr(back, "pong");
+                             });
+        ctx.wait_count(pings, total);
+      },
+      [&](Context& ctx) {  // driver
+        ctx.set_selector(make_selector(adaptive));
+        std::uint64_t pongs = 0;
+        ctx.register_handler("pong",
+                             [&](Context&, nexus::Endpoint&,
+                                 nexus::util::UnpackBuffer&) { ++pongs; });
+        Startpoint sp = ctx.world_startpoint(0);
+        const nexus::util::Bytes small_b(kSmall, 0x11);
+        const nexus::util::Bytes large_b(kLarge, 0x22);
+        std::uint64_t sent = 0;
+        auto pair = [&] {
+          for (const auto* payload : {&small_b, &large_b}) {
+            ctx.rsr(sp, "ping", nexus::util::SharedBytes::copy_of(*payload));
+            ctx.wait_count(pongs, ++sent);
+          }
+        };
+        for (std::uint64_t i = 0; i < warmup; ++i) pair();
+        const Time t0 = ctx.now();
+        for (long i = 0; i < pairs; ++i) pair();
+        virtual_ns_per_pair = static_cast<double>(ctx.now() - t0) /
+                              static_cast<double>(pairs);
+      }});
+  return virtual_ns_per_pair;
+}
+
+struct OverheadResult {
+  double ns_per_rsr = 0.0;
+  double allocs_per_rsr = 0.0;
+};
+
+/// Part (b): wall-clock cost of the steady-state send path (selection
+/// decision cached), mark/ack phase-fenced like micro_reliable.cpp.
+OverheadResult run_overhead_case(bool adaptive, long rounds) {
+  RuntimeOptions opts;
+  opts.metrics = false;
+  opts.sim_slack = 10 * nexus::simnet::kSec;  // see micro_rsr_hotpath.cpp
+  opts.topology = nexus::simnet::Topology::single_partition(2);
+  opts.modules = {"local", "mpl", "tcp"};
+  const long warmup = rounds / 4 + 1;
+
+  Runtime rt(std::move(opts));
+  OverheadResult result;
+
+  rt.run(std::vector<std::function<void(Context&)>>{
+      [&](Context& ctx) {  // receiver
+        Startpoint back = ctx.world_startpoint(1);
+        std::uint64_t sunk = 0;
+        std::uint64_t marks = 0;
+        ctx.register_handler("sink", [&](Context&, nexus::Endpoint&,
+                                         nexus::util::UnpackBuffer&) {
+          ++sunk;
+        });
+        ctx.register_handler("mark",
+                             [&](Context& c, nexus::Endpoint&,
+                                 nexus::util::UnpackBuffer&) {
+                               ++marks;
+                               c.rsr(back, "ack");
+                             });
+        ctx.wait_count(marks, 2);
+      },
+      [&](Context& ctx) {  // driver
+        ctx.set_selector(make_selector(adaptive));
+        std::uint64_t acks = 0;
+        ctx.register_handler("ack", [&](Context&, nexus::Endpoint&,
+                                        nexus::util::UnpackBuffer&) {
+          ++acks;
+        });
+        Startpoint sp = ctx.world_startpoint(0);
+        const nexus::util::Bytes src(kSmall, 0xa5);
+        const nexus::HandlerId h_sink = nexus::Context::resolve_handler("sink");
+        const nexus::HandlerId h_mark = nexus::Context::resolve_handler("mark");
+        std::uint64_t marks = 0;
+        auto phase = [&](long n) {
+          for (long i = 0; i < n; ++i) {
+            ctx.rsr(sp, h_sink, nexus::util::SharedBytes::copy_of(src));
+          }
+          ctx.rsr(sp, h_mark);
+          ++marks;
+          ctx.wait_count(acks, marks);
+        };
+
+        phase(warmup);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+        phase(rounds);
+        const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+        const auto t1 = std::chrono::steady_clock::now();
+
+        result.ns_per_rsr =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()) /
+            static_cast<double>(rounds);
+        result.allocs_per_rsr =
+            static_cast<double>(a1 - a0) / static_cast<double>(rounds);
+      }});
+  return result;
+}
+
+std::string fmt_ratio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long rounds = 20000;
+  std::string out_path = "BENCH_adaptive.json";
+  if (argc > 1) rounds = std::strtol(argv[1], nullptr, 10);
+  if (argc > 2) out_path = argv[2];
+  if (rounds <= 0) {
+    std::fprintf(stderr, "invalid round count\n");
+    return 1;
+  }
+  const long pairs = rounds / 100 + 10;
+
+  bench::print_header(
+      "micro_adapt: adaptive vs static selection (workload + overhead)");
+  std::printf("rounds=%ld  pairs=%ld  git_rev=%s\n\n", rounds, pairs,
+              bench::git_rev());
+
+  bench::JsonResultWriter writer("adaptive");
+
+  // Part (a): mixed-workload completion, virtual time.
+  std::printf("%-22s %18s %12s\n", "workload(virtual)", "ns/round-pair",
+              "vs static");
+  const double static_ns = run_workload_case(/*adaptive=*/false, pairs);
+  const double adaptive_ns = run_workload_case(/*adaptive=*/true, pairs);
+  const double speedup = adaptive_ns > 0.0 ? static_ns / adaptive_ns : 0.0;
+  std::printf("%-22s %18.0f %11s\n", "static-fastest-first", static_ns, "-");
+  std::printf("%-22s %18.0f %10.3fx\n", "adaptive", adaptive_ns, speedup);
+  writer.add("workload/static",
+             {{"selector", "first-applicable"},
+              {"pairs", std::to_string(pairs)},
+              {"small_bytes", std::to_string(kSmall)},
+              {"large_bytes", std::to_string(kLarge)}},
+             static_ns);
+  writer.add("workload/adaptive",
+             {{"selector", "adaptive"},
+              {"pairs", std::to_string(pairs)},
+              {"small_bytes", std::to_string(kSmall)},
+              {"large_bytes", std::to_string(kLarge)},
+              {"vs_static_ratio", fmt_ratio(speedup)}},
+             adaptive_ns);
+
+  // Part (b): per-RSR selection overhead, wall clock.  Interleaved
+  // min-of-3: wall time on a shared machine is noisy and the minimum is
+  // the least-contended estimate of the true cost of each path.
+  std::printf("\n%-22s %14s %12s %10s\n", "overhead(wall)", "ns/RSR",
+              "allocs/RSR", "vs first");
+  OverheadResult first, adapt;
+  for (int rep = 0; rep < 3; ++rep) {
+    const OverheadResult f = run_overhead_case(/*adaptive=*/false, rounds);
+    const OverheadResult a = run_overhead_case(/*adaptive=*/true, rounds);
+    if (rep == 0 || f.ns_per_rsr < first.ns_per_rsr) first = f;
+    if (rep == 0 || a.ns_per_rsr < adapt.ns_per_rsr) adapt = a;
+  }
+  const double tax =
+      first.ns_per_rsr > 0.0 ? adapt.ns_per_rsr / first.ns_per_rsr : 0.0;
+  std::printf("%-22s %14.1f %12.3f %9s\n", "first-applicable",
+              first.ns_per_rsr, first.allocs_per_rsr, "-");
+  std::printf("%-22s %14.1f %12.3f %9.3fx\n", "adaptive", adapt.ns_per_rsr,
+              adapt.allocs_per_rsr, tax);
+  writer.add("overhead/first-applicable",
+             {{"selector", "first-applicable"},
+              {"rounds", std::to_string(rounds)},
+              {"payload_bytes", std::to_string(kSmall)}},
+             first.ns_per_rsr, first.allocs_per_rsr);
+  writer.add("overhead/adaptive",
+             {{"selector", "adaptive"},
+              {"rounds", std::to_string(rounds)},
+              {"payload_bytes", std::to_string(kSmall)},
+              {"vs_first_ratio", fmt_ratio(tax)}},
+             adapt.ns_per_rsr, adapt.allocs_per_rsr);
+
+  if (!writer.write(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  if (speedup <= 1.0) {
+    std::fprintf(stderr,
+                 "WARNING: adaptive did not beat static on the mixed "
+                 "workload (ratio %.3f)\n",
+                 speedup);
+  }
+  return 0;
+}

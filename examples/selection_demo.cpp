@@ -9,28 +9,53 @@
 // reliable() gate at udp's speed rank, so it beats tcp without any
 // application-side protocol code (the paper's "protocols are just more
 // methods").  Context 0 then migrates the startpoint to context 1, where
-// re-selection picks MPL.  Finally the demo shows the manual controls:
-// table editing and forced methods.
+// re-selection picks MPL.  The demo then shows the manual controls (table
+// editing and forced methods) and closes with the adaptive engine
+// (docs/ARCHITECTURE.md §11): the payload-aware selector learns the
+// fabric's real costs from timing echoes and probes, splits traffic at the
+// measured latency/bandwidth crossover, and the live reranker rewrites a
+// table into measured-fastest-first order for the static policies.
 //
 // Along the way each decision is explained with the structured enquiry
 // (Context::explain_selection), which reports every descriptor considered,
 // why the losers lost, and which method won -- without sending anything.
 #include <cstdio>
+#include <memory>
 
+#include "nexus/adapt/adaptive_selector.hpp"
 #include "nexus/runtime.hpp"
 
 using namespace nexus;
+
+namespace {
+constexpr int kSyncPings = 1;         // clock-sync throwaway round trip
+constexpr int kCalibrationPings = 4;  // small+large forced over mpl and tcp
+constexpr int kOrganicPings = 8;      // mixed sizes, selector's own choice
+constexpr int kTotalPings =
+    kSyncPings + kCalibrationPings + kOrganicPings + 2;
+}  // namespace
 
 int main() {
   RuntimeOptions opts;
   // contexts 1, 2 share the SP partition; context 0 is the outside node.
   opts.topology = simnet::Topology(std::vector<int>{1, 0, 0});
   opts.modules = {"local", "mpl", "rel+udp", "tcp"};
+  // The adaptive act wants a fabric where no static order can win: tcp is
+  // quick to start but thin (150 us, 8 MB/s), mpl has expensive setup but
+  // a fat pipe (2.5 ms, 200 MB/s).  Static speed ranks -- and therefore
+  // the earlier acts -- are unaffected; only measured costs change.
+  opts.costs.tcp_latency = 150 * simnet::kUs;
+  opts.costs.tcp_poll_cost = 20 * simnet::kUs;
+  opts.costs.tcp_interference = 0;
+  opts.costs.tcp_mb_s = 8.0;
+  opts.costs.mpl_latency = 2500 * simnet::kUs;
+  opts.costs.mpl_mb_s = 200.0;
+  opts.adaptive = true;  // receivers measure one-way times + echo them back
   Runtime rt(opts);
 
   rt.run(std::vector<std::function<void(Context&)>>{
       // Context 0: the workstation.  Receives the startpoint, uses it via
-      // TCP, then migrates it to node 1.
+      // the wide-area methods, then migrates it to node 1.
       [](Context& ctx) {
         std::uint64_t done = 0;
         ctx.register_handler(
@@ -62,7 +87,7 @@ int main() {
         ctx.wait_count(done, 1);
       },
       // Context 1: SP node.  Receives the migrated startpoint; selection
-      // now finds MPL applicable.
+      // now finds MPL applicable.  Then the manual and adaptive acts.
       [](Context& ctx) {
         std::uint64_t done = 0;
         ctx.register_handler(
@@ -93,21 +118,105 @@ int main() {
               ++done;
             });
         ctx.wait_count(done, 1);
+
+        // --- The adaptive act: selection by measured cost (§11). ---
+        std::printf("[ctx1] installing the adaptive selector\n");
+        ctx.set_selector(std::make_unique<adapt::AdaptiveSelector>());
+        std::uint64_t pongs = 0;
+        ctx.register_handler("pong",
+                             [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                               ++pongs;
+                             });
+        Startpoint to2 = ctx.world_startpoint(2);
+        const util::Bytes small_b(64, 0x11);
+        const util::Bytes large_b(1 << 16, 0x22);
+        // Calibration lap: one small + one large RSR forced over each
+        // contender.  The receiver measures each ping's one-way time and
+        // echoes it back on the pong, seeding the model with real costs --
+        // small transfers teach latency, and large ones teach bandwidth
+        // once a latency estimate exists, so the order matters.
+        std::printf("[ctx1] calibration lap: forced small+large pings over "
+                    "mpl and tcp seed the cost model via timing echoes\n");
+        std::uint64_t sent = 0;
+        // The earlier acts left the two virtual clocks skewed (one-way
+        // times are cross-clock differences), and the first sample after a
+        // quiet period absorbs that skew.  Spend it on a throwaway round
+        // trip over a non-contender so the contenders' models stay clean.
+        Startpoint sync = ctx.world_startpoint(2);
+        sync.force_method("rel+udp");
+        ctx.rsr(sync, "ping", util::SharedBytes::copy_of(small_b));
+        ctx.wait_count(pongs, ++sent);
+        for (const char* m : {"mpl", "tcp"}) {
+          Startpoint cal = ctx.world_startpoint(2);
+          cal.force_method(m);
+          ctx.rsr(cal, "ping", util::SharedBytes::copy_of(small_b));
+          ctx.wait_count(pongs, ++sent);
+          ctx.rsr(cal, "ping", util::SharedBytes::copy_of(large_b));
+          ctx.wait_count(pongs, ++sent);
+        }
+        // Now let the selector route mixed-size traffic on its own; the
+        // echoes riding these pongs keep refining the estimates.
+        for (int i = 0; i < kOrganicPings; ++i) {
+          ctx.rsr(to2, "ping",
+                  util::SharedBytes::copy_of(i % 2 ? large_b : small_b));
+          ctx.wait_count(pongs, ++sent);
+        }
+        // The enquiry now carries a model row per candidate (latency,
+        // bandwidth, confidence, dwell state) and the reason names the
+        // crossover the selector computed from them.
+        std::printf("%s", ctx.explain_selection(to2).to_text().c_str());
+        ctx.rsr(to2, "ping", util::SharedBytes::copy_of(small_b));
+        ctx.wait_count(pongs, ++sent);
+        std::printf("[ctx1] 64B ping went via %s (expected tcp: lowest "
+                    "measured latency)\n",
+                    to2.selected_method().c_str());
+        ctx.rsr(to2, "ping", util::SharedBytes::copy_of(large_b));
+        ctx.wait_count(pongs, ++sent);
+        std::printf("[ctx1] 64KB ping went via %s (expected mpl: highest "
+                    "measured bandwidth)\n",
+                    to2.selected_method().c_str());
+
+        // Live reranking: the same measurements rewrite a fresh table into
+        // measured-fastest-first order, so even the size-blind
+        // FirstApplicable policy benefits.  Unmodeled entries sink to the
+        // back without reshuffling among themselves.
+        Startpoint fresh = ctx.world_startpoint(2);
+        std::printf("[ctx1] static table order: ");
+        for (const auto& d : fresh.table().entries()) {
+          std::printf(" %s", d.method.c_str());
+        }
+        ctx.rerank(fresh);
+        std::printf("\n[ctx1] after rerank:       ");
+        for (const auto& d : fresh.table().entries()) {
+          std::printf(" %s", d.method.c_str());
+        }
+        std::printf("  (modeled cost order at the rerank reference size)\n");
       },
-      // Context 2: owns the endpoint; starts the chain.
+      // Context 2: owns the endpoint; starts the chain, then answers the
+      // adaptive act's pings (the pong replies carry the timing echoes
+      // that feed ctx1's cost model).
       [](Context& ctx) {
         std::uint64_t pokes = 0;
+        std::uint64_t pings = 0;
         Endpoint& ep = ctx.create_endpoint();
         ctx.register_handler("poke",
                              [&](Context&, Endpoint&, util::UnpackBuffer&) {
                                ++pokes;
+                             });
+        Startpoint back = ctx.world_startpoint(1);
+        ctx.register_handler("ping",
+                             [&](Context& c, Endpoint&, util::UnpackBuffer&) {
+                               ++pings;
+                               c.rsr(back, "pong");
                              });
         Startpoint sp = ctx.startpoint_to(ep);
         util::PackBuffer pb;
         ctx.pack_startpoint(pb, sp);
         Startpoint to0 = ctx.world_startpoint(0);
         ctx.rsr(to0, "take", pb);
-        ctx.wait_count(pokes, 4);  // 1 from ctx0 + 3 from ctx1
+        ctx.wait([&] {
+          return pokes >= 4 && pings >= static_cast<std::uint64_t>(kTotalPings);
+        });  // 1 poke from ctx0 + 3 from ctx1, then the adaptive pings
         std::printf("[ctx2] endpoint received %llu RSRs over: mpl=%llu "
                     "rel+udp=%llu tcp=%llu\n",
                     static_cast<unsigned long long>(pokes),

@@ -1,0 +1,293 @@
+#include "nexus/adapt/adaptive_selector.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "nexus/context.hpp"
+#include "nexus/module.hpp"
+#include "util/stats.hpp"
+
+namespace nexus::adapt {
+
+namespace {
+/// Score handicap that keeps unreliable methods behind every reliable one
+/// (the same RSR delivery-promise rule every other policy applies).
+constexpr double kUnreliablePenaltyNs = 1.0e15;
+
+std::string fmt_ms(double ns) { return util::fmt_fixed(ns / 1.0e6, 3); }
+}  // namespace
+
+std::optional<std::size_t> AdaptiveSelector::select(
+    const DescriptorTable& table, Context& local, std::string& reason) {
+  return decide(table, local, 0, reason, /*mutate=*/true);
+}
+
+std::optional<std::size_t> AdaptiveSelector::select_sized(
+    const DescriptorTable& table, Context& local, std::uint64_t payload_bytes,
+    std::string& reason) {
+  return decide(table, local, payload_bytes, reason, /*mutate=*/true);
+}
+
+std::optional<std::size_t> AdaptiveSelector::peek(const DescriptorTable& table,
+                                                  Context& local,
+                                                  std::string& reason) {
+  return decide(table, local, 0, reason, /*mutate=*/false);
+}
+
+std::string AdaptiveSelector::dwell_state(ContextId peer,
+                                          std::string_view method) const {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return "candidate";
+  const bool s = it->second.small.method == method;
+  const bool l = it->second.large.method == method;
+  if (s && l) return "held-both";
+  if (s) return "held-small";
+  if (l) return "held-large";
+  return "candidate";
+}
+
+std::optional<std::size_t> AdaptiveSelector::validate(
+    const DescriptorTable& table, Context& local, Decision& d) const {
+  if (d.method.empty()) return std::nullopt;
+  if (d.index >= table.size() || table.at(d.index).method != d.method) {
+    const auto f = table.find(d.method);
+    if (!f) return std::nullopt;  // table edit removed the incumbent
+    d.index = *f;
+  }
+  if (!local.health().empty() && !local.health_usable(table.at(d.index))) {
+    return std::nullopt;  // incumbent quarantined: caller re-evaluates
+  }
+  return d.index;
+}
+
+void AdaptiveSelector::evaluate(const DescriptorTable& table, Context& local,
+                                ContextId peer, PeerState& ps, bool mutate,
+                                std::string& reason) {
+  const Time t = local.now();
+  CostModel& model = local.cost_model();
+  const std::uint64_t s_ref = p_.small_ref_bytes;
+  const std::uint64_t l_ref = p_.large_ref_bytes;
+
+  struct Cand {
+    std::size_t index;
+    std::uint64_t hash;
+    bool reliable;
+    bool modeled;
+    double small_cost;  ///< predicted ns at s_ref (+unreliable penalty)
+    double large_cost;  ///< predicted ns at l_ref (+unreliable penalty)
+  };
+  std::vector<Cand> cands;
+  cands.reserve(table.size());
+  std::optional<std::size_t> static_rel, static_any;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const CommDescriptor& d = table.at(i);
+    if (!local.method_usable(d)) continue;  // not loaded / unreachable /
+                                            // quarantined: skip, no probe
+    CommModule* m = local.module(d.method);
+    Cand c;
+    c.index = i;
+    c.hash = method_hash(d.method);
+    c.reliable = m->reliable();
+    const double penalty = c.reliable ? 0.0 : kUnreliablePenaltyNs;
+    const auto ps_cost = model.predict_ns(c.hash, peer, s_ref, t);
+    c.modeled = ps_cost.has_value();
+    if (c.modeled) {
+      c.small_cost = *ps_cost + penalty;
+      c.large_cost = *model.predict_ns(c.hash, peer, l_ref, t) + penalty;
+    } else {
+      c.small_cost = c.large_cost =
+          std::numeric_limits<double>::infinity();
+      // Nothing known about a usable method: ask the context's low-rate
+      // prober to generate a timing sample so it can compete.  This is
+      // also the path that revives a method whose estimate decayed to
+      // stale while it sat in quarantine.
+      if (mutate && p_.probe_interval > 0) {
+        Time& due = ps.next_probe[c.hash];
+        if (t >= due) {
+          due = t + p_.probe_interval;
+          ++probes_;
+          local.probe_method(d);
+        }
+      }
+    }
+    if (c.reliable && !static_rel) static_rel = i;
+    if (!static_any) static_any = i;
+    cands.push_back(c);
+  }
+
+  auto settle = [&](Decision& cur, bool large_class) {
+    // Pick the challenger: best modeled cost for this class, else the
+    // static table-order fallback (reliable first), mirroring
+    // FirstApplicableSelector until measurements exist.
+    const Cand* best = nullptr;
+    for (const Cand& c : cands) {
+      if (!c.modeled) continue;
+      const double cost = large_class ? c.large_cost : c.small_cost;
+      if (best == nullptr ||
+          cost < (large_class ? best->large_cost : best->small_cost)) {
+        best = &c;
+      }
+    }
+    Decision next;
+    if (best != nullptr) {
+      next.index = best->index;
+      next.hash = best->hash;
+      next.method = table.at(best->index).method;
+      next.cost_ns = large_class ? best->large_cost : best->small_cost;
+      next.modeled = true;
+    } else if (static_rel || static_any) {
+      const std::size_t i = static_rel ? *static_rel : *static_any;
+      next.index = i;
+      next.method = table.at(i).method;
+      next.hash = method_hash(next.method);
+      next.modeled = false;
+    } else {
+      cur = Decision{};  // nothing usable at all
+      return;
+    }
+    if (cur.method == next.method) {
+      cur = next;  // refresh index/cost, no switch
+      return;
+    }
+    // Hysteresis: an incumbent that is still usable holds its seat unless
+    // the challenger's modeled cost beats it by improve_frac.
+    const Cand* inc = nullptr;
+    for (const Cand& c : cands) {
+      if (c.hash == cur.hash) {
+        inc = &c;
+        break;
+      }
+    }
+    if (inc != nullptr && !cur.method.empty()) {
+      const double inc_cost =
+          large_class ? inc->large_cost : inc->small_cost;
+      if (inc->modeled && next.modeled &&
+          next.cost_ns >= inc_cost * (1.0 - p_.improve_frac)) {
+        cur.index = inc->index;
+        cur.cost_ns = inc_cost;
+        cur.modeled = true;
+        return;  // challenger not convincingly better: hold
+      }
+      if (!next.modeled) {
+        cur.index = inc->index;  // never trade a live incumbent for a guess
+        return;
+      }
+    }
+    if (mutate && !cur.method.empty()) {
+      ++switches_;
+      local.note_adapt_switch(next.method, peer,
+                              large_class ? "large" : "small");
+    }
+    cur = next;
+  };
+  settle(ps.small, /*large_class=*/false);
+  settle(ps.large, /*large_class=*/true);
+
+  // Crossover: payload size where the two class winners' (linear) cost
+  // curves intersect.  Same winner for both classes means no crossover.
+  ps.crossover_bytes = ~0ull;
+  if (!ps.small.method.empty() && !ps.large.method.empty() &&
+      ps.small.hash != ps.large.hash && ps.small.modeled &&
+      ps.large.modeled) {
+    const Cand *cs = nullptr, *cl = nullptr;
+    for (const Cand& c : cands) {
+      if (c.hash == ps.small.hash) cs = &c;
+      if (c.hash == ps.large.hash) cl = &c;
+    }
+    if (cs != nullptr && cl != nullptr) {
+      // f(b) = cost_large_winner(b) - cost_small_winner(b); f(s_ref) >= 0,
+      // f(l_ref) <= 0, linear in b -> root by interpolation.
+      const double f_s = cl->small_cost - cs->small_cost;
+      const double f_l = cl->large_cost - cs->large_cost;
+      double b = 0.5 * static_cast<double>(s_ref + l_ref);
+      if (f_s - f_l > 0.0) {
+        b = static_cast<double>(s_ref) +
+            f_s * static_cast<double>(l_ref - s_ref) / (f_s - f_l);
+      }
+      if (b < static_cast<double>(s_ref)) b = static_cast<double>(s_ref);
+      if (b > static_cast<double>(l_ref)) b = static_cast<double>(l_ref);
+      ps.crossover_bytes = static_cast<std::uint64_t>(b);
+    }
+  }
+  if (mutate) ps.next_eval = t + p_.min_dwell;
+
+  if (ps.small.method.empty()) {
+    reason = "no applicable entry";
+  } else if (!ps.small.modeled) {
+    reason = "adaptive: no cost-model data yet; static table-order fallback "
+             "-> '" + ps.small.method + "'";
+  } else if (ps.crossover_bytes == ~0ull) {
+    reason = "adaptive: '" + ps.small.method + "' wins at every payload size "
+             "(modeled " + fmt_ms(ps.small.cost_ns) + "ms at " +
+             std::to_string(p_.small_ref_bytes) + "B)";
+  } else {
+    reason = "adaptive: crossover at " + std::to_string(ps.crossover_bytes) +
+             "B; small -> '" + ps.small.method + "' (modeled " +
+             fmt_ms(ps.small.cost_ns) + "ms at " +
+             std::to_string(p_.small_ref_bytes) + "B), large -> '" +
+             ps.large.method + "' (modeled " + fmt_ms(ps.large.cost_ns) +
+             "ms at " + std::to_string(p_.large_ref_bytes) + "B)";
+  }
+}
+
+std::optional<std::size_t> AdaptiveSelector::decide(
+    const DescriptorTable& table, Context& local, std::uint64_t payload_bytes,
+    std::string& reason, bool mutate) {
+  if (table.empty()) {
+    reason = "no applicable entry";
+    return std::nullopt;
+  }
+  const ContextId peer = table.context();
+  const Time t = local.now();
+  PeerState scratch;
+  PeerState* ps;
+  if (mutate) {
+    // Steady-state sends hit the same peer repeatedly; a one-entry cache
+    // skips the map walk (node pointers are stable, so it never dangles).
+    if (peer == last_peer_ && last_state_ != nullptr) {
+      ps = last_state_;
+    } else {
+      ps = &peers_[peer];
+      last_peer_ = peer;
+      last_state_ = ps;
+    }
+  } else {
+    const auto it = peers_.find(peer);
+    if (it != peers_.end()) scratch = it->second;
+    ps = &scratch;
+  }
+  std::string eval_reason;
+  bool evaluated = false;
+  if (!mutate || ps->small.method.empty() || t >= ps->next_eval) {
+    evaluate(table, local, peer, *ps, mutate, eval_reason);
+    evaluated = true;
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Decision& d =
+        payload_bytes > ps->crossover_bytes ? ps->large : ps->small;
+    const auto idx = validate(table, local, d);
+    if (idx) {
+      if (evaluated) {
+        reason = std::move(eval_reason);
+        if (payload_bytes > 0 && ps->crossover_bytes != ~0ull) {
+          reason += "; payload " + std::to_string(payload_bytes) + "B -> " +
+                    (payload_bytes > ps->crossover_bytes ? "large" : "small") +
+                    " class";
+        }
+      }
+      // else: cached decision, reason left empty so the context skips the
+      // selection-log entry (per-class flips would spam it otherwise).
+      return idx;
+    }
+    if (evaluated) break;  // a fresh evaluation found nothing usable
+    // Cached decision went invalid (quarantine / table edit): re-evaluate
+    // immediately instead of waiting out the dwell.
+    evaluate(table, local, peer, *ps, mutate, eval_reason);
+    evaluated = true;
+  }
+  reason = std::move(eval_reason);
+  if (reason.empty()) reason = "no applicable entry";
+  return std::nullopt;
+}
+
+}  // namespace nexus::adapt

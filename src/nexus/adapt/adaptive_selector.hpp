@@ -1,0 +1,118 @@
+// Payload-aware adaptive method selection driven by the online cost model.
+//
+// The policy is the classic latency + size/bandwidth crossover: for each
+// peer the selector picks a *small-payload* winner (lowest modeled latency)
+// and a *large-payload* winner (lowest modeled cost at a large reference
+// size, i.e. highest effective bandwidth), computes the payload size where
+// their cost curves cross, and routes each RSR by which side of that
+// crossover its payload falls on.  Per-RSR work in steady state is a cached
+// decision check (an index + method-name compare), so the selector stays
+// within a few percent of FirstApplicableSelector (bench/micro_adapt.cpp
+// holds it to <=1.10x).
+//
+// Stability comes from hysteresis: decisions are re-evaluated at most once
+// per `min_dwell` of virtual time, and an incumbent is only unseated by a
+// challenger whose modeled cost is at least `improve_frac` better -- noisy
+// samples therefore cannot flap the method choice (the chaos suite bounds
+// the switch count under injected delay jitter).
+//
+// Health integration: quarantined entries are skipped exactly as in every
+// other policy (the shared Context::method_usable gate), and a quarantine
+// of the incumbent forces an immediate re-evaluation instead of waiting
+// out the dwell.  Methods the model knows nothing about (never carried
+// traffic, or decayed stale while quarantined) are probed at a bounded
+// rate via Context::probe_method -- that is what lets a recovered method
+// earn its place back after probation rather than being demoted forever.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "nexus/adapt/cost_model.hpp"
+#include "nexus/selector.hpp"
+
+namespace nexus::adapt {
+
+struct AdaptiveParams {
+  Time min_dwell = 20'000'000;       ///< re-evaluation cadence (ns)
+  double improve_frac = 0.15;        ///< modeled improvement required to
+                                     ///< unseat an incumbent
+  Time probe_interval = 25'000'000;  ///< per-(peer, method) floor between
+                                     ///< active probes; 0 disables probing
+  std::uint64_t small_ref_bytes = 64;       ///< latency-class reference size
+  std::uint64_t large_ref_bytes = 1 << 16;  ///< bandwidth-class reference
+};
+
+class AdaptiveSelector final : public MethodSelector {
+ public:
+  explicit AdaptiveSelector(AdaptiveParams p = {}) : p_(p) {}
+
+  std::string_view name() const override { return "adaptive"; }
+  bool payload_aware() const override { return true; }
+
+  std::optional<std::size_t> select(const DescriptorTable& table,
+                                    Context& local,
+                                    std::string& reason) override;
+  std::optional<std::size_t> select_sized(const DescriptorTable& table,
+                                          Context& local,
+                                          std::uint64_t payload_bytes,
+                                          std::string& reason) override;
+  /// Side-effect free: evaluates on a scratch copy of the peer state, so
+  /// no dwell-state update, no probes, no switch counts.  Always fills
+  /// `reason` with the full crossover decision (both class winners and the
+  /// threshold between them), which is what explain() surfaces.
+  std::optional<std::size_t> peek(const DescriptorTable& table, Context& local,
+                                  std::string& reason) override;
+
+  const AdaptiveParams& params() const noexcept { return p_; }
+  /// Decision changes since construction (flap-bound assertions).
+  std::uint64_t switches() const noexcept { return switches_; }
+  /// Active probes requested since construction.
+  std::uint64_t probes() const noexcept { return probes_; }
+
+  /// Dwell-state label for one (peer, method) pair: "held-small",
+  /// "held-large", "held-both", or "candidate".  Used by
+  /// Context::explain_selection for the per-candidate model rows.
+  std::string dwell_state(ContextId peer, std::string_view method) const;
+
+ private:
+  /// One class winner (small or large payloads) for a peer.
+  struct Decision {
+    std::string method;        ///< empty = no decision yet
+    std::uint64_t hash = 0;    ///< method_hash(method)
+    std::size_t index = 0;     ///< table position at decision time
+    double cost_ns = 0.0;      ///< modeled cost at the class reference size
+    bool modeled = false;      ///< false = static-rank fallback choice
+  };
+  struct PeerState {
+    Decision small, large;
+    /// Payload sizes strictly above this use the large-class decision.
+    std::uint64_t crossover_bytes = ~0ull;
+    Time next_eval = 0;
+    std::map<std::uint64_t, Time> next_probe;  ///< per method hash
+  };
+
+  /// Recompute both class decisions for `peer` from the current model.
+  /// `mutate` distinguishes the real decision path (probes fire, switches
+  /// count, dwell clock restarts) from peek/explain previews.
+  void evaluate(const DescriptorTable& table, Context& local, ContextId peer,
+                PeerState& ps, bool mutate, std::string& reason);
+  /// Validate a cached decision against the table + health gate; returns
+  /// the index to use or nullopt when a re-evaluation is required.
+  std::optional<std::size_t> validate(const DescriptorTable& table,
+                                      Context& local, Decision& d) const;
+  std::optional<std::size_t> decide(const DescriptorTable& table,
+                                    Context& local,
+                                    std::uint64_t payload_bytes,
+                                    std::string& reason, bool mutate);
+
+  AdaptiveParams p_;
+  std::map<ContextId, PeerState> peers_;
+  ContextId last_peer_ = kNoContext;  ///< one-entry cache over peers_
+  PeerState* last_state_ = nullptr;
+  std::uint64_t switches_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace nexus::adapt

@@ -1,0 +1,89 @@
+#include "nexus/adapt/cost_model.hpp"
+
+namespace nexus::adapt {
+
+CostModel::Entry& CostModel::entry(std::uint64_t method, ContextId peer) {
+  auto it = entries_.find({method, peer});
+  if (it == entries_.end()) {
+    it = entries_
+             .emplace(std::make_pair(method, peer),
+                      Entry(p_.alpha, p_.half_life))
+             .first;
+  }
+  return it->second;
+}
+
+const CostModel::Entry* CostModel::find(std::uint64_t method,
+                                        ContextId peer) const {
+  const auto it = entries_.find({method, peer});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void CostModel::observe(std::uint64_t method, ContextId peer,
+                        std::uint64_t wire_bytes, Time oneway_ns, Time now) {
+  Entry& e = entry(method, peer);
+  ++samples_;
+  const double t = static_cast<double>(now);
+  if (wire_bytes >= p_.bw_floor_bytes &&
+      e.latency.confidence(t) >= p_.min_confidence) {
+    // Large packet with a trusted latency estimate to subtract: the
+    // remainder is transfer time, so this is a bandwidth sample.
+    const double transfer_ns =
+        static_cast<double>(oneway_ns) - e.latency.value();
+    if (transfer_ns > 0.0) {
+      // bytes/ns * 1e9 / 1e6 = MB/s.
+      const double mb_s =
+          static_cast<double>(wire_bytes) * 1.0e3 / transfer_ns;
+      e.bandwidth.add(mb_s, t);
+      return;
+    }
+    // A large packet arriving faster than the latency estimate means the
+    // estimate is inflated; let the sample pull latency down instead.
+  }
+  e.latency.add(static_cast<double>(oneway_ns), t);
+}
+
+CostEstimate CostModel::estimate(std::uint64_t method, ContextId peer,
+                                 Time now) const {
+  CostEstimate out;
+  const Entry* e = find(method, peer);
+  if (e == nullptr) return out;
+  const double t = static_cast<double>(now);
+  out.latency_confidence = e->latency.confidence(t);
+  out.bandwidth_confidence = e->bandwidth.confidence(t);
+  out.latency_ns = e->latency.value();
+  out.bandwidth_mb_s =
+      out.bandwidth_confidence >= p_.min_confidence ? e->bandwidth.value()
+                                                    : 0.0;
+  out.known = out.latency_confidence >= p_.min_confidence;
+  return out;
+}
+
+std::optional<double> CostModel::predict_ns(std::uint64_t method,
+                                            ContextId peer,
+                                            std::uint64_t bytes,
+                                            Time now) const {
+  const CostEstimate est = estimate(method, peer, now);
+  if (!est.known) return std::nullopt;
+  const double mb_s =
+      est.bandwidth_mb_s > 0.0 ? est.bandwidth_mb_s : p_.default_mb_s;
+  return est.latency_ns + static_cast<double>(bytes) * 1.0e3 / mb_s;
+}
+
+void CostModel::note_incoming(std::uint64_t method, ContextId peer,
+                              std::uint64_t wire_bytes, Time oneway_ns) {
+  Echo& slot = pending_[peer];
+  slot.method = method;
+  slot.bytes = wire_bytes;
+  slot.oneway_ns = oneway_ns;
+}
+
+std::optional<CostModel::Echo> CostModel::take_echo(ContextId peer) {
+  const auto it = pending_.find(peer);
+  if (it == pending_.end() || it->second.method == 0) return std::nullopt;
+  Echo out = it->second;
+  it->second.method = 0;  // empty the slot but keep the node allocated
+  return out;
+}
+
+}  // namespace nexus::adapt

@@ -1,0 +1,131 @@
+// Online per-(peer, method) communication cost model.
+//
+// The paper's automatic selection is static: the descriptor table's order
+// *is* the policy (§3.2).  This model supplies the missing measurements so
+// selection can react to observed service conditions: every sample is a
+// (method, peer, wire bytes, one-way time) tuple, folded into two
+// DecayingEwma estimators per (method, peer) pair -- a latency estimate fed
+// by small packets and a bandwidth estimate fed by large ones (after
+// subtracting the latency estimate from their one-way time).  Confidence
+// rises with samples and halves per configured half-life of silence, so a
+// method that stopped being exercised (e.g. while quarantined) decays back
+// to "unknown" instead of being trusted forever -- that staleness decay is
+// what lets a recovered method win its place back after probation.
+//
+// Samples arrive from three feeds, all passive on the application's RSRs:
+//   * the reliable wrapper's RTT estimator (rtt/2 per Karn-eligible ack),
+//   * the timing echo piggybacked on reverse traffic for raw methods
+//     (Packet::adapt_* fields; the receiver measures, the next packet back
+//     carries the measurement),
+//   * the adaptive selector's low-rate active prober (Context::probe_method)
+//     for methods with no traffic to learn from.
+//
+// Methods are keyed by method_hash(name) -- stable across contexts -- so
+// the echo protocol needs no name exchange.  All times are virtual
+// nanoseconds from the runtime clock; nothing here touches wall time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "nexus/types.hpp"
+#include "util/stats.hpp"
+
+namespace nexus::adapt {
+
+struct CostModelParams {
+  double alpha = 0.25;            ///< EWMA weight per sample
+  Time half_life = 500'000'000;   ///< confidence half-life (ns of silence)
+  std::uint64_t bw_floor_bytes = 2048;  ///< min wire bytes for a bandwidth
+                                        ///< sample; smaller packets feed
+                                        ///< the latency estimate
+  double default_mb_s = 10.0;     ///< assumed bandwidth when unmeasured
+  double min_confidence = 0.05;   ///< below this the estimate is "unknown"
+};
+
+/// Snapshot of what the model believes about one (method, peer) pair.
+struct CostEstimate {
+  bool known = false;            ///< latency estimate exists and is trusted
+  double latency_ns = 0.0;
+  double bandwidth_mb_s = 0.0;   ///< 0 = unmeasured (predictions assume
+                                 ///< CostModelParams::default_mb_s)
+  double latency_confidence = 0.0;
+  double bandwidth_confidence = 0.0;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostModelParams p = {}) : p_(p) {}
+
+  const CostModelParams& params() const noexcept { return p_; }
+
+  /// Fold in one observed transfer: `wire_bytes` crossed to `peer` via the
+  /// method hashing to `method` in `oneway_ns`.  Small packets update the
+  /// latency estimate; large ones update bandwidth once a latency estimate
+  /// exists to subtract (otherwise they provisionally feed latency so the
+  /// model is never starved).
+  void observe(std::uint64_t method, ContextId peer, std::uint64_t wire_bytes,
+               Time oneway_ns, Time now);
+
+  /// RTT-based feed (reliable wrapper): assumes a symmetric path and
+  /// records rtt/2 as the one-way time.
+  void observe_rtt(std::uint64_t method, ContextId peer,
+                   std::uint64_t wire_bytes, Time rtt_ns, Time now) {
+    observe(method, peer, wire_bytes, rtt_ns / 2, now);
+  }
+
+  CostEstimate estimate(std::uint64_t method, ContextId peer,
+                        Time now) const;
+
+  /// Predicted one-way cost of sending `bytes` to `peer` via `method`:
+  /// latency + bytes / bandwidth (the classic crossover model).  Unmeasured
+  /// bandwidth falls back to params().default_mb_s; an unknown or stale
+  /// latency estimate yields nullopt -- the caller should then fall back to
+  /// static ranking rather than trust a guess.
+  std::optional<double> predict_ns(std::uint64_t method, ContextId peer,
+                                   std::uint64_t bytes, Time now) const;
+
+  // --- timing-echo bookkeeping (receiver side) ---
+  // The receiver of a packet measures its one-way time but it is the
+  // *sender's* model that needs the sample, so the receiver parks it here
+  // and the next outgoing packet to that peer carries it home
+  // (Packet::adapt_* fields).  One slot per peer: a fresher measurement
+  // overwrites an unsent one, which is fine -- this is a sampling channel,
+  // not a ledger.
+  struct Echo {
+    std::uint64_t method = 0;  ///< 0 = slot empty
+    std::uint64_t bytes = 0;
+    Time oneway_ns = 0;
+  };
+
+  /// Park a measurement about traffic *from* `peer` for echoing back.
+  void note_incoming(std::uint64_t method, ContextId peer,
+                     std::uint64_t wire_bytes, Time oneway_ns);
+
+  /// Claim the pending echo for `peer`, if any, emptying the slot.
+  std::optional<Echo> take_echo(ContextId peer);
+
+  /// Total samples folded in (enquiry/tests).
+  std::uint64_t samples() const noexcept { return samples_; }
+
+ private:
+  struct Entry {
+    util::DecayingEwma latency;
+    util::DecayingEwma bandwidth;
+    Entry(double alpha, Time half_life)
+        : latency(alpha, static_cast<double>(half_life)),
+          bandwidth(alpha, static_cast<double>(half_life)) {}
+  };
+
+  Entry& entry(std::uint64_t method, ContextId peer);
+  const Entry* find(std::uint64_t method, ContextId peer) const;
+
+  CostModelParams p_;
+  std::map<std::pair<std::uint64_t, ContextId>, Entry> entries_;
+  std::map<ContextId, Echo> pending_;  ///< echo slots; emptied via method=0
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace nexus::adapt

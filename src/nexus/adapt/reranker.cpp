@@ -1,0 +1,40 @@
+#include "nexus/adapt/reranker.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace nexus::adapt {
+
+bool rerank_table(DescriptorTable& table, const CostModel& model,
+                  ContextId target, std::uint64_t ref_bytes, Time now) {
+  const std::size_t n = table.size();
+  if (n < 2) return false;
+  std::vector<double> cost(n);
+  bool any_modeled = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c =
+        model.predict_ns(method_hash(table.at(i).method), target, ref_bytes,
+                         now);
+    cost[i] = c ? *c : std::numeric_limits<double>::infinity();
+    if (c) any_modeled = true;
+  }
+  if (!any_modeled) return false;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return cost[a] < cost[b];
+                   });
+  bool changed = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (perm[i] != i) {
+      changed = true;
+      break;
+    }
+  }
+  if (changed) table.reorder(perm);
+  return changed;
+}
+
+}  // namespace nexus::adapt

@@ -1,0 +1,32 @@
+// Live descriptor-table reranking from the cost model.
+//
+// The paper's manual reorder controls (prioritize / insert / remove,
+// §3.2) let an application encode "fastest first" by hand; the reranker
+// drives the same knob automatically: it rewrites a table's priority
+// order by modeled cost, so even the size-blind FirstApplicableSelector
+// ends up scanning fastest-first as *measured*, not as guessed at table
+// construction time.  Entries the model has no confident estimate for
+// keep their relative order behind the modeled ones (before any traffic
+// nothing is modeled and the table is left untouched).
+//
+// The context triggers this per link every `adapt.rerank_ms` of virtual
+// time when the adaptive engine is enabled, and applications can invoke
+// it directly via Context::rerank(sp).
+#pragma once
+
+#include <cstdint>
+
+#include "nexus/adapt/cost_model.hpp"
+#include "nexus/descriptor.hpp"
+
+namespace nexus::adapt {
+
+/// Reorder `table` (reaching `target`) by modeled cost of a
+/// `ref_bytes`-payload send at virtual time `now`.  Stable: unmodeled
+/// entries sink behind modeled ones without reshuffling among themselves.
+/// Returns true when the order actually changed (the caller must then
+/// invalidate cached selections).
+bool rerank_table(DescriptorTable& table, const CostModel& model,
+                  ContextId target, std::uint64_t ref_bytes, Time now);
+
+}  // namespace nexus::adapt

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <mutex>
 
+#include "nexus/adapt/adaptive_selector.hpp"
+#include "nexus/adapt/reranker.hpp"
 #include "nexus/runtime.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -33,7 +35,7 @@ struct Context::BlockingPoller {
         }
         module->counters().recvs += 1;
         module->counters().bytes_received += pkt->wire_size();
-        ctx->deliver(std::move(*pkt));
+        ctx->deliver(std::move(*pkt), module);
       }
     });
   }
@@ -48,7 +50,8 @@ Context::Context(Runtime& runtime, ContextId id,
                  std::unique_ptr<ContextClock> clock, SimCostParams costs)
     : runtime_(&runtime), id_(id), clock_(std::move(clock)), costs_(costs) {
   engine_ = std::make_unique<PollingEngine>(
-      *clock_, [this](Packet p) { deliver(std::move(p)); },
+      *clock_,
+      [this](Packet p, CommModule* via) { deliver(std::move(p), via); },
       costs_.poll_iteration_overhead, costs_.blocking_check_cost);
   tele_ = &runtime.telemetry();
   cmetrics_ = &tele_->metrics().context(id_);
@@ -61,6 +64,26 @@ Context::Context(Runtime& runtime, ContextId id,
   if (!clock_->simulated()) {
     rt_mutex_ = std::make_unique<std::recursive_mutex>();
   }
+  // Adaptive transport engine (docs/ARCHITECTURE.md §11): the cost model is
+  // always constructed (enquiries may inspect it) but only fed while
+  // adapt_enabled_; enablement comes from RuntimeOptions, the database, or
+  // installing a payload-aware selector later.
+  const util::ResourceDb& db = runtime.db();
+  adapt::CostModelParams cmp;
+  cmp.alpha = db.get_double("adapt.alpha", cmp.alpha);
+  cmp.half_life =
+      db.get_scoped_int(id_, "adapt.half_life_ms", 500) * 1'000'000;
+  cmp.bw_floor_bytes = static_cast<std::uint64_t>(
+      db.get_scoped_int(id_, "adapt.bw_floor_bytes", 2048));
+  cmp.default_mb_s = db.get_double("adapt.default_mb_s", cmp.default_mb_s);
+  cost_model_ = std::make_unique<adapt::CostModel>(cmp);
+  adapt_enabled_ = runtime.options().adaptive || db.get_bool("adapt.enabled",
+                                                             false);
+  adapt_rerank_interval_ =
+      db.get_scoped_int(id_, "adapt.rerank_ms", 200) * 1'000'000;
+  adapt_rerank_bytes_ = static_cast<std::uint64_t>(
+      db.get_scoped_int(id_, "adapt.rerank_bytes", 1024));
+  register_adapt_handlers();
   auto root = std::unique_ptr<Endpoint>(new Endpoint(id_, kRootEndpointId));
   root_ = root.get();
   endpoints_.emplace(kRootEndpointId, std::move(root));
@@ -248,17 +271,50 @@ void Context::evict_connection(Startpoint::Link& link) {
   link.reprobe_at = 0;
 }
 
-void Context::ensure_connection(const Startpoint& sp, Startpoint::Link& link) {
+void Context::ensure_connection(const Startpoint& sp, Startpoint::Link& link,
+                                std::uint64_t payload_bytes) {
+  if (adapt_enabled_) maybe_rerank(link);
   if (link.conn) {
-    if (!link.degraded || now() < link.reprobe_at) return;
-    // A quarantined entry's backoff has expired: re-run selection so the
-    // restored method can win the link back (the next send is its probe).
-    // The existing connection stays in the cache -- if selection picks the
-    // same method again, cached_connection returns it unchanged.
-    link.conn.reset();
-    link.selected_method.clear();
-    link.degraded = false;
-    link.reprobe_at = 0;
+    if (link.degraded && now() >= link.reprobe_at) {
+      // A quarantined entry's backoff has expired: re-run selection so the
+      // restored method can win the link back (the next send is its probe).
+      // The existing connection stays in the cache -- if selection picks the
+      // same method again, cached_connection returns it unchanged.
+      link.conn.reset();
+      link.selected_method.clear();
+      link.degraded = false;
+      link.reprobe_at = 0;
+    } else if (selector_->payload_aware() && !sp.forced_method()) {
+      // Payload-aware policies re-decide per RSR: the selector's cached
+      // per-(peer, class) decision makes this a cheap check, and the link
+      // only swaps connections when the class winner actually differs.
+      std::string reason;
+      const auto idx =
+          selector_->select_sized(link.table, *this, payload_bytes, reason);
+      if (idx) {
+        const CommDescriptor& d = link.table.at(*idx);
+        if (d.method == link.selected_method) return;
+        link.conn = cached_connection(d);
+        link.selected_method = d.method;
+        refresh_link_degradation(link, *idx);
+        if (tele_->tracer().enabled()) {
+          tele_->tracer().record({now(), 0, id_, telemetry::Phase::Select,
+                                  link.conn->module().trace_label(), *idx,
+                                  link.context});
+        }
+        if (!reason.empty()) {
+          selection_log_.push_back(SelectionRecord{link.context, d.method,
+                                                   std::move(reason), now()});
+        }
+        return;
+      }
+      // Nothing usable right now (e.g. everything quarantined): fall
+      // through to the cold path's quarantined_fallback handling.
+      link.conn.reset();
+      link.selected_method.clear();
+    } else {
+      return;
+    }
   }
   std::string reason;
   std::optional<std::size_t> idx;
@@ -278,7 +334,8 @@ void Context::ensure_connection(const Startpoint& sp, Startpoint::Link& link) {
     }
     reason = "forced by application";
   } else {
-    idx = selector_->select(link.table, *this, reason);
+    idx = selector_->select_sized(link.table, *this, payload_bytes, reason);
+    if (idx && reason.empty()) reason = "cached per-peer decision";
     if (!idx) {
       idx = quarantined_fallback(link.table);
       if (idx) {
@@ -317,6 +374,15 @@ SendResult Context::send_on_link(Startpoint::Link& link, HandlerId h,
   pkt.handler = h;
   pkt.payload = payload;  // aliases the caller's buffer: two atomic ops
   pkt.span = span;
+  if (adapt_enabled_) {
+    // Piggyback any pending timing echo for this peer (docs §11): the
+    // measurement the peer's model is waiting for rides home for free.
+    if (auto e = cost_model_->take_echo(link.context)) {
+      pkt.adapt_method = e->method;
+      pkt.adapt_bytes = e->bytes;
+      pkt.adapt_oneway = e->oneway_ns;
+    }
+  }
 
   clock_->advance(costs_.rsr_send_overhead);
   pkt.sent_at = now();
@@ -391,7 +457,7 @@ void Context::send_with_failover(Startpoint& sp, Startpoint::Link& link,
       health_.params().fail_threshold * (link.table.size() + 1) + 8;
   std::uint64_t failures = 0;
   for (;;) {
-    ensure_connection(sp, link);
+    ensure_connection(sp, link, payload.size());
     const SendResult r = send_on_link(link, h, payload, span);
     if (r.ok()) {
       if (!health_.empty()) {
@@ -523,7 +589,7 @@ void Context::wait_count(const std::uint64_t& counter, std::uint64_t target) {
   engine_->wait([&] { return counter >= target; });
 }
 
-void Context::deliver(Packet pkt) {
+void Context::deliver(Packet pkt, CommModule* via) {
   // On the realtime fabric, deliveries may come from the context's own
   // polling loop and from blocking-poller threads concurrently; the
   // recursive mutex serializes all mutation of endpoints, handlers, and
@@ -552,6 +618,21 @@ void Context::deliver(Packet pkt) {
   if (metrics_on && pkt.sent_at > 0 && now() >= pkt.sent_at) {
     cmetrics_->rsr_oneway_ns.add(static_cast<std::uint64_t>(now() -
                                                             pkt.sent_at));
+  }
+  if (adapt_enabled_ && pkt.src != id_ && pkt.src < world_size()) {
+    // Consume a timing echo the peer piggybacked (a sample about *our*
+    // traffic towards pkt.src), and measure this packet's own one-way time
+    // for echoing back on the next send to pkt.src.  Forwarded packets
+    // (hops > 0) are skipped: their timing mixes several methods.
+    if (pkt.adapt_method != 0) {
+      cost_model_->observe(pkt.adapt_method, pkt.src, pkt.adapt_bytes,
+                           pkt.adapt_oneway, now());
+    }
+    if (via != nullptr && pkt.hops == 0 && pkt.sent_at > 0 &&
+        now() >= pkt.sent_at) {
+      cost_model_->note_incoming(via->name_hash(), pkt.src, pkt.wire_size(),
+                                 now() - pkt.sent_at);
+    }
   }
   const bool tracing = tele_->tracer().enabled();
   std::uint16_t handler_label = 0;
@@ -716,6 +797,130 @@ void Context::set_selector(std::unique_ptr<MethodSelector> selector) {
   if (!selector) throw util::UsageError("set_selector: null selector");
   selector_ = std::move(selector);
   forward_routes_.clear();
+  // A payload-aware policy is useless without measurements to act on, so
+  // installing one switches the adaptive plumbing on.
+  if (selector_->payload_aware()) adapt_enabled_ = true;
+}
+
+void Context::register_adapt_handlers() {
+  // Reserved handlers backing the active prober (docs §11).  The probe
+  // carries the prober's id; the reply is an ordinary RSR whose packet
+  // brings the timing echo home (and whose own one-way time seeds the
+  // peer's reverse-direction model).
+  register_handler("adapt.probe",
+                   [](Context& c, Endpoint&, util::UnpackBuffer& ub) {
+                     const ContextId src = ub.get_u32();
+                     if (src == c.id() || src >= c.world_size()) return;
+                     Startpoint back = c.world_startpoint(src);
+                     c.rsr(back, "adapt.probe.reply");
+                   });
+  register_handler("adapt.probe.reply",
+                   [](Context&, Endpoint&, util::UnpackBuffer&) {});
+}
+
+void Context::probe_method(const CommDescriptor& d) {
+  // Group pseudo-contexts and self-loops are never probed.
+  if (d.context == id_ || d.context >= world_size()) return;
+  CommModule* m = module(d.method);
+  if (m == nullptr || !m->applicable(d)) return;
+  auto conn = cached_connection(d);
+  util::PackBuffer pb;
+  pb.put_u32(id_);
+  Packet pkt;
+  pkt.src = id_;
+  pkt.dst = d.context;
+  pkt.endpoint = kRootEndpointId;
+  pkt.handler = resolve_handler("adapt.probe");
+  pkt.payload = util::SharedBytes::copy_of(pb.bytes());
+  if (auto e = cost_model_->take_echo(d.context)) {
+    pkt.adapt_method = e->method;
+    pkt.adapt_bytes = e->bytes;
+    pkt.adapt_oneway = e->oneway_ns;
+  }
+  clock_->advance(costs_.rsr_send_overhead);
+  pkt.sent_at = now();
+  const SendResult r = m->send(*conn, std::move(pkt));
+  m->counters().sends += 1;
+  ++cmetrics_->adapt_probes;
+  if (tele_->tracer().enabled()) {
+    tele_->tracer().record({now(), 0, id_, telemetry::Phase::AdaptProbe,
+                            m->trace_label(), r.wire, d.context});
+  }
+  if (r.ok()) {
+    m->counters().bytes_sent += r.wire;
+    if (!health_.empty()) {
+      note_send_success(intern_method(d.method), d.context, m->trace_label());
+    }
+  } else {
+    m->counters().send_errors += 1;
+    if (!health_.empty()) {
+      // A failed probe is a real delivery failure: it walks the method
+      // towards quarantine exactly like an application send would, which
+      // is what keeps a dead method from being re-probed at full rate.
+      note_send_failure(intern_method(d.method), d.context, m->trace_label(),
+                        r.status);
+    }
+  }
+}
+
+bool Context::rerank_link(Startpoint::Link& link) {
+  if (link.context >= world_size()) return false;  // group tables keep
+                                                   // their manual order
+  if (!adapt::rerank_table(link.table, *cost_model_, link.context,
+                           adapt_rerank_bytes_, now())) {
+    return false;
+  }
+  ++cmetrics_->adapt_reranks;
+  // The order change invalidates this link's cached selection; the global
+  // connection cache keeps the objects, so re-selecting the same method is
+  // free.
+  link.conn.reset();
+  link.selected_method.clear();
+  link.degraded = false;
+  link.reprobe_at = 0;
+  if (tele_->tracer().enabled()) {
+    tele_->tracer().record({now(), 0, id_, telemetry::Phase::AdaptRerank, 0,
+                            link.table.size(), link.context});
+  }
+  selection_log_.push_back(SelectionRecord{
+      link.context, link.table.at(0).method,
+      "adapt.rerank: table reordered by modeled cost (measured fastest "
+      "first)",
+      now()});
+  return true;
+}
+
+void Context::maybe_rerank(Startpoint::Link& link) {
+  if (adapt_rerank_interval_ <= 0) return;
+  const Time t = now();
+  if (t < link.rerank_at) return;
+  link.rerank_at = t + adapt_rerank_interval_;
+  rerank_link(link);
+}
+
+bool Context::rerank(Startpoint& sp) {
+  bool changed = false;
+  for (auto& link : sp.links_) {
+    if (rerank_link(link)) changed = true;
+    if (adapt_rerank_interval_ > 0) {
+      link.rerank_at = now() + adapt_rerank_interval_;
+    }
+  }
+  return changed;
+}
+
+void Context::note_adapt_switch(std::string_view method, ContextId target,
+                                std::string_view payload_class) {
+  ++cmetrics_->adapt_switches;
+  if (tele_->tracer().enabled()) {
+    tele_->tracer().record({now(), 0, id_, telemetry::Phase::AdaptSwitch,
+                            tele_->tracer().intern(method), 0, target});
+  }
+  selection_log_.push_back(SelectionRecord{
+      target, std::string(method),
+      "adapt.switch: " + std::string(payload_class) +
+          "-payload class rerouted by modeled cost",
+      now()});
 }
 
 std::vector<std::string> Context::methods() const {
@@ -797,6 +1002,23 @@ telemetry::SelectionReport Context::explain_selection(const Startpoint& sp) {
                       : "forced by application";
     } else {
       selector_->explain(link.table, *this, lr);
+    }
+    if (adapt_enabled_) {
+      // Per-candidate modeled-cost rows (docs §11): what the cost model
+      // believes about each entry right now, plus the adaptive policy's
+      // dwell state for it when that policy is installed.
+      auto* as = dynamic_cast<adapt::AdaptiveSelector*>(selector_.get());
+      for (auto& c : lr.candidates) {
+        const adapt::CostEstimate est = cost_model_->estimate(
+            method_hash(c.method), link.context, now());
+        telemetry::Candidate::ModelRow row;
+        row.known = est.known;
+        row.latency_us = est.latency_ns / 1.0e3;
+        row.bandwidth_mb_s = est.bandwidth_mb_s;
+        row.confidence = est.latency_confidence;
+        if (as != nullptr) row.dwell = as->dwell_state(link.context, c.method);
+        c.model = row;
+      }
     }
     // Forwarding detection (§3.3): does the winning descriptor land the
     // packet on a relay rather than the target itself?

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "nexus/adapt/cost_model.hpp"
 #include "nexus/clock.hpp"
 #include "nexus/costs.hpp"
 #include "nexus/descriptor.hpp"
@@ -135,8 +136,36 @@ class Context {
   /// Hand a method to a dedicated blocking poller (paper §3.3 AIX
   /// discussion).  Requires module->supports_blocking().
   void set_blocking_poller(std::string_view method, bool on);
+  /// Install a selection policy.  Installing a payload-aware policy (e.g.
+  /// adapt::AdaptiveSelector) also enables the adaptive engine's
+  /// measurement plumbing.
   void set_selector(std::unique_ptr<MethodSelector> selector);
   MethodSelector& selector() noexcept { return *selector_; }
+
+  // --- adaptive transport engine (docs/ARCHITECTURE.md §11) ---
+  /// The online per-(peer, method) cost model.  Always constructed; only
+  /// *fed* (echoes, RTT samples, probes) while adaptation_enabled().
+  adapt::CostModel& cost_model() noexcept { return *cost_model_; }
+  const adapt::CostModel& cost_model() const noexcept { return *cost_model_; }
+  /// Whether the measurement plumbing (timing echoes, reliable-layer RTT
+  /// feed, periodic table reranking) is active.  Enabled by
+  /// RuntimeOptions::adaptive, the `adapt.enabled` database key, or
+  /// installing a payload-aware selector.
+  bool adaptation_enabled() const noexcept { return adapt_enabled_; }
+  void enable_adaptation(bool on = true) { adapt_enabled_ = on; }
+  /// Low-rate active prober: one tiny timed RSR to `d`'s context over `d`'s
+  /// method (the peer replies, and the reply carries the timing echo back).
+  /// Called by adapt::AdaptiveSelector for usable-but-unmeasured methods;
+  /// also available to applications.  No-op when the descriptor is not
+  /// usable from here.
+  void probe_method(const CommDescriptor& d);
+  /// Rewrite every link table of `sp` in modeled-cost order now (the
+  /// manual form of the periodic live rerank).  Returns true if any link's
+  /// order changed; changed links have their cached selection dropped.
+  bool rerank(Startpoint& sp);
+  /// Telemetry hook for adapt::AdaptiveSelector decision changes.
+  void note_adapt_switch(std::string_view method, ContextId target,
+                         std::string_view payload_class);
 
   // --- enquiry interface (paper §2.1) ---
   std::vector<std::string> methods() const;
@@ -180,10 +209,20 @@ class Context {
   /// Small integer id for an interned method name (connection-cache keys).
   using MethodId = std::uint32_t;
 
-  void deliver(Packet pkt);
+  /// `via` is the module that polled the packet in (nullptr when unknown,
+  /// e.g. loopback dispatch); the adaptive engine uses it to attribute
+  /// one-way timing samples.
+  void deliver(Packet pkt, CommModule* via = nullptr);
   void dispatch_local(Packet pkt);
   void forward(Packet pkt);
-  void ensure_connection(const Startpoint& sp, Startpoint::Link& link);
+  void ensure_connection(const Startpoint& sp, Startpoint::Link& link,
+                         std::uint64_t payload_bytes);
+  /// Periodic adaptive rerank of one link's table (docs §11); cheap check
+  /// against Link::rerank_at when due in the future.
+  void maybe_rerank(Startpoint::Link& link);
+  /// Shared rerank-and-invalidate step for maybe_rerank / rerank().
+  bool rerank_link(Startpoint::Link& link);
+  void register_adapt_handlers();
   std::shared_ptr<CommObject> cached_connection(const CommDescriptor& d);
   MethodId intern_method(std::string_view name);
   SendResult send_on_link(Startpoint::Link& link, HandlerId h,
@@ -235,6 +274,12 @@ class Context {
   HealthTracker health_;
   std::vector<SelectionRecord> selection_log_;
   DescriptorTable local_table_;
+
+  // Adaptive transport engine state (docs/ARCHITECTURE.md §11).
+  std::unique_ptr<adapt::CostModel> cost_model_;
+  bool adapt_enabled_ = false;
+  Time adapt_rerank_interval_ = 0;       ///< 0 disables the periodic rerank
+  std::uint64_t adapt_rerank_bytes_ = 1024;  ///< rerank reference payload
 
   std::uint64_t rsrs_sent_ = 0;
   std::uint64_t rsrs_delivered_ = 0;

@@ -1,6 +1,7 @@
 #include "nexus/descriptor.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/error.hpp"
 
@@ -38,6 +39,26 @@ bool DescriptorTable::prioritize(std::string_view method) {
       entries_.begin(), entries_.end(),
       [&](const CommDescriptor& d) { return d.method == method; });
   return mid != entries_.begin();
+}
+
+void DescriptorTable::reorder(const std::vector<std::size_t>& perm) {
+  if (perm.size() != entries_.size()) {
+    throw std::invalid_argument("reorder: permutation size mismatch");
+  }
+  std::vector<bool> seen(entries_.size(), false);
+  for (const std::size_t from : perm) {
+    if (from >= entries_.size() || seen[from]) {
+      throw std::invalid_argument("reorder: not a permutation");
+    }
+    seen[from] = true;
+  }
+  // Validated: safe to move entries out without risking a half-built table.
+  std::vector<CommDescriptor> next;
+  next.reserve(entries_.size());
+  for (const std::size_t from : perm) {
+    next.push_back(std::move(entries_[from]));
+  }
+  entries_ = std::move(next);
 }
 
 std::optional<std::size_t> DescriptorTable::find(

@@ -63,6 +63,13 @@ class DescriptorTable {
   /// First descriptor using `method`, if any.
   std::optional<std::size_t> find(std::string_view method) const;
 
+  /// Replace the priority order with a permutation of the current entries
+  /// (bulk form of the manual reorder controls; the adaptive reranker's
+  /// edit).  `perm[i]` is the old position of the entry that moves to
+  /// position i.  Throws std::invalid_argument unless `perm` is a
+  /// permutation of [0, size()).
+  void reorder(const std::vector<std::size_t>& perm);
+
   /// All contexts referenced (normally a table describes one context).
   ContextId context() const { return entries_.empty() ? kNoContext : entries_.front().context; }
 

@@ -158,11 +158,20 @@ class CommModule {
   std::uint16_t trace_label() const noexcept { return trace_label_; }
   void set_trace_label(std::uint16_t label) noexcept { trace_label_ = label; }
 
+  /// method_hash(name()), computed once and cached.  Stable across
+  /// contexts (unlike interned ids / trace labels), which is what lets the
+  /// adaptive timing echo name a method without shipping the string.
+  std::uint64_t name_hash() const noexcept {
+    if (name_hash_ == 0) name_hash_ = method_hash(name());
+    return name_hash_;
+  }
+
  private:
   util::MethodCounters own_counters_;
   util::MethodCounters* counters_ = &own_counters_;
   telemetry::MethodMetrics* metrics_ = nullptr;
   std::uint16_t trace_label_ = 0;
+  mutable std::uint64_t name_hash_ = 0;
 };
 
 /// Factory registry, keyed by method name.  Standing in for the paper's

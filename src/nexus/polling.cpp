@@ -160,7 +160,7 @@ bool PollingEngine::poll_once() {
       if (metrics_on && e.module->metrics() != nullptr) {
         e.module->metrics()->recv_bytes.add(pkt->wire_size());
       }
-      sink_(std::move(*pkt));
+      sink_(std::move(*pkt), e.module);
     }
     if (drained > 0 && metrics_on) {
       cmetrics_->poll_batch.add(drained);

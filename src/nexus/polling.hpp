@@ -36,8 +36,11 @@ struct ContextMetrics;
 
 class PollingEngine {
  public:
-  /// `sink` receives every packet the engine pulls off a module.
-  PollingEngine(ContextClock& clock, std::function<void(Packet)> sink,
+  /// `sink` receives every packet the engine pulls off a module, along
+  /// with the module it arrived through (the adaptive cost model uses the
+  /// module to attribute one-way timing samples).
+  PollingEngine(ContextClock& clock,
+                std::function<void(Packet, CommModule*)> sink,
                 Time per_iteration_overhead = 0, Time blocking_check_cost = 0)
       : clock_(&clock),
         sink_(std::move(sink)),
@@ -136,7 +139,7 @@ class PollingEngine {
   void account_idle(Time dt);
 
   ContextClock* clock_;
-  std::function<void(Packet)> sink_;
+  std::function<void(Packet, CommModule*)> sink_;
   Time per_iteration_overhead_;
   Time blocking_check_cost_;
   std::vector<Entry> entries_;

@@ -70,6 +70,12 @@ struct RuntimeOptions {
   /// Histogram metrics (one-way times, handler times, poll cadence, sizes).
   /// The plain per-method counters always run regardless.
   bool metrics = true;
+  /// Adaptive transport engine (docs/ARCHITECTURE.md §11): feed the online
+  /// per-(peer, method) cost model from passive timings and periodically
+  /// rerank link descriptor tables by modeled cost.  Also enabled by the
+  /// `adapt.enabled` database key or by installing a payload-aware
+  /// selector (adapt::AdaptiveSelector).
+  bool adaptive = false;
 };
 
 class Runtime {

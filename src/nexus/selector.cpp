@@ -26,7 +26,7 @@ bool is_reliable(const CommDescriptor& d, Context& local) {
 void MethodSelector::explain(const DescriptorTable& table, Context& local,
                              telemetry::LinkReport& out) {
   std::string reason;
-  const auto win = select(table, local, reason);
+  const auto win = peek(table, local, reason);
   out.reason = std::move(reason);
   if (win) out.winner = table.at(*win).method;
   for (std::size_t i = 0; i < table.size(); ++i) {
@@ -128,6 +128,20 @@ std::optional<std::size_t> QosSelector::select(const DescriptorTable& table,
 std::optional<std::size_t> RandomSelector::select(const DescriptorTable& table,
                                                   Context& local,
                                                   std::string& reason) {
+  return choose(table, local, reason, rng_);
+}
+
+std::optional<std::size_t> RandomSelector::peek(const DescriptorTable& table,
+                                                Context& local,
+                                                std::string& reason) {
+  util::Rng preview = rng_;  // same next draw, state untouched
+  return choose(table, local, reason, preview);
+}
+
+std::optional<std::size_t> RandomSelector::choose(const DescriptorTable& table,
+                                                  Context& local,
+                                                  std::string& reason,
+                                                  util::Rng& rng) const {
   std::vector<std::size_t> candidates;
   for (std::size_t i = 0; i < table.size(); ++i) {
     if (usable(table.at(i), local) && is_reliable(table.at(i), local)) {
@@ -143,7 +157,7 @@ std::optional<std::size_t> RandomSelector::select(const DescriptorTable& table,
     reason = "no applicable entry";
     return std::nullopt;
   }
-  const std::size_t pick = candidates[rng_.next_below(candidates.size())];
+  const std::size_t pick = candidates[rng.next_below(candidates.size())];
   reason = "random choice among " + std::to_string(candidates.size()) +
            " applicable";
   return pick;

@@ -45,13 +45,45 @@ class MethodSelector {
                                             Context& local,
                                             std::string& reason) = 0;
 
+  /// Whether select_sized() actually uses the payload size.  When true, the
+  /// context re-consults the selector per RSR (with the payload size)
+  /// instead of reusing a link's cached selection unconditionally, and
+  /// installing the selector enables the context's adaptive engine.
+  virtual bool payload_aware() const { return false; }
+
+  /// Payload-aware selection: like select() but told how many payload
+  /// bytes the RSR carries, so policies can route small and large messages
+  /// differently (latency/bandwidth crossover).  Size-blind policies
+  /// inherit this default, which ignores the size.  May leave `reason`
+  /// empty on a cached (unchanged) decision -- the context then skips the
+  /// selection log entry.
+  virtual std::optional<std::size_t> select_sized(const DescriptorTable& table,
+                                                  Context& local,
+                                                  std::uint64_t payload_bytes,
+                                                  std::string& reason) {
+    (void)payload_bytes;
+    return select(table, local, reason);
+  }
+
+  /// Side-effect-free preview of what select() would return next.  The
+  /// default forwards to select(), which is correct for stateless policies
+  /// (first-applicable, qos); *stateful* policies must override so that
+  /// enquiries (explain / Context::explain_selection) never advance their
+  /// decision state -- RandomSelector, for example, peeks with a copy of
+  /// its RNG.
+  virtual std::optional<std::size_t> peek(const DescriptorTable& table,
+                                          Context& local,
+                                          std::string& reason) {
+    return select(table, local, reason);
+  }
+
   /// Fill `out.winner`, `out.reason`, and one Candidate per table entry
   /// explaining what this policy decides for `table` right now.  The
-  /// default implementation runs select() once and classifies every entry
-  /// (not loaded / not applicable / unreliable fallback / ranked behind);
-  /// policies with richer internal scoring may override to add detail.
-  /// Note this *runs* the policy, so stateful selectors (e.g. random)
-  /// advance their state.
+  /// default implementation peeks the policy once and classifies every
+  /// entry (not loaded / not applicable / unreliable fallback / ranked
+  /// behind); policies with richer internal scoring may override to add
+  /// detail.  Built on peek(), so asking for an explanation never changes
+  /// what the policy will decide next.
   virtual void explain(const DescriptorTable& table, Context& local,
                        telemetry::LinkReport& out);
 };
@@ -94,8 +126,15 @@ class RandomSelector final : public MethodSelector {
   std::optional<std::size_t> select(const DescriptorTable& table,
                                     Context& local,
                                     std::string& reason) override;
+  /// Previews the next pick with a *copy* of the RNG, so enquiries do not
+  /// advance the selection stream.
+  std::optional<std::size_t> peek(const DescriptorTable& table, Context& local,
+                                  std::string& reason) override;
 
  private:
+  std::optional<std::size_t> choose(const DescriptorTable& table,
+                                    Context& local, std::string& reason,
+                                    util::Rng& rng) const;
   util::Rng rng_;
 };
 

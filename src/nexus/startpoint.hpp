@@ -41,6 +41,9 @@ class Startpoint {
     // selection so a restored method can win back the link.
     bool degraded = false;
     Time reprobe_at = 0;
+    /// Adaptive engine: next virtual time this link's table is due for a
+    /// cost-model rerank (0 = rerank on first use when the engine is on).
+    Time rerank_at = 0;
   };
 
   Startpoint() = default;

@@ -140,6 +140,12 @@ std::string MetricsRegistry::to_text() const {
                  " suspects " + std::to_string(cm->suspects) + " restores " +
                  std::to_string(cm->restores) + "\n";
         }
+        if (cm->adapt_switches != 0 || cm->adapt_reranks != 0 ||
+            cm->adapt_probes != 0) {
+          out += "    adapt: switches " + std::to_string(cm->adapt_switches) +
+                 " reranks " + std::to_string(cm->adapt_reranks) +
+                 " probes " + std::to_string(cm->adapt_probes) + "\n";
+        }
       }
     }
     const util::MethodCounters& c = mm.counters;
@@ -183,7 +189,10 @@ std::string MetricsRegistry::to_json() const {
            ",\"rsr_retries\":" + hist_json(cm.rsr_retries) +
            ",\"failovers\":" + std::to_string(cm.failovers) +
            ",\"suspects\":" + std::to_string(cm.suspects) +
-           ",\"restores\":" + std::to_string(cm.restores) + "}";
+           ",\"restores\":" + std::to_string(cm.restores) +
+           ",\"adapt_switches\":" + std::to_string(cm.adapt_switches) +
+           ",\"adapt_reranks\":" + std::to_string(cm.adapt_reranks) +
+           ",\"adapt_probes\":" + std::to_string(cm.adapt_probes) + "}";
   }
   out += "],\"methods\":[";
   bool first_m = true;

@@ -108,6 +108,11 @@ struct ContextMetrics {
   std::uint64_t failovers = 0;
   std::uint64_t suspects = 0;
   std::uint64_t restores = 0;
+  // Adaptive-engine counters: payload-class method switches, descriptor-
+  // table reranks, and active timing probes sent.
+  std::uint64_t adapt_switches = 0;
+  std::uint64_t adapt_reranks = 0;
+  std::uint64_t adapt_probes = 0;
 };
 
 /// Poll intervals are sampled once per this many poll_once() iterations

@@ -1,6 +1,7 @@
 #include "nexus/telemetry/selection_report.hpp"
 
 #include "nexus/telemetry/json.hpp"
+#include "util/stats.hpp"
 
 namespace nexus::telemetry {
 
@@ -46,6 +47,21 @@ std::string SelectionReport::to_text() const {
       out += candidate_status_name(c.status);
       if (!c.detail.empty()) out += " -- " + c.detail;
       out += "\n";
+      if (c.model) {
+        out += "        model: ";
+        if (c.model->known) {
+          out += "latency " + util::fmt_fixed(c.model->latency_us, 1) + "us";
+          if (c.model->bandwidth_mb_s > 0.0) {
+            out += " bw " + util::fmt_fixed(c.model->bandwidth_mb_s, 1) +
+                   "MB/s";
+          }
+          out += " conf " + util::fmt_fixed(c.model->confidence, 2);
+        } else {
+          out += "no data";
+        }
+        if (!c.model->dwell.empty()) out += " [" + c.model->dwell + "]";
+        out += "\n";
+      }
     }
   }
   return out;
@@ -75,6 +91,15 @@ std::string SelectionReport::to_json() const {
              ",\"status\":" + json_quote(candidate_status_name(c.status)) +
              ",\"detail\":" + json_quote(c.detail);
       if (!c.wraps.empty()) out += ",\"wraps\":" + json_quote(c.wraps);
+      if (c.model) {
+        out += ",\"model\":{\"known\":";
+        out += c.model->known ? "true" : "false";
+        out += ",\"latency_us\":" + util::fmt_fixed(c.model->latency_us, 3) +
+               ",\"bandwidth_mb_s\":" +
+               util::fmt_fixed(c.model->bandwidth_mb_s, 3) +
+               ",\"confidence\":" + util::fmt_fixed(c.model->confidence, 4) +
+               ",\"dwell\":" + json_quote(c.model->dwell) + "}";
+      }
       out += "}";
     }
     out += "]}";

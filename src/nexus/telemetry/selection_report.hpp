@@ -33,6 +33,18 @@ const char* candidate_status_name(CandidateStatus s) noexcept;
 
 /// One descriptor-table entry's fate during selection.
 struct Candidate {
+  /// The adaptive engine's modeled cost of this candidate (filled only when
+  /// adaptation is enabled).  `known` is false while the cost model has no
+  /// confident latency estimate for the (peer, method) pair yet.
+  struct ModelRow {
+    bool known = false;
+    double latency_us = 0.0;      ///< modeled per-message latency
+    double bandwidth_mb_s = 0.0;  ///< modeled bandwidth (0 = not yet modeled)
+    double confidence = 0.0;      ///< latency-estimate confidence in [0, 1]
+    std::string dwell;            ///< hysteresis state: held-small/-large/
+                                  ///< -both, or candidate
+  };
+
   std::size_t position = 0;  ///< index in the link's descriptor table
   std::string method;
   CandidateStatus status = CandidateStatus::NotApplicable;
@@ -40,6 +52,7 @@ struct Candidate {
   /// For wrapper methods (rel+udp): the inner transport the method layers
   /// over, so reports distinguish the wrapper from its carrier.
   std::string wraps;
+  std::optional<ModelRow> model;  ///< see ModelRow
 };
 
 /// Selection outcome for one link of the startpoint.

@@ -24,6 +24,9 @@ const char* phase_name(Phase p) noexcept {
     case Phase::Retransmit: return "retransmit";
     case Phase::Ack: return "ack";
     case Phase::DupDrop: return "dup_drop";
+    case Phase::AdaptRerank: return "adapt.rerank";
+    case Phase::AdaptSwitch: return "adapt.switch";
+    case Phase::AdaptProbe: return "adapt.probe";
     case Phase::Custom: return "custom";
   }
   return "?";

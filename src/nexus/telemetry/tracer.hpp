@@ -45,6 +45,9 @@ enum class Phase : std::uint8_t {
   Retransmit,   ///< a reliability wrapper resent a timed-out window entry
   Ack,          ///< a reliability wrapper emitted a standalone ack frame
   DupDrop,      ///< a reliability wrapper suppressed a duplicate data frame
+  AdaptRerank,  ///< adaptive engine reordered a link's descriptor table
+  AdaptSwitch,  ///< adaptive selector changed a payload class's method
+  AdaptProbe,   ///< adaptive engine sent an active timing probe
   Custom,       ///< application-recorded marker
 };
 

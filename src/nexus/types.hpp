@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
 
 #include "simnet/time.hpp"
 #include "util/bytes.hpp"
@@ -34,6 +35,19 @@ enum class DeliveryStatus : std::uint8_t {
 };
 
 const char* delivery_status_name(DeliveryStatus s) noexcept;
+
+/// FNV-1a hash of a communication method name (same construction as
+/// HandlerId).  The adaptive cost model and the timing echo identify
+/// methods by this value because it is stable across contexts, unlike
+/// locally-interned method ids.
+inline std::uint64_t method_hash(std::string_view name) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char ch : name) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 /// Role of a packet within the reliability wrapper protocol (rel+<method>,
 /// docs/ARCHITECTURE.md §10).  None marks ordinary traffic of the inner
@@ -101,6 +115,17 @@ struct Packet {
   std::uint64_t span = 0;
   /// Sender's clock at send time, for the one-way latency histogram.
   Time sent_at = 0;
+
+  // --- adaptive-timing echo (docs/ARCHITECTURE.md §11) ---
+  // A receiver that measured the one-way time of an incoming packet echoes
+  // the measurement back on its next packet to that sender, closing the
+  // timing loop for raw (non-rel) methods whose acks carry no timestamps.
+  // Like span/sent_at these piggybacked fields are a few bytes that hide
+  // inside the modelled fixed header, so wire_size() excludes them.
+  std::uint64_t adapt_method = 0;  ///< method_hash() the echo is about; 0 =
+                                   ///< no echo on this packet
+  std::uint64_t adapt_bytes = 0;   ///< wire bytes of the sampled packet
+  Time adapt_oneway = 0;           ///< its observed one-way time (ns)
 
   /// Bytes this packet occupies on a wire: header plus payload.  The
   /// span/sent_at telemetry fields are deliberately excluded -- they are

@@ -207,7 +207,13 @@ void ReliableModule::process_ack_fields(ContextId peer, const Packet& pkt) {
     SendEntry& e = slot(st, st.base);
     if (e.live) {
       // Karn's rule: only never-retransmitted entries yield RTT samples.
-      if (!e.acked && e.retries == 0) rtt_sample(st, t - e.first_sent);
+      if (!e.acked && e.retries == 0) {
+        rtt_sample(st, t - e.first_sent);
+        if (ctx_->adaptation_enabled()) {
+          ctx_->cost_model().observe_rtt(name_hash(), peer, e.pkt.wire_size(),
+                                         t - e.first_sent, t);
+        }
+      }
       e.live = false;
       e.acked = false;
       e.pkt = Packet{};
@@ -223,7 +229,14 @@ void ReliableModule::process_ack_fields(ContextId peer, const Packet& pkt) {
       if (seq < st.base || seq >= st.next_seq) continue;
       SendEntry& e = slot(st, seq);
       if (e.live && !e.acked) {
-        if (e.retries == 0) rtt_sample(st, t - e.first_sent);
+        if (e.retries == 0) {
+          rtt_sample(st, t - e.first_sent);
+          if (ctx_->adaptation_enabled()) {
+            ctx_->cost_model().observe_rtt(name_hash(), peer,
+                                           e.pkt.wire_size(), t - e.first_sent,
+                                           t);
+          }
+        }
         e.acked = true;
         e.pkt = Packet{};  // the payload is no longer needed
         progress = true;

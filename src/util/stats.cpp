@@ -46,6 +46,30 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
+void DecayingEwma::add(double x, double t) noexcept {
+  if (n_ == 0) {
+    mean_ = x;  // seed exactly: no warm-up bias towards zero
+  } else {
+    mean_ += alpha_ * (x - mean_);
+  }
+  weight_ += alpha_ * (1.0 - weight_);
+  last_ = t;
+  ++n_;
+}
+
+void DecayingEwma::reset() noexcept {
+  const double a = alpha_;
+  const double h = half_life_;
+  *this = DecayingEwma(a, h);
+}
+
+double DecayingEwma::confidence(double t) const noexcept {
+  if (n_ == 0) return 0.0;
+  if (half_life_ <= 0.0) return weight_;
+  const double dt = t > last_ ? t - last_ : 0.0;
+  return weight_ * std::exp2(-dt / half_life_);
+}
+
 void SampleSet::ensure_sorted() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

@@ -61,6 +61,49 @@ class SampleSet {
   void ensure_sorted() const;
 };
 
+/// Exponentially-weighted moving average with confidence/staleness decay.
+///
+/// The adaptive cost model (src/nexus/adapt/) uses one of these per
+/// estimated quantity: `add(x, t)` folds a sample in with weight `alpha`
+/// (the first sample seeds the mean exactly), and `confidence(t)` reports
+/// how much the estimate should be trusted *right now* -- it rises towards
+/// 1 as samples accumulate (by the same alpha schedule) and halves for
+/// every `half_life` of virtual time since the last sample, so estimates
+/// go stale instead of lying forever.  Time is whatever unit the caller
+/// feeds in (the runtime uses virtual nanoseconds); there is no wall-clock
+/// dependence, which keeps every consumer replayable.
+class DecayingEwma {
+ public:
+  /// `alpha` in (0, 1]: weight of each new sample.  `half_life` <= 0
+  /// disables staleness decay (confidence then depends on sample count
+  /// only).
+  explicit DecayingEwma(double alpha = 0.25, double half_life = 0.0) noexcept
+      : alpha_(alpha), half_life_(half_life) {}
+
+  void add(double x, double t) noexcept;
+  void reset() noexcept;
+
+  bool empty() const noexcept { return n_ == 0; }
+  std::size_t count() const noexcept { return n_; }
+  /// Current EWMA mean; 0 when no samples have been added.
+  double value() const noexcept { return mean_; }
+  /// Trust in value() at virtual time `t`, in [0, 1].  Before any sample:
+  /// 0.  After n samples: 1-(1-alpha)^n, decayed by 2^-(dt/half_life)
+  /// where dt is the time since the last sample (clamped at 0, so an
+  /// out-of-order query never *raises* confidence).
+  double confidence(double t) const noexcept;
+  /// Virtual time of the most recent sample (0 when empty).
+  double last_update() const noexcept { return last_; }
+
+ private:
+  double alpha_;
+  double half_life_;
+  double mean_ = 0.0;
+  double weight_ = 0.0;  ///< 1-(1-alpha)^n, the undecayed confidence
+  double last_ = 0.0;
+  std::size_t n_ = 0;
+};
+
 /// Monotonically-labelled counter bundle used for enquiry functions.
 struct MethodCounters {
   std::uint64_t sends = 0;

@@ -75,6 +75,25 @@ TEST(DescriptorTable, InsertAtPosition) {
   EXPECT_EQ(t.at(2).method, "tcp");
 }
 
+TEST(DescriptorTable, ReorderAppliesPermutation) {
+  DescriptorTable t({desc("mpl", 1), desc("udp", 1), desc("tcp", 1)});
+  t.reorder({2, 0, 1});  // perm[i] = old position moving to position i
+  EXPECT_EQ(t.at(0).method, "tcp");
+  EXPECT_EQ(t.at(1).method, "mpl");
+  EXPECT_EQ(t.at(2).method, "udp");
+  t.reorder({0, 1, 2});  // identity is a no-op
+  EXPECT_EQ(t.at(0).method, "tcp");
+}
+
+TEST(DescriptorTable, ReorderRejectsNonPermutations) {
+  DescriptorTable t({desc("mpl", 1), desc("tcp", 1)});
+  EXPECT_THROW(t.reorder({0}), std::invalid_argument);         // wrong size
+  EXPECT_THROW(t.reorder({0, 0}), std::invalid_argument);      // duplicate
+  EXPECT_THROW(t.reorder({0, 2}), std::invalid_argument);      // out of range
+  EXPECT_THROW(t.reorder({0, 1, 2}), std::invalid_argument);   // too long
+  EXPECT_EQ(t.at(0).method, "mpl");  // failed reorders leave order intact
+}
+
 TEST(DescriptorTable, EmptyTableBehaviour) {
   DescriptorTable t;
   EXPECT_TRUE(t.empty());

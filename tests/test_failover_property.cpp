@@ -18,10 +18,12 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "fixture_runtime.hpp"
+#include "nexus/adapt/adaptive_selector.hpp"
 #include "nexus/runtime.hpp"
 #include "util/rng.hpp"
 
@@ -176,6 +178,92 @@ TEST(FailoverProperty, RandomFaultPlansNeverLoseRsrs) {
     if (::testing::Test::HasFatalFailure()) {
       FAIL() << "trial " << t << " (seed " << seed << ") failed";
     }
+  }
+}
+
+// Chaos regression for the adaptive engine: a blackhole outage on the
+// modeled-best method must (a) fail the traffic over to the surviving
+// method for the outage's duration and (b) NOT demote the victim forever --
+// once the quarantine probation passes, the still-confident cost estimate
+// (half-life 500 ms > the 200 ms outage) wins the route back.
+TEST(FailoverProperty, AdaptiveSelectorFailsOverAndWinsTheRouteBack) {
+  constexpr Time kOutageFrom = 200 * kMs;
+  constexpr Time kOutageUntil = 400 * kMs;
+  constexpr Time kHorizon = 1000 * kMs;
+  // Detection slack: the first send after the outage starts may still
+  // settle on mpl while the failure is being detected and quarantined.
+  constexpr Time kSlack = 60 * kMs;
+
+  util::Rng rng(nexus::testing::test_seed());
+  RuntimeOptions opts =
+      nexus::testing::sim_opts(simnet::Topology::single_partition(2));
+  opts.adaptive = true;
+  opts.seed = nexus::testing::test_seed();
+  opts.faults.blackhole("mpl", kOutageFrom, kOutageUntil);
+  Runtime rt(opts);
+
+  std::uint64_t delivered = 0;
+  std::vector<SendRecord> sends;
+  bool sender_gave_up = false;
+
+  rt.run(std::vector<std::function<void(Context&)>>{
+      [&](Context& ctx) {  // receiver, deadline-guarded
+        ctx.register_handler("seq",
+                             [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                               ++delivered;
+                             });
+        while (ctx.now() < kHorizon + 100 * kMs) {
+          ctx.compute_with_polling(20 * kMs, 1 * kMs);
+        }
+      },
+      [&](Context& ctx) {  // sender on the adaptive policy
+        ctx.set_selector(std::make_unique<adapt::AdaptiveSelector>());
+        Startpoint sp = ctx.world_startpoint(0);
+        while (ctx.now() < kHorizon) {
+          bool sent = false;
+          for (int attempt = 0; attempt < 6 && !sent; ++attempt) {
+            const Time t0 = ctx.now();
+            try {
+              ctx.rsr(sp, "seq");
+              sent = true;
+              sends.push_back({sp.selected_method(), t0, ctx.now()});
+            } catch (const util::MethodError&) {
+              ctx.compute_with_polling(50 * kMs, 1 * kMs);
+            }
+          }
+          if (!sent) sender_gave_up = true;
+          // ~10 ms cadence with seeded jitter so evaluation edges are not
+          // phase-locked to the send times.
+          ctx.compute_with_polling(10 * kMs + rng.uniform(0, 5 * kMs),
+                                   1 * kMs);
+        }
+      }});
+
+  ASSERT_FALSE(sender_gave_up) << "sender exhausted its retry budget";
+  ASSERT_GE(sends.size(), 40u);
+  EXPECT_EQ(delivered, sends.size()) << "failover lost or duplicated RSRs";
+
+  // (a) Converged on the fast method before the outage...
+  std::vector<std::string> pre, post;
+  for (const auto& s : sends) {
+    if (s.t1 < kOutageFrom) pre.push_back(s.method);
+    if (s.t0 >= kHorizon - 50 * kMs) post.push_back(s.method);
+  }
+  ASSERT_GE(pre.size(), 3u);
+  for (std::size_t i = pre.size() - 3; i < pre.size(); ++i) {
+    EXPECT_EQ(pre[i], "mpl") << "send " << i << " before the outage";
+  }
+  // ...and every send inside the outage (past detection slack) avoided it.
+  for (const auto& s : sends) {
+    if (s.t0 >= kOutageFrom + kSlack && s.t1 < kOutageUntil) {
+      EXPECT_EQ(s.method, "tcp")
+          << "send at t=" << s.t0 / kMs << "ms settled on the dead method";
+    }
+  }
+  // (b) Won the route back well before the horizon.
+  ASSERT_GE(post.size(), 1u);
+  for (const auto& m : post) {
+    EXPECT_EQ(m, "mpl") << "route never recovered after the outage";
   }
 }
 

@@ -4,6 +4,7 @@
 #include "fixture_runtime.hpp"
 #include "nexus/runtime.hpp"
 #include "nexus/selector.hpp"
+#include "nexus/telemetry/selection_report.hpp"
 
 namespace {
 
@@ -106,6 +107,52 @@ TEST(Selector, RandomOnlyPicksApplicable) {
       ASSERT_TRUE(idx.has_value());
       // mpl/local are inapplicable across partitions: must always be tcp.
       EXPECT_EQ(ctx.runtime().table_of(0).at(*idx).method, "tcp");
+    }
+  });
+}
+
+TEST(Selector, PeekMatchesSelectForStatelessPolicies) {
+  Runtime rt(opts_with({"local", "mpl", "tcp"},
+                       simnet::Topology::single_partition(2)));
+  rt.run([&](Context& ctx) {
+    if (ctx.id() != 1) return;
+    const DescriptorTable& table = ctx.runtime().table_of(0);
+    FirstApplicableSelector first;
+    QosSelector qos;
+    for (MethodSelector* sel : {static_cast<MethodSelector*>(&first),
+                                static_cast<MethodSelector*>(&qos)}) {
+      std::string ra, rb;
+      auto peeked = sel->peek(table, ctx, ra);
+      auto selected = sel->select(table, ctx, rb);
+      EXPECT_EQ(peeked, selected) << sel->name();
+      EXPECT_EQ(ra, rb) << sel->name();
+    }
+  });
+}
+
+TEST(Selector, ExplainIsSideEffectFreeForStatefulPolicies) {
+  // The enquiry regression: interleaving peeks and explains with selects
+  // must leave a stateful policy's decision stream exactly as if only the
+  // selects had run.  Two same-seed RandomSelectors, one probed, one not.
+  Runtime rt(opts_with({"local", "mpl", "tcp"},
+                       simnet::Topology::single_partition(2)));
+  rt.run([&](Context& ctx) {
+    if (ctx.id() != 1) return;
+    const DescriptorTable& table = ctx.runtime().table_of(0);
+    RandomSelector probed(1234), control(1234);
+    for (int i = 0; i < 25; ++i) {
+      std::string scratch;
+      const auto preview = probed.peek(table, ctx, scratch);
+      (void)probed.peek(table, ctx, scratch);
+      telemetry::LinkReport lr;
+      probed.explain(table, ctx, lr);
+      probed.explain(table, ctx, lr);
+      std::string ra, rb;
+      const auto a = probed.select(table, ctx, ra);
+      const auto b = control.select(table, ctx, rb);
+      ASSERT_EQ(a, b) << "round " << i;
+      // peek() previews exactly the next select().
+      ASSERT_EQ(preview, a) << "round " << i;
     }
   });
 }

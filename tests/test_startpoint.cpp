@@ -158,6 +158,96 @@ TEST(Startpoint, ReceiverCanChangeMethodOfReceivedStartpoint) {
   });
 }
 
+TEST(Startpoint, LiveLinkReorderNeedsInvalidationToTakeEffect) {
+  // Manual table control on a live (already-connected) link: a bulk
+  // reorder() alone leaves the cached connection in place; the edit takes
+  // effect at the next RSR after invalidate_selection() evicts it.
+  Runtime rt(base(2));
+  rt.run([&](Context& ctx) {
+    std::uint64_t done = 0;
+    ctx.register_handler("noop",
+                         [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                           ++done;
+                         });
+    if (ctx.id() != 1) {
+      ctx.wait_count(done, 3);
+      return;
+    }
+    Startpoint sp = ctx.world_startpoint(0);
+    ctx.rsr(sp, "noop");
+    ASSERT_EQ(sp.selected_method(), "mpl");
+    ASSERT_NE(sp.link(0).conn, nullptr);
+
+    // Move tcp to the front: [local, mpl, tcp] -> [tcp, local, mpl].
+    auto tcp_pos = sp.table().find("tcp");
+    ASSERT_TRUE(tcp_pos.has_value());
+    std::vector<std::size_t> perm{*tcp_pos};
+    for (std::size_t i = 0; i < sp.table().size(); ++i) {
+      if (i != *tcp_pos) perm.push_back(i);
+    }
+    sp.table().reorder(perm);
+
+    // Still connected: the established method keeps carrying traffic.
+    ctx.rsr(sp, "noop");
+    EXPECT_EQ(sp.selected_method(), "mpl");
+
+    sp.invalidate_selection();
+    EXPECT_EQ(sp.link(0).conn, nullptr);  // eviction is immediate
+    ctx.rsr(sp, "noop");
+    EXPECT_EQ(sp.selected_method(), "tcp");
+  });
+}
+
+TEST(Startpoint, LiveLinkDeleteOfSelectedMethodFallsBack) {
+  Runtime rt(base(2));
+  rt.run([&](Context& ctx) {
+    std::uint64_t done = 0;
+    ctx.register_handler("noop",
+                         [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                           ++done;
+                         });
+    if (ctx.id() != 1) {
+      ctx.wait_count(done, 2);
+      return;
+    }
+    Startpoint sp = ctx.world_startpoint(0);
+    ctx.rsr(sp, "noop");
+    ASSERT_EQ(sp.selected_method(), "mpl");
+    EXPECT_EQ(sp.table().remove("mpl"), 1u);
+    sp.invalidate_selection();
+    ctx.rsr(sp, "noop");
+    EXPECT_EQ(sp.selected_method(), "tcp");  // next applicable entry
+  });
+}
+
+TEST(Startpoint, LiveLinkAddRestoresAFasterMethod) {
+  Runtime rt(base(2));
+  rt.run([&](Context& ctx) {
+    std::uint64_t done = 0;
+    ctx.register_handler("noop",
+                         [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                           ++done;
+                         });
+    if (ctx.id() != 1) {
+      ctx.wait_count(done, 2);
+      return;
+    }
+    Startpoint sp = ctx.world_startpoint(0);
+    const DescriptorTable full = sp.table();  // keep a copy to re-add from
+    auto mpl_pos = full.find("mpl");
+    ASSERT_TRUE(mpl_pos.has_value());
+    sp.table().remove("mpl");
+    ctx.rsr(sp, "noop");
+    ASSERT_EQ(sp.selected_method(), "tcp");
+
+    // Add the faster descriptor back at top priority on the live link.
+    sp.table().insert(0, full.at(*mpl_pos));
+    sp.invalidate_selection();
+    ctx.rsr(sp, "noop");
+    EXPECT_EQ(sp.selected_method(), "mpl");
+  });
+}
+
 TEST(Startpoint, SenderPreferenceTravelsViaTableOrder) {
   // The sender reorders the table before shipping the startpoint; the
   // receiver's first-applicable scan then honours the sender's choice.
