@@ -107,9 +107,11 @@ struct CaseResult {
 /// caches, mailbox capacity, handler lookups) followed by a measured phase
 /// of `rounds` RSRs.  Phases are fenced with a "mark" RSR that every
 /// receiver acknowledges back to the driver.
-CaseResult run_case(Pattern pattern, std::size_t payload_size, long rounds) {
+CaseResult run_case(Pattern pattern, std::size_t payload_size, long rounds,
+                    bool flight = true) {
   RuntimeOptions opts;
   opts.metrics = false;  // measure the data path, not the telemetry
+  opts.flight = flight;  // the always-on recorder is part of the default path
   // Large conservatism slack: scheduler handoffs between simulated contexts
   // cost ~10us of wall time each and would otherwise swamp the data path
   // this benchmark measures.  With slack, each context drains long batches
@@ -256,9 +258,28 @@ int main(int argc, char** argv) {
                  {{"pattern", pattern_name(p)},
                   {"payload_bytes", std::to_string(bytes)},
                   {"links", std::to_string(links)},
-                  {"rounds", std::to_string(case_rounds)}},
+                  {"rounds", std::to_string(case_rounds)},
+                  {"flight", "1"}},
                  r.ns_per_rsr, r.allocs_per_rsr);
     }
+  }
+
+  // Flight-recorder-off unicast rows: the delta against unicast/<bytes>
+  // above is the cost of the always-on recorder (budget: <= 10%).
+  for (std::size_t bytes : payloads) {
+    const long case_rounds =
+        bytes >= 65536 ? std::max(rounds / 5, 100L) : rounds;
+    CaseResult r =
+        run_case(Pattern::Unicast, bytes, case_rounds, /*flight=*/false);
+    std::printf("%-10s %10zu %6d %14.1f %12.3f\n", "uni_noflt", bytes, 1,
+                r.ns_per_rsr, r.allocs_per_rsr);
+    writer.add("unicast_noflight/" + std::to_string(bytes),
+               {{"pattern", "unicast"},
+                {"payload_bytes", std::to_string(bytes)},
+                {"links", "1"},
+                {"rounds", std::to_string(case_rounds)},
+                {"flight", "0"}},
+               r.ns_per_rsr, r.allocs_per_rsr);
   }
 
   if (!writer.write(out_path)) {

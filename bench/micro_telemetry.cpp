@@ -3,10 +3,12 @@
 // The observability subsystem promises that tracing is runtime-off by
 // default at the cost of a single branch per instrumented site.  These
 // benchmarks quantify that: the same simulated RSR ping-pong is timed with
-// telemetry fully off, with the default configuration (histogram metrics
-// on, tracing off), and with span tracing enabled, plus micro-costs of the
-// tracer primitives themselves.  Compare RsrRoundtrip/tracing_off against
-// RsrRoundtrip/all_off: the acceptance budget is <= 5% overhead.
+// telemetry fully off, with only the always-on flight recorder, with the
+// default configuration (histogram metrics + flight on, tracing off), and
+// with span tracing enabled, plus micro-costs of the tracer primitives
+// themselves.  The acceptance budgets: the default trace-off row
+// (metrics:1/tracing:0/flight:1) within 5% of all-off, and the flight-only
+// row within 10%.
 #include <benchmark/benchmark.h>
 
 #include "gbench_json.hpp"
@@ -19,12 +21,13 @@ namespace {
 
 /// One simulated ping-pong session: 50 request/reply RSR rounds between two
 /// contexts (same workload as micro_core's BM_SimulatedRoundtrip).
-void run_pingpong(bool metrics, bool tracing) {
+void run_pingpong(bool metrics, bool tracing, bool flight) {
   RuntimeOptions opts;
   opts.topology = simnet::Topology::single_partition(2);
   opts.modules = {"local", "mpl"};
   opts.metrics = metrics;
   opts.tracing = tracing;
+  opts.flight = flight;
   Runtime rt(opts);
   rt.run(std::vector<std::function<void(Context&)>>{
       [&](Context& ctx) {
@@ -60,13 +63,15 @@ void run_pingpong(bool metrics, bool tracing) {
 void BM_RsrRoundtrip(benchmark::State& state) {
   const bool metrics = state.range(0) != 0;
   const bool tracing = state.range(1) != 0;
-  for (auto _ : state) run_pingpong(metrics, tracing);
+  const bool flight = state.range(2) != 0;
+  for (auto _ : state) run_pingpong(metrics, tracing, flight);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 50);
 }
 BENCHMARK(BM_RsrRoundtrip)
-    ->Args({0, 0})->ArgNames({"metrics", "tracing"})
-    ->Args({1, 0})
-    ->Args({1, 1})
+    ->Args({0, 0, 0})->ArgNames({"metrics", "tracing", "flight"})
+    ->Args({0, 0, 1})
+    ->Args({1, 0, 1})
+    ->Args({1, 1, 1})
     ->Unit(benchmark::kMillisecond);
 
 /// The hot-path cost when tracing is off: one relaxed atomic load.
@@ -91,6 +96,18 @@ void BM_TracerRecord(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TracerRecord);
+
+/// Cost of one flight-recorder record (lock-free slot write; no mutex).
+void BM_FlightRecord(benchmark::State& state) {
+  telemetry::FlightRecorder fr;
+  telemetry::Event ev{0, 1, 0, telemetry::Phase::Custom, 0, 64, 0};
+  for (auto _ : state) {
+    ev.when += 1;
+    fr.record(ev);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlightRecord);
 
 /// Cost of one histogram add (bucket index + a few integer updates).
 void BM_HistogramAdd(benchmark::State& state) {

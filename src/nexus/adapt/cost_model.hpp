@@ -110,6 +110,16 @@ class CostModel {
   /// Total samples folded in (enquiry/tests).
   std::uint64_t samples() const noexcept { return samples_; }
 
+  /// Enumerate every (method hash, peer) pair with a live entry -- the
+  /// metrics export path uses this to snapshot the model's estimates;
+  /// `fn` receives (method, peer, estimate).
+  template <typename Fn>
+  void for_each(Time now, Fn&& fn) const {
+    for (const auto& [key, entry] : entries_) {
+      fn(key.first, key.second, estimate(key.first, key.second, now));
+    }
+  }
+
  private:
   struct Entry {
     util::DecayingEwma latency;

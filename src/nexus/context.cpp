@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <mutex>
 
 #include "nexus/adapt/adaptive_selector.hpp"
 #include "nexus/adapt/reranker.hpp"
 #include "nexus/runtime.hpp"
+#include "nexus/telemetry/json.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -55,6 +57,7 @@ Context::Context(Runtime& runtime, ContextId id,
       costs_.poll_iteration_overhead, costs_.blocking_check_cost);
   tele_ = &runtime.telemetry();
   cmetrics_ = &tele_->metrics().context(id_);
+  flight_ = tele_->flight(id_);
   engine_->attach_telemetry(*tele_, id_);
   selector_ = std::make_unique<FirstApplicableSelector>();
   // Per-context jitter stream: contexts probing the same dead method must
@@ -141,7 +144,13 @@ void Context::destroy_endpoint(EndpointId id) {
 
 HandlerId Context::register_handler(std::string_view name, Handler fn,
                                     HandlerKind kind) {
-  return handlers_.add(name, std::move(fn), kind);
+  const HandlerId id = handlers_.add(name, std::move(fn), kind);
+  // Intern the telemetry label once at registration: the dispatch path can
+  // then stamp events without ever touching the tracer's label mutex.
+  if (HandlerTable::Entry* e = handlers_.find(id)) {
+    e->trace_label = tele_->tracer().intern(name);
+  }
+  return id;
 }
 
 void Context::bind(Startpoint& sp, const Endpoint& ep) const {
@@ -179,6 +188,58 @@ Context::MethodId Context::intern_method(std::string_view name) {
   const MethodId id = static_cast<MethodId>(method_ids_.size());
   method_ids_.emplace(std::string(name), id);
   return id;
+}
+
+std::string Context::health_json() const {
+  // Interned ids back to names for the export snapshot.
+  std::vector<std::string_view> names(method_ids_.size());
+  for (const auto& [name, mid] : method_ids_) names[mid] = name;
+  std::string out = "{\"context\":" + std::to_string(id_) + ",\"entries\":[";
+  bool first = true;
+  health_.for_each(now(), [&](const HealthTracker::Key& key,
+                              const HealthTracker::Status& s) {
+    if (!first) out += ",";
+    first = false;
+    const std::string_view name =
+        key.first < names.size() ? names[key.first] : std::string_view{};
+    out += "{\"method\":" + telemetry::json_quote(name) +
+           ",\"target\":" + std::to_string(key.second) + ",\"state\":\"" +
+           method_health_name(s.state) +
+           "\",\"failures\":" + std::to_string(s.failures) +
+           ",\"failovers\":" + std::to_string(s.failovers) +
+           ",\"restores\":" + std::to_string(s.restores) + "}";
+  });
+  out += "]}";
+  return out;
+}
+
+std::string Context::cost_model_json() const {
+  std::string out = "{\"context\":" + std::to_string(id_) + ",\"entries\":[";
+  // The model keys methods by method_hash(name); resolve names from this
+  // context's module set (unknown hashes render numerically).
+  std::map<std::uint64_t, std::string_view> names;
+  for (const auto& m : modules_) names.emplace(method_hash(m->name()),
+                                               m->name());
+  bool first = true;
+  cost_model_->for_each(now(), [&](std::uint64_t method, ContextId peer,
+                                   const adapt::CostEstimate& e) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"method\":";
+    auto it = names.find(method);
+    out += it != names.end() ? telemetry::json_quote(it->second)
+                             : std::to_string(method);
+    out += ",\"peer\":" + std::to_string(peer);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"known\":%s,\"latency_ns\":%.1f,\"bandwidth_mb_s\":%.2f,"
+                  "\"confidence\":%.3f}",
+                  e.known ? "true" : "false", e.latency_ns, e.bandwidth_mb_s,
+                  e.latency_confidence);
+    out += buf;
+  });
+  out += "]}";
+  return out;
 }
 
 std::shared_ptr<CommObject> Context::cached_connection(
@@ -297,10 +358,9 @@ void Context::ensure_connection(const Startpoint& sp, Startpoint::Link& link,
         link.conn = cached_connection(d);
         link.selected_method = d.method;
         refresh_link_degradation(link, *idx);
-        if (tele_->tracer().enabled()) {
-          tele_->tracer().record({now(), 0, id_, telemetry::Phase::Select,
-                                  link.conn->module().trace_label(), *idx,
-                                  link.context});
+        if (observing()) {
+          observe({now(), 0, id_, telemetry::Phase::Select,
+                   link.conn->module().trace_label(), *idx, link.context});
         }
         if (!reason.empty()) {
           selection_log_.push_back(SelectionRecord{link.context, d.method,
@@ -353,10 +413,9 @@ void Context::ensure_connection(const Startpoint& sp, Startpoint::Link& link,
   link.conn = cached_connection(d);
   link.selected_method = d.method;
   refresh_link_degradation(link, *idx);
-  if (tele_->tracer().enabled()) {
-    tele_->tracer().record({now(), 0, id_, telemetry::Phase::Select,
-                            link.conn->module().trace_label(), *idx,
-                            link.context});
+  if (observing()) {
+    observe({now(), 0, id_, telemetry::Phase::Select,
+             link.conn->module().trace_label(), *idx, link.context});
   }
   selection_log_.push_back(SelectionRecord{link.context, d.method,
                                            std::move(reason), now()});
@@ -364,7 +423,8 @@ void Context::ensure_connection(const Startpoint& sp, Startpoint::Link& link,
 
 SendResult Context::send_on_link(Startpoint::Link& link, HandlerId h,
                                  const util::SharedBytes& payload,
-                                 telemetry::SpanId span) {
+                                 telemetry::SpanId span,
+                                 std::uint64_t trace) {
   // The Packet is rebuilt per attempt (send() consumes it even on failure);
   // construction is cheap and the payload buffer is aliased, never copied.
   Packet pkt;
@@ -374,6 +434,7 @@ SendResult Context::send_on_link(Startpoint::Link& link, HandlerId h,
   pkt.handler = h;
   pkt.payload = payload;  // aliases the caller's buffer: two atomic ops
   pkt.span = span;
+  pkt.trace = trace;
   if (adapt_enabled_) {
     // Piggyback any pending timing echo for this peer (docs §11): the
     // measurement the peer's model is waiting for rides home for free.
@@ -397,9 +458,9 @@ SendResult Context::send_on_link(Startpoint::Link& link, HandlerId h,
   if (tele_->metrics().enabled() && m.metrics() != nullptr) {
     m.metrics()->send_bytes.add(r.wire);
   }
-  if (tele_->tracer().enabled()) {
-    tele_->tracer().record({now(), span, id_, telemetry::Phase::Send,
-                            m.trace_label(), r.wire, link.context});
+  if (observing()) {
+    observe({now(), span, id_, telemetry::Phase::Send, m.trace_label(),
+             r.wire, link.context, 0, trace});
   }
   if (runtime_->trace().enabled()) {
     runtime_->trace().record({now(), id_, simnet::TraceKind::Send,
@@ -409,15 +470,16 @@ SendResult Context::send_on_link(Startpoint::Link& link, HandlerId h,
 }
 
 void Context::note_send_success(MethodId mid, ContextId target,
-                                std::uint16_t trace_label) {
+                                std::uint16_t trace_label,
+                                telemetry::SpanId span, std::uint64_t trace) {
   const MethodHealth prev = health_.status(mid, target, now()).state;
   if (!health_.on_success(mid, target)) return;
   if (prev == MethodHealth::Dead || prev == MethodHealth::Probation) {
     // A restore probe succeeded: the quarantined method is back in use.
     ++cmetrics_->restores;
-    if (tele_->tracer().enabled()) {
-      tele_->tracer().record({now(), 0, id_, telemetry::Phase::Restore,
-                              trace_label, 0, target});
+    if (observing()) {
+      observe({now(), span, id_, telemetry::Phase::Restore, trace_label, 0,
+               target, 0, trace});
     }
   }
 }
@@ -425,23 +487,29 @@ void Context::note_send_success(MethodId mid, ContextId target,
 HealthTracker::FailAction Context::note_send_failure(MethodId mid,
                                                      ContextId target,
                                                      std::uint16_t trace_label,
-                                                     DeliveryStatus status) {
+                                                     DeliveryStatus status,
+                                                     telemetry::SpanId span,
+                                                     std::uint64_t trace) {
   const MethodHealth prev = health_.status(mid, target, now()).state;
   const HealthTracker::FailAction action = health_.on_failure(
       mid, target, now(), /*hard=*/status == DeliveryStatus::Dead);
   if (prev == MethodHealth::Healthy) {
     ++cmetrics_->suspects;
-    if (tele_->tracer().enabled()) {
-      tele_->tracer().record({now(), 0, id_, telemetry::Phase::Suspect,
-                              trace_label, 0, target});
+    if (observing()) {
+      observe({now(), span, id_, telemetry::Phase::Suspect, trace_label, 0,
+               target, 0, trace});
     }
   }
   if (action == HealthTracker::FailAction::Failover) {
     ++cmetrics_->failovers;
-    if (tele_->tracer().enabled()) {
-      tele_->tracer().record({now(), 0, id_, telemetry::Phase::Failover,
-                              trace_label, 0, target});
+    if (observing()) {
+      observe({now(), span, id_, telemetry::Phase::Failover, trace_label, 0,
+               target, 0, trace});
     }
+    // A quarantine is one of the flight recorder's dump triggers: the
+    // post-mortem should show what led up to the method being declared
+    // dead.  No-op unless a flight dir is configured.
+    tele_->dump_flight("quarantine");
   }
   return action;
 }
@@ -449,7 +517,8 @@ HealthTracker::FailAction Context::note_send_failure(MethodId mid,
 void Context::send_with_failover(Startpoint& sp, Startpoint::Link& link,
                                  HandlerId h,
                                  const util::SharedBytes& payload,
-                                 telemetry::SpanId span) {
+                                 telemetry::SpanId span,
+                                 std::uint64_t trace) {
   // Bounded by the worst case of every table entry walking through its full
   // failure threshold plus a few restore probes; a healthy fabric exits on
   // the first iteration.
@@ -458,11 +527,11 @@ void Context::send_with_failover(Startpoint& sp, Startpoint::Link& link,
   std::uint64_t failures = 0;
   for (;;) {
     ensure_connection(sp, link, payload.size());
-    const SendResult r = send_on_link(link, h, payload, span);
+    const SendResult r = send_on_link(link, h, payload, span, trace);
     if (r.ok()) {
       if (!health_.empty()) {
         note_send_success(intern_method(link.selected_method), link.context,
-                          link.conn->module().trace_label());
+                          link.conn->module().trace_label(), span, trace);
       }
       if (failures > 0 && tele_->metrics().enabled()) {
         cmetrics_->rsr_retries.add(failures);
@@ -472,7 +541,8 @@ void Context::send_with_failover(Startpoint& sp, Startpoint::Link& link,
     ++failures;
     const MethodId mid = intern_method(link.selected_method);
     const HealthTracker::FailAction action = note_send_failure(
-        mid, link.context, link.conn->module().trace_label(), r.status);
+        mid, link.context, link.conn->module().trace_label(), r.status, span,
+        trace);
     if (failures >= max_attempts) {
       throw util::MethodError(
           "rsr to context " + std::to_string(link.context) + " failed " +
@@ -510,12 +580,14 @@ void Context::rsr(Startpoint& sp, HandlerId handler,
   if (rt_mutex_) lock = std::unique_lock<std::recursive_mutex>(*rt_mutex_);
 
   ++rsrs_sent_;
-  // One span per RSR: every link of a multicast shares it, and forwarding
-  // nodes pass it through, so send and dispatch line up across contexts.
-  const telemetry::SpanId span =
-      tele_->tracer().enabled() ? tele_->tracer().next_span() : 0;
+  // One root span and one trace id per RSR: every link of a multicast shares
+  // them, and forwarding nodes allocate child spans under the same trace, so
+  // send and dispatch line up causally across contexts.
+  const bool obs = observing();
+  const telemetry::SpanId span = obs ? next_span() : 0;
+  const std::uint64_t trace = obs ? next_trace() : 0;
   for (auto& link : sp.links_) {
-    send_with_failover(sp, link, handler, payload, span);
+    send_with_failover(sp, link, handler, payload, span, trace);
   }
   // Paper §3.3: the polling function is called at least every time a Nexus
   // operation is performed.
@@ -634,19 +706,18 @@ void Context::deliver(Packet pkt, CommModule* via) {
                                  now() - pkt.sent_at);
     }
   }
-  const bool tracing = tele_->tracer().enabled();
-  std::uint16_t handler_label = 0;
-  if (tracing) {
-    handler_label = tele_->tracer().intern(entry.name);
-    tele_->tracer().record({now(), pkt.span, id_, telemetry::Phase::Dispatch,
-                            handler_label, pkt.payload.size(),
-                            pkt.src});
+  const bool obs = observing();
+  if (obs) {
+    observe({now(), pkt.span, id_, telemetry::Phase::Dispatch,
+             entry.trace_label, pkt.payload.size(), pkt.src, 0, pkt.trace});
   }
   if (runtime_->trace().enabled()) {
     runtime_->trace().record({now(), id_, simnet::TraceKind::Dispatch,
                               entry.name, pkt.payload.size(), ""});
   }
   const telemetry::SpanId span = pkt.span;
+  const std::uint64_t trace = pkt.trace;
+  const std::uint16_t handler_label = entry.trace_label;
   const Time handler_start = now();
   util::UnpackBuffer ub(pkt.payload.span());
   entry.fn(*this, ep, ub);
@@ -654,10 +725,9 @@ void Context::deliver(Packet pkt, CommModule* via) {
   const std::uint64_t handler_ns = static_cast<std::uint64_t>(
       handler_end > handler_start ? handler_end - handler_start : 0);
   if (metrics_on) cmetrics_->handler_ns.add(handler_ns);
-  if (tracing) {
-    tele_->tracer().record({handler_end, span, id_,
-                            telemetry::Phase::HandlerDone, handler_label, 0,
-                            handler_ns});
+  if (obs) {
+    observe({handler_end, span, id_, telemetry::Phase::HandlerDone,
+             handler_label, 0, handler_ns, 0, trace});
   }
 }
 
@@ -672,7 +742,16 @@ void Context::forward(Packet pkt) {
   // Steady-state forwarding resolves the route (selection + connection)
   // once per destination; the cache is invalidated whenever the selection
   // policy or poll configuration changes, and evicted on failover.
-  const telemetry::SpanId span = pkt.span;
+  //
+  // Causal tracing: each forwarding hop is a child span of the span the
+  // packet arrived with, so a stitched trace shows the chain
+  // root -> hop1 -> hop2 -> dispatch.  The packet is restamped with the
+  // child span before re-sending; the trace id rides along unchanged.
+  const telemetry::SpanId parent = pkt.span;
+  const std::uint64_t trace = pkt.trace;
+  const bool obs = observing() && parent != 0;
+  const telemetry::SpanId span = obs ? next_span() : parent;
+  pkt.span = span;
   const ContextId dst = pkt.dst;
   const DescriptorTable& table = runtime_->table_of(dst);
   const std::uint64_t max_attempts =
@@ -704,14 +783,15 @@ void Context::forward(Packet pkt) {
     if (r.ok()) {
       m.counters().bytes_sent += r.wire;
       if (!health_.empty()) {
-        note_send_success(intern_method(m.name()), dst, m.trace_label());
+        note_send_success(intern_method(m.name()), dst, m.trace_label(), span,
+                          trace);
       }
       if (tele_->metrics().enabled() && m.metrics() != nullptr) {
         m.metrics()->send_bytes.add(r.wire);
       }
-      if (tele_->tracer().enabled()) {
-        tele_->tracer().record({now(), span, id_, telemetry::Phase::Forward,
-                                m.trace_label(), r.wire, dst});
+      if (observing()) {
+        observe({now(), span, id_, telemetry::Phase::Forward, m.trace_label(),
+                 r.wire, dst, parent, trace});
       }
       if (runtime_->trace().enabled()) {
         runtime_->trace().record({now(), id_, simnet::TraceKind::Forward,
@@ -722,7 +802,7 @@ void Context::forward(Packet pkt) {
     m.counters().send_errors += 1;
     ++failures;
     const HealthTracker::FailAction action = note_send_failure(
-        intern_method(m.name()), dst, m.trace_label(), r.status);
+        intern_method(m.name()), dst, m.trace_label(), r.status, span, trace);
     if (failures >= max_attempts) {
       throw util::MethodError(
           "forwarder " + std::to_string(id_) + " failed " +
@@ -842,9 +922,9 @@ void Context::probe_method(const CommDescriptor& d) {
   const SendResult r = m->send(*conn, std::move(pkt));
   m->counters().sends += 1;
   ++cmetrics_->adapt_probes;
-  if (tele_->tracer().enabled()) {
-    tele_->tracer().record({now(), 0, id_, telemetry::Phase::AdaptProbe,
-                            m->trace_label(), r.wire, d.context});
+  if (observing()) {
+    observe({now(), 0, id_, telemetry::Phase::AdaptProbe, m->trace_label(),
+             r.wire, d.context});
   }
   if (r.ok()) {
     m->counters().bytes_sent += r.wire;
@@ -878,9 +958,9 @@ bool Context::rerank_link(Startpoint::Link& link) {
   link.selected_method.clear();
   link.degraded = false;
   link.reprobe_at = 0;
-  if (tele_->tracer().enabled()) {
-    tele_->tracer().record({now(), 0, id_, telemetry::Phase::AdaptRerank, 0,
-                            link.table.size(), link.context});
+  if (observing()) {
+    observe({now(), 0, id_, telemetry::Phase::AdaptRerank, 0,
+             link.table.size(), link.context});
   }
   selection_log_.push_back(SelectionRecord{
       link.context, link.table.at(0).method,
@@ -912,9 +992,9 @@ bool Context::rerank(Startpoint& sp) {
 void Context::note_adapt_switch(std::string_view method, ContextId target,
                                 std::string_view payload_class) {
   ++cmetrics_->adapt_switches;
-  if (tele_->tracer().enabled()) {
-    tele_->tracer().record({now(), 0, id_, telemetry::Phase::AdaptSwitch,
-                            tele_->tracer().intern(method), 0, target});
+  if (observing()) {
+    observe({now(), 0, id_, telemetry::Phase::AdaptSwitch,
+             tele_->tracer().intern(method), 0, target});
   }
   selection_log_.push_back(SelectionRecord{
       target, std::string(method),

@@ -199,6 +199,40 @@ class Context {
   std::uint64_t rsrs_sent() const noexcept { return rsrs_sent_; }
   std::uint64_t rsrs_delivered() const noexcept { return rsrs_delivered_; }
 
+  // --- observability (docs/ARCHITECTURE.md §12) ---
+  /// The runtime-owned observability bundle shared by all contexts.
+  telemetry::Telemetry& telemetry() noexcept { return *tele_; }
+  /// True when any event sink is live: the always-on flight recorder or the
+  /// opt-in sampling tracer.  Instrumented sites allocate ids and build
+  /// Event structs only behind this check, so the all-off cost stays one
+  /// relaxed load per sink.
+  bool observing() const noexcept {
+    return (flight_ != nullptr && flight_->enabled()) ||
+           tele_->tracer().enabled();
+  }
+  /// Record one lifecycle event into this context's flight ring (always on)
+  /// and the tracer (when sampling is enabled).
+  void observe(const telemetry::Event& ev) {
+    if (flight_ != nullptr && flight_->enabled()) flight_->record(ev);
+    if (tele_->tracer().enabled()) tele_->tracer().record(ev);
+  }
+  /// Trigger a flight-recorder dump (no-op unless a flight dir is set).
+  void dump_flight(std::string_view reason) { tele_->dump_flight(reason); }
+  /// Allocate a span / trace id for an RSR started (or forwarded) by this
+  /// context.  The context id is folded into the high bits so ids are
+  /// globally unique without touching shared atomic counters on the send
+  /// hot path (contexts are single-writer; see FlightRecorder's contract).
+  telemetry::SpanId next_span() noexcept {
+    return (static_cast<std::uint64_t>(id_) + 1) << 40 | ++span_seq_;
+  }
+  std::uint64_t next_trace() noexcept {
+    return (static_cast<std::uint64_t>(id_) + 1) << 40 | ++trace_seq_;
+  }
+  /// JSON snapshots for the metrics exporter's providers (docs §12.3):
+  /// this context's health-tracker entries and cost-model estimates.
+  std::string health_json() const;
+  std::string cost_model_json() const;
+
   // --- runtime wiring (called by Runtime during construction) ---
   void add_module(std::unique_ptr<CommModule> m);
   void finalize_modules();
@@ -227,12 +261,12 @@ class Context {
   MethodId intern_method(std::string_view name);
   SendResult send_on_link(Startpoint::Link& link, HandlerId h,
                           const util::SharedBytes& payload,
-                          telemetry::SpanId span);
+                          telemetry::SpanId span, std::uint64_t trace);
   /// The failover loop around one link's send: feed outcomes to the health
   /// tracker, retry transient failures, evict + re-select dead methods.
   void send_with_failover(Startpoint& sp, Startpoint::Link& link, HandlerId h,
                           const util::SharedBytes& payload,
-                          telemetry::SpanId span);
+                          telemetry::SpanId span, std::uint64_t trace);
   /// Drop a link's cached connection (and every cache entry sharing it) so
   /// the next attempt re-runs selection.
   void evict_connection(Startpoint::Link& link);
@@ -245,9 +279,12 @@ class Context {
   /// Returns the action to take; updates telemetry counters and traces.
   HealthTracker::FailAction note_send_failure(MethodId mid, ContextId target,
                                               std::uint16_t trace_label,
-                                              DeliveryStatus status);
+                                              DeliveryStatus status,
+                                              telemetry::SpanId span = 0,
+                                              std::uint64_t trace = 0);
   void note_send_success(MethodId mid, ContextId target,
-                         std::uint16_t trace_label);
+                         std::uint16_t trace_label,
+                         telemetry::SpanId span = 0, std::uint64_t trace = 0);
 
   Runtime* runtime_;
   ContextId id_;
@@ -283,10 +320,15 @@ class Context {
 
   std::uint64_t rsrs_sent_ = 0;
   std::uint64_t rsrs_delivered_ = 0;
+  std::uint64_t span_seq_ = 0;   ///< low bits of next_span() (single-writer)
+  std::uint64_t trace_seq_ = 0;  ///< low bits of next_trace()
 
   // Runtime-owned observability bundle (never null after construction).
   telemetry::Telemetry* tele_ = nullptr;
   telemetry::ContextMetrics* cmetrics_ = nullptr;
+  /// This context's always-on flight recorder (may be null when the
+  /// runtime disabled flights).
+  telemetry::FlightRecorder* flight_ = nullptr;
 
   // Realtime blocking pollers: one thread per method handed off.
   struct BlockingPoller;

@@ -44,10 +44,18 @@ class HandlerTable {
     std::string name;
     Handler fn;
     HandlerKind kind;
+    /// Interned telemetry label, cached at registration so the dispatch
+    /// path never touches the tracer's label table.
+    std::uint16_t trace_label = 0;
   };
 
   /// Lookup by wire id; throws UsageError for unknown ids.
   const Entry& lookup(HandlerId id) const;
+  /// Mutable lookup for registration-time wiring (telemetry labels).
+  Entry* find(HandlerId id) {
+    auto it = handlers_.find(id);
+    return it == handlers_.end() ? nullptr : &it->second;
+  }
 
   static HandlerId id_of(std::string_view name) {
     return util::fnv1a(name);

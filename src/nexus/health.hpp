@@ -111,6 +111,22 @@ class HealthTracker {
     return entries_.find(Key{method, target}) != entries_.end();
   }
 
+  /// Enumerate every tracked (method, target) entry -- the metrics export
+  /// path uses this to snapshot health states; `fn` receives (key, status)
+  /// with Probation derived exactly like status().
+  template <typename Fn>
+  void for_each(Time now, Fn&& fn) const {
+    for (const auto& [key, entry] : entries_) {
+      Status s = entry;
+      if (s.state == MethodHealth::Dead && now >= s.retry_at) {
+        s.state = MethodHealth::Probation;
+      }
+      fn(key, s);
+    }
+  }
+
+  std::size_t tracked_count() const noexcept { return entries_.size(); }
+
   /// Record a failed send.  `hard` marks a dead verdict (quarantine
   /// immediately); transient failures count toward the threshold first.
   FailAction on_failure(std::uint32_t method, std::uint32_t target, Time now,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "nexus/telemetry/export.hpp"
 #include "nexus/telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
@@ -11,6 +12,7 @@ namespace nexus {
 void PollingEngine::attach_telemetry(telemetry::Telemetry& tele,
                                      std::uint32_t context_id) {
   tracer_ = &tele.tracer();
+  flight_ = tele.flight(context_id);
   metrics_ = &tele.metrics();
   cmetrics_ = &tele.metrics().context(context_id);
   context_id_ = context_id;
@@ -113,6 +115,7 @@ bool PollingEngine::poll_once() {
   // for the entries still to be visited.
   const std::uint64_t iter = ++iteration_;
   clock_->advance(per_iteration_overhead_);
+  if (exporter_ != nullptr) exporter_->maybe_sample(clock_->now());
   const bool metrics_on = cmetrics_ != nullptr && metrics_->enabled();
   if (metrics_on) {
     // Sampled poll cadence: one clock read per kPollSampleEvery iterations,
@@ -152,10 +155,15 @@ bool PollingEngine::poll_once() {
       e.module->counters().poll_hits += 1;
       e.module->counters().recvs += 1;
       e.module->counters().bytes_received += pkt->wire_size();
+      // PollHit is transport detail, sampled only when span tracing is on
+      // (the always-on flight path keeps to the causal/failure events).
       if (drained == 1 && tracer_ != nullptr && tracer_->enabled()) {
-        tracer_->record({clock_->now(), pkt->span, context_id_,
-                         telemetry::Phase::PollHit, e.module->trace_label(),
-                         pkt->wire_size(), 0});
+        const telemetry::Event ev{clock_->now(), pkt->span, context_id_,
+                                  telemetry::Phase::PollHit,
+                                  e.module->trace_label(), pkt->wire_size(),
+                                  0, 0, pkt->trace};
+        if (flight_ != nullptr && flight_->enabled()) flight_->record(ev);
+        tracer_->record(ev);
       }
       if (metrics_on && e.module->metrics() != nullptr) {
         e.module->metrics()->recv_bytes.add(pkt->wire_size());

@@ -30,7 +30,9 @@ namespace nexus {
 namespace telemetry {
 class Telemetry;
 class Tracer;
+class FlightRecorder;
 class MetricsRegistry;
+class MetricsExporter;
 struct ContextMetrics;
 }
 
@@ -55,6 +57,12 @@ class PollingEngine {
   /// context at construction).  When attached, poll_once samples the poll
   /// cadence into the context's metrics and records poll-hit trace events.
   void attach_telemetry(telemetry::Telemetry& tele, std::uint32_t context_id);
+
+  /// Attach a metrics exporter: poll_once gives it a chance to take a
+  /// periodic snapshot (one relaxed atomic load when no sample is due).
+  void set_exporter(telemetry::MetricsExporter* exporter) {
+    exporter_ = exporter;
+  }
 
   /// Per-method skip_poll control.
   void set_skip(std::string_view method, std::uint64_t skip);
@@ -149,8 +157,10 @@ class PollingEngine {
   // the windowed mean over kPollSampleEvery iterations so the per-poll
   // overhead stays at one counter increment when metrics are on.
   telemetry::Tracer* tracer_ = nullptr;
+  telemetry::FlightRecorder* flight_ = nullptr;
   telemetry::MetricsRegistry* metrics_ = nullptr;
   telemetry::ContextMetrics* cmetrics_ = nullptr;
+  telemetry::MetricsExporter* exporter_ = nullptr;
   std::uint32_t context_id_ = 0;
   std::uint64_t poll_sample_countdown_ = 0;
   Time last_sample_time_ = 0;

@@ -1,14 +1,28 @@
 #include "nexus/runtime.hpp"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <thread>
 
+#include "nexus/telemetry/export.hpp"
+#include "nexus/telemetry/stitch.hpp"
 #include "proto/register.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
 namespace nexus {
+
+namespace {
+/// Boolean-ish environment switch (NEXUS_TRACE); nullopt when unrecognized.
+std::optional<bool> parse_env_switch(std::string_view v) {
+  if (v == "1" || v == "on" || v == "true" || v == "yes") return true;
+  if (v == "0" || v == "off" || v == "false" || v == "no") return false;
+  return std::nullopt;
+}
+}  // namespace
 
 Runtime::Runtime(RuntimeOptions opts) : opts_(std::move(opts)) {
   if (opts_.topology.size() == 0) {
@@ -30,9 +44,72 @@ Runtime::Runtime(RuntimeOptions opts) : opts_(std::move(opts)) {
     rt_ = std::make_unique<RtFabric>(opts_.topology);
     opts_.costs = SimCostParams::realtime(opts_.costs);
   }
+  // Environment overrides, mirroring NEXUS_LOG in util/log.cpp: NEXUS_TRACE
+  // toggles span tracing, NEXUS_FLIGHT_DIR arms flight dumping.  Options
+  // set explicitly in code win for the flight dir (the env var only fills
+  // an empty field); NEXUS_TRACE deliberately overrides options so a failing
+  // run can be re-executed with tracing without a rebuild.
+  if (const char* env = std::getenv("NEXUS_TRACE")) {
+    if (auto on = parse_env_switch(env)) {
+      opts_.tracing = *on;
+    } else {
+      std::fprintf(stderr,
+                   "[WARN ] nexus: unrecognized NEXUS_TRACE value '%s' "
+                   "(expected 1/0/on/off/true/false/yes/no)\n",
+                   env);
+    }
+  }
+  if (opts_.flight_dir.empty()) {
+    if (const char* env = std::getenv("NEXUS_FLIGHT_DIR")) {
+      opts_.flight_dir = env;
+    }
+  }
   telemetry_.tracer().set_capacity(opts_.trace_capacity);
   telemetry_.tracer().enable(opts_.tracing);
   telemetry_.metrics().enable(opts_.metrics);
+  telemetry_.init_flights(static_cast<std::uint32_t>(world_size()),
+                          opts_.flight_capacity, opts_.flight);
+  telemetry_.set_flight_dir(opts_.flight_dir);
+
+  telemetry::MetricsExporter::Options eopts;
+  eopts.jsonl_path = opts_.export_jsonl;
+  eopts.prom_path = opts_.export_prom;
+  eopts.interval = opts_.export_interval;
+  if (auto v = opts_.db.get("export.jsonl")) eopts.jsonl_path = *v;
+  if (auto v = opts_.db.get("export.prom")) eopts.prom_path = *v;
+  if (auto v = opts_.db.get("export.interval_ms")) {
+    eopts.interval =
+        static_cast<Time>(std::strtoull(v->c_str(), nullptr, 10)) *
+        simnet::kMs;
+  }
+  if (!eopts.jsonl_path.empty() || !eopts.prom_path.empty()) {
+    exporter_ =
+        std::make_unique<telemetry::MetricsExporter>(&telemetry_, eopts);
+    // Providers snapshot live per-context state; on the realtime fabric
+    // these reads are unsynchronized best-effort views, same as describe().
+    exporter_->add_provider("health", [this] {
+      std::string out = "[";
+      bool first = true;
+      for (const auto& c : contexts_) {
+        if (!c) continue;
+        if (!first) out += ",";
+        first = false;
+        out += c->health_json();
+      }
+      return out += "]";
+    });
+    exporter_->add_provider("cost_model", [this] {
+      std::string out = "[";
+      bool first = true;
+      for (const auto& c : contexts_) {
+        if (!c) continue;
+        if (!first) out += ",";
+        first = false;
+        out += c->cost_model_json();
+      }
+      return out += "]";
+    });
+  }
   rt_epoch_ = std::chrono::steady_clock::now();
   proto::register_builtin_modules(registry_);
 }
@@ -74,6 +151,15 @@ void Runtime::write_chrome_trace(const std::string& path) const {
     throw util::UsageError("write_chrome_trace: cannot open '" + path + "'");
   }
   out << telemetry_.tracer().chrome_json();
+}
+
+void Runtime::write_stitched_trace(const std::string& path) const {
+  telemetry::TraceStitcher stitcher;
+  stitcher.add_tracer(telemetry_.tracer());
+  if (!stitcher.write(path)) {
+    throw util::UsageError("write_stitched_trace: cannot open '" + path +
+                           "'");
+  }
 }
 
 std::string Runtime::describe() const {
@@ -164,6 +250,12 @@ void Runtime::build_contexts() {
       ctx.set_poll_enabled("tcp", false);
     }
   }
+  if (exporter_ != nullptr && exporter_->active()) {
+    // Every polling loop offers to sample; the exporter's CAS elects one.
+    for (auto& c : contexts_) {
+      c->polling_engine().set_exporter(exporter_.get());
+    }
+  }
 }
 
 void Runtime::run(std::function<void(Context&)> fn) {
@@ -195,7 +287,18 @@ void Runtime::run(std::vector<std::function<void(Context&)>> fns) {
       sim_->add_host(std::move(host));
     }
     build_contexts();
-    sim_->scheduler().run();
+    try {
+      sim_->scheduler().run();
+    } catch (...) {
+      // Preserve the last moments of every context before unwinding: the
+      // flight dump is the post-mortem for whatever threw.
+      telemetry_.dump_flight("unhandled-fault");
+      throw;
+    }
+    if (exporter_ != nullptr && exporter_->active()) {
+      // Final snapshot so short runs export at least one sample.
+      exporter_->sample(contexts_[0]->now());
+    }
     return;
   }
 
@@ -218,7 +321,13 @@ void Runtime::run(std::vector<std::function<void(Context&)>> fns) {
   }
   for (auto& t : threads) t.join();
   for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+    if (e) {
+      telemetry_.dump_flight("unhandled-fault");
+      std::rethrow_exception(e);
+    }
+  }
+  if (exporter_ != nullptr && exporter_->active()) {
+    exporter_->sample(contexts_[0]->now());
   }
 }
 

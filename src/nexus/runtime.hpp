@@ -31,6 +31,10 @@
 
 namespace nexus {
 
+namespace telemetry {
+class MetricsExporter;
+}
+
 struct RuntimeOptions {
   enum class Fabric { Simulated, Realtime };
 
@@ -76,6 +80,24 @@ struct RuntimeOptions {
   /// `adapt.enabled` database key or by installing a payload-aware
   /// selector (adapt::AdaptiveSelector).
   bool adaptive = false;
+  /// Always-on flight recorder (docs/ARCHITECTURE.md §12): a small
+  /// lock-free ring of recent trace events per context, dumped for
+  /// post-mortem when a reliability dead latch, a quarantine, or an
+  /// unhandled fault fires.
+  bool flight = true;
+  /// Per-context flight ring capacity (events; oldest overwritten).
+  std::size_t flight_capacity = telemetry::FlightRecorder::kDefaultCapacity;
+  /// Directory flight dumps are written to (NEXUS_FLIGHT_DIR fills this
+  /// when unset).  Empty disables dumping; recording still runs.
+  std::string flight_dir;
+  /// Metrics export sinks (docs/ARCHITECTURE.md §12.3): a JSON-lines time
+  /// series and/or a Prometheus text file, sampled from the polling loops
+  /// every export_interval ns of context time.  Also settable via the
+  /// database keys export.jsonl / export.prom / export.interval_ms.  Both
+  /// empty = no exporter and zero data-path cost.
+  std::string export_jsonl;
+  std::string export_prom;
+  Time export_interval = 100 * simnet::kMs;
 };
 
 class Runtime {
@@ -117,6 +139,11 @@ class Runtime {
   const telemetry::Telemetry& telemetry() const noexcept { return telemetry_; }
   /// Write the tracer's Chrome about://tracing JSON to `path`.
   void write_chrome_trace(const std::string& path) const;
+  /// Write the causally-stitched Chrome trace: tracer events run through
+  /// the TraceStitcher so parent/child span links are resolved per trace.
+  void write_stitched_trace(const std::string& path) const;
+  /// The metrics exporter, when export sinks are configured (else null).
+  telemetry::MetricsExporter* exporter() noexcept { return exporter_.get(); }
 
   /// Access to a context (valid during and after run(), until destruction).
   Context& context(ContextId id);
@@ -139,6 +166,7 @@ class Runtime {
   // Declared before contexts_: modules keep pointers into the registry, so
   // the bundle must outlive every context.
   telemetry::Telemetry telemetry_;
+  std::unique_ptr<telemetry::MetricsExporter> exporter_;
   // Realtime fabric: one shared epoch for all context clocks, so timestamps
   // (and hence cross-context one-way latencies) are comparable.
   std::chrono::steady_clock::time_point rt_epoch_;

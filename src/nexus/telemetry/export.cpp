@@ -1,0 +1,61 @@
+#include "nexus/telemetry/export.hpp"
+
+#include "nexus/telemetry/json.hpp"
+#include "util/log.hpp"
+
+namespace nexus::telemetry {
+
+MetricsExporter::MetricsExporter(Telemetry* tele, Options opts)
+    : tele_(tele), opts_(std::move(opts)) {
+  if (opts_.interval <= 0) opts_.interval = 1;
+  if (!opts_.jsonl_path.empty()) {
+    jsonl_ = std::fopen(opts_.jsonl_path.c_str(), "w");
+    if (jsonl_ == nullptr) {
+      util::log_warn("telemetry", "metrics export: cannot open ",
+                     opts_.jsonl_path);
+    }
+  }
+  active_ = jsonl_ != nullptr || !opts_.prom_path.empty();
+}
+
+MetricsExporter::~MetricsExporter() {
+  if (jsonl_ != nullptr) std::fclose(jsonl_);
+}
+
+void MetricsExporter::add_provider(std::string key, Provider p) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  providers_.emplace_back(std::move(key), std::move(p));
+}
+
+void MetricsExporter::sample(Time now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.fetch_add(1, std::memory_order_relaxed);
+
+  if (jsonl_ != nullptr) {
+    std::string line = "{\"t\":" + std::to_string(now) +
+                       ",\"trace_recorded\":" +
+                       std::to_string(tele_->tracer().recorded()) +
+                       ",\"trace_dropped\":" +
+                       std::to_string(tele_->tracer().dropped()) +
+                       ",\"metrics\":" + tele_->metrics().to_json();
+    for (const auto& [key, provider] : providers_) {
+      line += "," + json_quote(key) + ":" + provider();
+    }
+    line += "}\n";
+    std::fwrite(line.data(), 1, line.size(), jsonl_);
+    std::fflush(jsonl_);
+  }
+
+  if (!opts_.prom_path.empty()) {
+    if (std::FILE* f = std::fopen(opts_.prom_path.c_str(), "w")) {
+      const std::string doc = tele_->metrics().to_prometheus();
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fclose(f);
+    } else {
+      util::log_warn("telemetry", "metrics export: cannot open ",
+                     opts_.prom_path);
+    }
+  }
+}
+
+}  // namespace nexus::telemetry

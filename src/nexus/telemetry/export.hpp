@@ -1,0 +1,85 @@
+// Periodic metrics export: time-series snapshots of the MetricsRegistry.
+//
+// Two sinks, both optional: a JSON-lines file that appends one snapshot
+// object per sampling interval (the graphable time series), and a
+// Prometheus text-exposition file rewritten in place each interval (the
+// scrapable current state).  Snapshots also carry tracer ring counters
+// (trace_recorded / trace_dropped) and whatever extra providers the
+// runtime registers -- health-tracker states and adaptive cost-model
+// estimates -- so selection behavior over time is visible without a
+// debugger.
+//
+// The polling engines drive sampling from their poll loop: maybe_sample()
+// is one relaxed load and a compare when it is not yet due, and contexts
+// race for the sampling duty with a CAS so exactly one of them pays for
+// the snapshot.  When no sink is configured the runtime never attaches an
+// exporter, so the data path pays nothing at all.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nexus/telemetry/telemetry.hpp"
+
+namespace nexus::telemetry {
+
+class MetricsExporter {
+ public:
+  struct Options {
+    std::string jsonl_path;  ///< JSON-lines time series; empty disables
+    std::string prom_path;   ///< Prometheus text file; empty disables
+    Time interval = 0;       ///< context-clock ns between samples
+  };
+
+  /// Extra per-sample data: returns a complete JSON value (object/array)
+  /// embedded into each snapshot line under its key.
+  using Provider = std::function<std::string()>;
+
+  MetricsExporter(Telemetry* tele, Options opts);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  bool active() const noexcept { return active_; }
+
+  void add_provider(std::string key, Provider p);
+
+  /// Hot-path gate: returns immediately unless the interval elapsed, and
+  /// elects exactly one caller (CAS) to take the sample.
+  void maybe_sample(Time now) {
+    if (!active_) return;
+    Time due = next_due_.load(std::memory_order_relaxed);
+    if (now < due) return;
+    if (!next_due_.compare_exchange_strong(due, now + opts_.interval,
+                                           std::memory_order_relaxed)) {
+      return;
+    }
+    sample(now);
+  }
+
+  /// Take one snapshot unconditionally (also used for the final sample at
+  /// shutdown so short runs export at least one line).
+  void sample(Time now);
+
+  std::uint64_t samples_taken() const noexcept {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Telemetry* tele_;
+  Options opts_;
+  bool active_ = false;
+  std::atomic<Time> next_due_{0};
+  std::atomic<std::uint64_t> samples_{0};
+  std::mutex mutex_;  // serializes file writes and guards providers_
+  std::vector<std::pair<std::string, Provider>> providers_;
+  std::FILE* jsonl_ = nullptr;
+};
+
+}  // namespace nexus::telemetry

@@ -1,0 +1,96 @@
+// Always-on flight recorder: the last N trace events per context.
+//
+// The Tracer is an opt-in sampling facility -- off by default because its
+// record path takes a mutex.  The flight recorder is the opposite trade:
+// it is ON by default, holds only a small bounded window of recent events,
+// and its record path is lock-free (one relaxed load, one struct copy, one
+// release store).  Its purpose is post-mortem: when a reliability dead
+// latch, a health-tracker quarantine, or an unhandled fault fires, the
+// runtime dumps every context's ring to NEXUS_FLIGHT_DIR, turning "assert
+// failed at seed 137" into a replayable record of the last moments of
+// every RSR in flight.
+//
+// Concurrency contract: each ring has exactly ONE writer -- the owning
+// context's execution (simulated contexts are serialized by the scheduler;
+// realtime contexts record under their own context lock).  Readers
+// (events(), taken at dump time) run either on the owning thread or after
+// the run has stopped, so the acquire/release pair on head_ is sufficient.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "nexus/telemetry/tracer.hpp"
+
+namespace nexus::telemetry {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  /// Capacity is rounded up to a power of two (minimum 8) so the record
+  /// path indexes with a mask instead of a 64-bit division.
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity)
+      : ring_(round_up_pow2(capacity < 8 ? 8 : capacity)),
+        mask_(ring_.size() - 1) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The one hot-path check; instrumented sites do nothing else when off.
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void enable(bool on = true) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const noexcept { return ring_.size(); }
+
+  /// Single-writer append: overwrite the oldest slot on wrap.
+  void record(const Event& ev) noexcept {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    ring_[h & mask_] = ev;
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  /// Total events ever recorded (including overwritten ones).
+  std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+  /// Events lost to ring wrap-around.
+  std::uint64_t dropped() const noexcept {
+    const std::uint64_t h = recorded();
+    return h > ring_.size() ? h - ring_.size() : 0;
+  }
+
+  /// Snapshot of retained events, oldest first.
+  std::vector<Event> events() const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::size_t cap = ring_.size();
+    const std::uint64_t n = h < cap ? h : cap;
+    std::vector<Event> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      out.push_back(ring_[i & mask_]);
+    }
+    return out;
+  }
+
+  void clear() noexcept { head_.store(0, std::memory_order_release); }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t v) noexcept {
+    std::size_t p = 8;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  std::vector<Event> ring_;
+  std::uint64_t mask_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace nexus::telemetry

@@ -85,7 +85,9 @@ std::string hist_summary(std::string_view name, const Histogram& h) {
   out += ": n=" + std::to_string(h.count()) +
          " mean=" + util::fmt_fixed(h.mean(), 1) +
          " p50=" + util::fmt_fixed(h.percentile(50), 1) +
+         " p90=" + util::fmt_fixed(h.percentile(90), 1) +
          " p99=" + util::fmt_fixed(h.percentile(99), 1) +
+         " p999=" + util::fmt_fixed(h.percentile(99.9), 1) +
          " min=" + std::to_string(h.min()) +
          " max=" + std::to_string(h.max()) + "\n";
   return out;
@@ -219,6 +221,108 @@ std::string MetricsRegistry::to_json() const {
            ",\"window_occupancy\":" + hist_json(mm.window_occupancy) + "}";
   }
   out += "]}";
+  return out;
+}
+
+namespace {
+
+/// One Prometheus histogram family member: cumulative buckets keyed by each
+/// occupied log2 bucket's inclusive upper bound, then the mandatory +Inf
+/// bucket, _sum, and _count.  `labels` is the rendered label set without
+/// braces, e.g. `context="0",method="tcp"`.
+void prom_histogram(std::string& out, std::string_view family,
+                    const std::string& labels, const Histogram& h) {
+  std::uint64_t cum = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    if (h.bucket_count(i) == 0) continue;
+    cum += h.bucket_count(i);
+    out += std::string(family) + "_bucket{" + labels +
+           ",le=\"" + std::to_string(Histogram::bucket_ceil(i)) + "\"} " +
+           std::to_string(cum) + "\n";
+  }
+  out += std::string(family) + "_bucket{" + labels + ",le=\"+Inf\"} " +
+         std::to_string(h.count()) + "\n";
+  out += std::string(family) + "_sum{" + labels + "} " +
+         std::to_string(h.sum()) + "\n";
+  out += std::string(family) + "_count{" + labels + "} " +
+         std::to_string(h.count()) + "\n";
+}
+
+void prom_counter(std::string& out, std::string_view family,
+                  const std::string& labels, std::uint64_t v) {
+  out += std::string(family) + "{" + labels + "} " + std::to_string(v) + "\n";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  const Snapshot snap = snapshot();
+  std::string out;
+
+  static constexpr const char* kCtxHists[] = {
+      "nexus_rsr_oneway_ns", "nexus_handler_ns", "nexus_poll_interval_ns",
+      "nexus_poll_batch", "nexus_rsr_retries"};
+  for (const char* f : kCtxHists) {
+    out += std::string("# TYPE ") + f + " histogram\n";
+  }
+  static constexpr const char* kCtxCounters[] = {
+      "nexus_failovers_total", "nexus_suspects_total", "nexus_restores_total",
+      "nexus_adapt_switches_total", "nexus_adapt_reranks_total",
+      "nexus_adapt_probes_total"};
+  for (const char* f : kCtxCounters) {
+    out += std::string("# TYPE ") + f + " counter\n";
+  }
+  for (const auto& [id, cm] : snap.contexts) {
+    const std::string labels = "context=\"" + std::to_string(id) + "\"";
+    prom_histogram(out, "nexus_rsr_oneway_ns", labels, cm.rsr_oneway_ns);
+    prom_histogram(out, "nexus_handler_ns", labels, cm.handler_ns);
+    prom_histogram(out, "nexus_poll_interval_ns", labels,
+                   cm.poll_interval_ns);
+    prom_histogram(out, "nexus_poll_batch", labels, cm.poll_batch);
+    prom_histogram(out, "nexus_rsr_retries", labels, cm.rsr_retries);
+    prom_counter(out, "nexus_failovers_total", labels, cm.failovers);
+    prom_counter(out, "nexus_suspects_total", labels, cm.suspects);
+    prom_counter(out, "nexus_restores_total", labels, cm.restores);
+    prom_counter(out, "nexus_adapt_switches_total", labels,
+                 cm.adapt_switches);
+    prom_counter(out, "nexus_adapt_reranks_total", labels, cm.adapt_reranks);
+    prom_counter(out, "nexus_adapt_probes_total", labels, cm.adapt_probes);
+  }
+
+  static constexpr const char* kMethodCounters[] = {
+      "nexus_sends_total", "nexus_recvs_total", "nexus_bytes_sent_total",
+      "nexus_bytes_received_total", "nexus_polls_total",
+      "nexus_poll_hits_total", "nexus_send_errors_total",
+      "nexus_recv_corrupt_total", "nexus_rel_retransmits_total",
+      "nexus_rel_dup_drops_total"};
+  for (const char* f : kMethodCounters) {
+    out += std::string("# TYPE ") + f + " counter\n";
+  }
+  out += "# TYPE nexus_send_bytes histogram\n";
+  out += "# TYPE nexus_recv_bytes histogram\n";
+  out += "# TYPE nexus_window_occupancy histogram\n";
+  for (const auto& [key, mm] : snap.methods) {
+    const std::string labels = "context=\"" + std::to_string(key.first) +
+                               "\",method=\"" + json_escape(key.second) +
+                               "\"";
+    const util::MethodCounters& c = mm.counters;
+    prom_counter(out, "nexus_sends_total", labels, c.sends);
+    prom_counter(out, "nexus_recvs_total", labels, c.recvs);
+    prom_counter(out, "nexus_bytes_sent_total", labels, c.bytes_sent);
+    prom_counter(out, "nexus_bytes_received_total", labels,
+                 c.bytes_received);
+    prom_counter(out, "nexus_polls_total", labels, c.polls);
+    prom_counter(out, "nexus_poll_hits_total", labels, c.poll_hits);
+    prom_counter(out, "nexus_send_errors_total", labels, c.send_errors);
+    prom_counter(out, "nexus_recv_corrupt_total", labels, c.recv_corrupt);
+    prom_counter(out, "nexus_rel_retransmits_total", labels,
+                 c.rel_retransmits);
+    prom_counter(out, "nexus_rel_dup_drops_total", labels, c.rel_dup_drops);
+    prom_histogram(out, "nexus_send_bytes", labels, mm.send_bytes);
+    prom_histogram(out, "nexus_recv_bytes", labels, mm.recv_bytes);
+    prom_histogram(out, "nexus_window_occupancy", labels,
+                   mm.window_occupancy);
+  }
   return out;
 }
 

@@ -145,10 +145,16 @@ class MetricsRegistry {
   };
   Snapshot snapshot() const;
 
-  /// Human-readable dump of every metric (counters + histogram summaries).
+  /// Human-readable dump of every metric (counters + histogram summaries
+  /// with p50/p90/p99/p999 columns).
   std::string to_text() const;
   /// Machine-readable dump (one JSON object; histograms as bucket arrays).
   std::string to_json() const;
+  /// Prometheus text exposition format (0.0.4): counters as *_total with
+  /// context/method labels, histograms as cumulative *_bucket/_sum/_count
+  /// series built from the log2 buckets.  Empty histograms still emit their
+  /// +Inf bucket so scrape targets stay well-formed from the first sample.
+  std::string to_prometheus() const;
 
  private:
   std::atomic<bool> enabled_{true};

@@ -1,0 +1,71 @@
+// Trace stitcher: merge per-context / per-process trace dumps into one
+// causally-linked Chrome trace.
+//
+// Inside a single Runtime the Tracer is already shared, but flight-recorder
+// dumps are written per incident and a metacomputation may span several
+// runtimes (or several chaos-seed processes).  The stitcher ingests events
+// from any mix of live tracers and flight-dump JSONL files, reconstructs
+// the span tree of every trace id (parent links come from Forward events),
+// and emits a single Chrome about://tracing JSON in which each context is a
+// process row, each span an async begin/end pair, and flow arrows follow
+// each RSR across every hop, retry, and retransmit.
+//
+// The span-tree introspection API (traces() / spans()) is what the
+// propagation tests assert against; chrome_json() / write() produce the
+// human-facing artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nexus/telemetry/tracer.hpp"
+
+namespace nexus::telemetry {
+
+/// One reconstructed span: a segment of an RSR's journey owned by the
+/// context that opened it (the startpoint for the root, a forwarding node
+/// for each relay segment).
+struct SpanNode {
+  SpanId id = 0;
+  SpanId parent = 0;        ///< 0 for the root span of its trace
+  std::uint64_t trace = 0;
+  std::uint32_t context = 0;  ///< context that opened the span
+  Time start = 0;
+  Time end = 0;
+  std::size_t events = 0;   ///< events observed carrying this span
+};
+
+/// Reverse of phase_name(); returns Phase::Custom for unknown names.
+Phase phase_from_name(std::string_view name) noexcept;
+
+class TraceStitcher {
+ public:
+  /// Ingest raw events; `labels` maps interned label ids to names (may be
+  /// shorter than the largest id -- unknown ids render as "?").
+  void add_events(const std::vector<Event>& evs,
+                  const std::vector<std::string>& labels);
+  /// Ingest a live tracer's retained events.
+  void add_tracer(const Tracer& tracer);
+  /// Parse one flight-recorder JSONL dump (telemetry.cpp format).  Returns
+  /// false when the file cannot be opened; unparseable lines are skipped.
+  bool add_flight_dump(const std::string& path);
+
+  std::size_t event_count() const noexcept { return events_.size(); }
+
+  /// Distinct nonzero trace ids seen, ascending.
+  std::vector<std::uint64_t> traces() const;
+  /// The span tree of one trace: every distinct span id, with parent links
+  /// recovered from Forward events.  Root first, then by first appearance.
+  std::vector<SpanNode> spans(std::uint64_t trace) const;
+
+  /// Merged Chrome trace over everything ingested, time-sorted.
+  std::string chrome_json() const;
+  bool write(const std::string& path) const;
+
+ private:
+  std::vector<Event> events_;
+  std::vector<std::string> names_;  ///< resolved label name per event
+};
+
+}  // namespace nexus::telemetry

@@ -1,0 +1,88 @@
+#include "nexus/telemetry/telemetry.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "nexus/telemetry/json.hpp"
+#include "util/log.hpp"
+
+namespace nexus::telemetry {
+
+namespace {
+/// Process-wide dump counter so two runtimes in one test binary (or two
+/// chaos seeds run back to back in one process) never clobber each other's
+/// post-mortems.
+std::atomic<std::uint64_t> g_dump_serial{0};
+
+std::string sanitize(std::string_view reason) {
+  std::string out;
+  out.reserve(reason.size());
+  for (char c : reason) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(ok ? c : '-');
+  }
+  return out.empty() ? std::string("unknown") : out;
+}
+}  // namespace
+
+void Telemetry::init_flights(std::uint32_t world, std::size_t capacity,
+                             bool enabled) {
+  flights_.clear();
+  flights_.reserve(world);
+  for (std::uint32_t i = 0; i < world; ++i) {
+    auto fr = std::make_unique<FlightRecorder>(capacity);
+    fr->enable(enabled);
+    flights_.push_back(std::move(fr));
+  }
+}
+
+std::string Telemetry::dump_flight(std::string_view reason) {
+  if (flight_dir_.empty() || flights_.empty()) return "";
+  std::lock_guard<std::mutex> lock(dump_mutex_);
+  if (!dumped_reasons_.emplace(reason).second) return "";
+
+  const std::uint64_t serial =
+      g_dump_serial.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = flight_dir_ + "/flight-" + std::to_string(serial) +
+                           "-" + sanitize(reason) + ".jsonl";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    util::log_warn("telemetry", "flight dump failed: cannot open ", path);
+    return "";
+  }
+
+  std::uint64_t total = 0;
+  std::uint64_t lost = 0;
+  for (const auto& fr : flights_) {
+    total += fr->recorded();
+    lost += fr->dropped();
+  }
+  std::string meta = "{\"flight\":true,\"reason\":" + json_quote(reason) +
+                     ",\"contexts\":" + std::to_string(flights_.size()) +
+                     ",\"recorded\":" + std::to_string(total) +
+                     ",\"dropped\":" + std::to_string(lost) + "}\n";
+  std::fwrite(meta.data(), 1, meta.size(), f);
+
+  for (std::size_t ctx = 0; ctx < flights_.size(); ++ctx) {
+    for (const Event& ev : flights_[ctx]->events()) {
+      std::string line =
+          "{\"ctx\":" + std::to_string(ev.context) +
+          ",\"when\":" + std::to_string(ev.when) +
+          ",\"phase\":" + json_quote(phase_name(ev.phase)) +
+          ",\"label\":" + json_quote(tracer_.label_name(ev.label)) +
+          ",\"span\":" + std::to_string(ev.span) +
+          ",\"parent\":" + std::to_string(ev.parent) +
+          ",\"trace\":" + std::to_string(ev.trace) +
+          ",\"size\":" + std::to_string(ev.size) +
+          ",\"aux\":" + std::to_string(ev.aux) + "}\n";
+      std::fwrite(line.data(), 1, line.size(), f);
+    }
+  }
+  std::fclose(f);
+  util::log_warn("telemetry", "flight recorder dumped to ", path,
+                 " (reason: ", std::string(reason), ")");
+  return path;
+}
+
+}  // namespace nexus::telemetry

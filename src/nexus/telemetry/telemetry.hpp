@@ -1,9 +1,19 @@
 // The observability bundle a Runtime owns: one tracer + one metrics
-// registry shared by every context.  See tracer.hpp / metrics.hpp /
-// selection_report.hpp for the pieces; docs/ARCHITECTURE.md §7 for the
-// design rationale.
+// registry shared by every context, plus one flight recorder per context.
+// See tracer.hpp / metrics.hpp / flight_recorder.hpp /
+// selection_report.hpp for the pieces; docs/ARCHITECTURE.md §7 and §12 for
+// the design rationale.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nexus/telemetry/flight_recorder.hpp"
 #include "nexus/telemetry/metrics.hpp"
 #include "nexus/telemetry/selection_report.hpp"
 #include "nexus/telemetry/tracer.hpp"
@@ -17,9 +27,33 @@ class Telemetry {
   MetricsRegistry& metrics() noexcept { return metrics_; }
   const MetricsRegistry& metrics() const noexcept { return metrics_; }
 
+  /// Create one flight recorder per context (called once at runtime
+  /// construction, before any context runs).
+  void init_flights(std::uint32_t world, std::size_t capacity, bool enabled);
+  /// The recorder for one context; nullptr when flights were never
+  /// initialized or the id is out of range.
+  FlightRecorder* flight(std::uint32_t context) noexcept {
+    return context < flights_.size() ? flights_[context].get() : nullptr;
+  }
+  std::size_t flight_count() const noexcept { return flights_.size(); }
+
+  /// Directory flight dumps are written to; empty disables dumping.
+  void set_flight_dir(std::string dir) { flight_dir_ = std::move(dir); }
+  const std::string& flight_dir() const noexcept { return flight_dir_; }
+
+  /// Dump every context's flight ring to one JSONL file in flight_dir().
+  /// Fires at most once per distinct reason per bundle (a dead latch that
+  /// cascades should not write a thousand identical dumps).  Returns the
+  /// path written, or "" when dumping is disabled / already done.
+  std::string dump_flight(std::string_view reason);
+
  private:
   Tracer tracer_;
   MetricsRegistry metrics_;
+  std::vector<std::unique_ptr<FlightRecorder>> flights_;
+  std::string flight_dir_;
+  std::mutex dump_mutex_;  // guards dumped_reasons_ and file writes
+  std::set<std::string, std::less<>> dumped_reasons_;
 };
 
 }  // namespace nexus::telemetry

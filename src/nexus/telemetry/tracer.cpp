@@ -130,10 +130,14 @@ std::string chrome_ts(Time ns) {
 std::string Tracer::chrome_json() const {
   std::vector<Event> evs;
   std::vector<std::string> labels;
+  std::uint64_t total = 0;
+  std::uint64_t lost = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     evs = snapshot_locked();
     labels = labels_;
+    total = head_;
+    lost = head_ > ring_.size() ? head_ - ring_.size() : 0;
   }
   auto name_of = [&](const Event& ev) {
     std::string n = phase_name(ev.phase);
@@ -156,11 +160,16 @@ std::string Tracer::chrome_json() const {
         "\"ts\":" + chrome_ts(ev.when) +
         ",\"pid\":" + std::to_string(ev.context) + ",\"tid\":0";
     const std::string args = ",\"args\":{\"span\":" + std::to_string(ev.span) +
+                             ",\"parent\":" + std::to_string(ev.parent) +
+                             ",\"trace\":" + std::to_string(ev.trace) +
                              ",\"size\":" + std::to_string(ev.size) +
                              ",\"aux\":" + std::to_string(ev.aux) + "}";
     // Span-linked lifecycle: an async begin at the send, an end at each
     // dispatch.  Chrome matches begin/end by (cat, id) across processes,
-    // which is exactly the cross-context linkage a span provides.
+    // which is exactly the cross-context linkage a span provides.  A
+    // Forward event both ends the span it relays (parent) and begins the
+    // child span stamped on the outgoing packet, so relayed RSRs render as
+    // chained slices rather than one dangling begin.
     if (ev.span != 0 && ev.phase == Phase::Send) {
       emit("\"name\":" + json_quote(name_of(ev)) +
            ",\"cat\":\"rsr\",\"ph\":\"b\",\"id\":" + std::to_string(ev.span) +
@@ -169,11 +178,32 @@ std::string Tracer::chrome_json() const {
       emit("\"name\":" + json_quote(name_of(ev)) +
            ",\"cat\":\"rsr\",\"ph\":\"e\",\"id\":" + std::to_string(ev.span) +
            "," + common + args);
+    } else if (ev.span != 0 && ev.parent != 0 && ev.span != ev.parent &&
+               ev.phase == Phase::Forward) {
+      emit("\"name\":" + json_quote(name_of(ev)) +
+           ",\"cat\":\"rsr\",\"ph\":\"e\",\"id\":" + std::to_string(ev.parent) +
+           "," + common + args);
+      emit("\"name\":" + json_quote(name_of(ev)) +
+           ",\"cat\":\"rsr\",\"ph\":\"b\",\"id\":" + std::to_string(ev.span) +
+           "," + common + args);
+    }
+    // Flow arrows stitch the hops of one causal chain: start at the origin
+    // send, step at each relay, finish at the dispatch.
+    if (ev.trace != 0 && ev.phase == Phase::Send) {
+      emit("\"name\":\"rsr_flow\",\"cat\":\"rsrflow\",\"ph\":\"s\",\"id\":" +
+           std::to_string(ev.trace) + "," + common);
+    } else if (ev.trace != 0 && ev.phase == Phase::Forward) {
+      emit("\"name\":\"rsr_flow\",\"cat\":\"rsrflow\",\"ph\":\"t\",\"id\":" +
+           std::to_string(ev.trace) + "," + common);
+    } else if (ev.trace != 0 && ev.phase == Phase::Dispatch) {
+      emit("\"name\":\"rsr_flow\",\"cat\":\"rsrflow\",\"ph\":\"f\",\"bp\":\"e\""
+           ",\"id\":" + std::to_string(ev.trace) + "," + common);
     }
     emit("\"name\":" + json_quote(name_of(ev)) +
          ",\"cat\":\"nexus\",\"ph\":\"i\",\"s\":\"t\"," + common + args);
   }
-  out += "]}";
+  out += "],\"otherData\":{\"trace_recorded\":" + std::to_string(total) +
+         ",\"trace_dropped\":" + std::to_string(lost) + "}}";
   return out;
 }
 
@@ -195,6 +225,8 @@ std::string Tracer::text_timeline() const {
       out += " " + labels[ev.label];
     }
     if (ev.span != 0) out += " span=" + std::to_string(ev.span);
+    if (ev.parent != 0) out += " parent=" + std::to_string(ev.parent);
+    if (ev.trace != 0) out += " trace=" + std::to_string(ev.trace);
     if (ev.size != 0) out += " size=" + std::to_string(ev.size);
     if (ev.aux != 0) out += " aux=" + std::to_string(ev.aux);
     out += "\n";

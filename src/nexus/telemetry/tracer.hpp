@@ -1,8 +1,11 @@
 // Bounded ring-buffer event tracer for the RSR lifecycle.
 //
-// One span is allocated per RSR at send time and travels with the packet
-// (Packet::span), so the send in one context and the dispatch in another
-// are linked by the same id even across a forwarding hop.  The tracer is
+// One (trace, span) pair is allocated per RSR at send time and travels with
+// the packet (Packet::trace / Packet::span): the trace id names the whole
+// causal chain and never changes, while each forwarding hop opens a child
+// span whose `parent` field points at the span it continues.  The send in
+// one context and the dispatch in another are therefore linked even across
+// relays, retries, and retransmits.  The tracer is
 // runtime-off by default: every instrumented site pays exactly one relaxed
 // atomic load (enabled()) on the hot path.  When enabled, record() claims a
 // slot in a fixed-capacity ring under a mutex whose critical section is a
@@ -64,6 +67,10 @@ struct Event {
   std::uint64_t size = 0;    ///< wire or payload bytes, if meaningful
   std::uint64_t aux = 0;     ///< phase-specific: target/source context,
                              ///< scheduled arrival time, ...
+  // Appended after the positional fields above so existing aggregate
+  // initializers keep compiling; default 0 = "not causally scoped".
+  SpanId parent = 0;         ///< span this event's span continues (forwarding)
+  std::uint64_t trace = 0;   ///< causal chain id; constant across all hops
 };
 
 class Tracer {
@@ -89,6 +96,12 @@ class Tracer {
     return next_span_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Allocate a fresh trace id (never returns 0).  One per RSR; every hop,
+  /// retry, and retransmit of that RSR carries the same trace id.
+  std::uint64_t next_trace() noexcept {
+    return next_trace_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Intern a label string, returning a stable small id.  Cold path: call
   /// once per distinct method/handler name, not per event.
   std::uint16_t intern(std::string_view label);
@@ -109,7 +122,11 @@ class Tracer {
 
   /// Chrome about://tracing JSON ({"traceEvents": [...]}).  Each event is an
   /// instant; span-carrying Send/Dispatch pairs additionally emit async
-  /// begin/end records matched by span id across contexts (pids).
+  /// begin/end records matched by span id across contexts (pids), Forward
+  /// events close the parent span and open the child, and flow arrows
+  /// (ph s/t/f, id = trace) connect the hops.  Top-level `otherData` carries
+  /// `trace_recorded` / `trace_dropped` so ring overflow is visible in the
+  /// artifact itself.
   std::string chrome_json() const;
   /// Compact human-readable timeline, time-ordered.
   std::string text_timeline() const;
@@ -119,6 +136,7 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::atomic<SpanId> next_span_{1};
+  std::atomic<std::uint64_t> next_trace_{1};
   mutable std::mutex mutex_;  // guards ring_, head_, labels_
   std::vector<Event> ring_;
   std::uint64_t head_ = 0;  // total recorded; next slot is head_ % capacity

@@ -110,9 +110,14 @@ struct Packet {
 
   // --- observability metadata (not modelled as wire bytes) ---
   /// Trace span id linking this RSR's send to its dispatch across contexts;
-  /// 0 when tracing is disabled.  Preserved across forwarding hops and
-  /// multicast replication.
+  /// 0 when observability is disabled.  A forwarding hop restamps it with a
+  /// child span (recording the old value as the child's parent); multicast
+  /// replication shares it.
   std::uint64_t span = 0;
+  /// Causal-chain id assigned once at the originating rsr() and never
+  /// changed by relays, retries, or retransmits: every event of one RSR's
+  /// journey carries the same trace id.
+  std::uint64_t trace = 0;
   /// Sender's clock at send time, for the one-way latency histogram.
   Time sent_at = 0;
 

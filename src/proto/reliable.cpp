@@ -286,10 +286,11 @@ void ReliableModule::flush_ack(ContextId peer, RecvState& rs) {
   rs.acks_owed = 0;
   rs.ack_deadline = 0;
   counters().rel_acks_sent += 1;
-  telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
-  if (tr.enabled()) {
-    tr.record({now(), 0, ctx_->id(), telemetry::Phase::Ack, trace_label(),
-               ack.wire_size(), peer});
+  if (ctx_->observing()) {
+    // Acks carry no span/trace: they are protocol chatter, not part of any
+    // RSR's causal chain.
+    ctx_->observe({now(), 0, ctx_->id(), telemetry::Phase::Ack, trace_label(),
+                   ack.wire_size(), peer});
   }
   // Acks are fire-and-forget: a lost ack is repaired by the sender's
   // retransmission, which triggers a duplicate-driven re-ack here.
@@ -305,10 +306,9 @@ void ReliableModule::handle_data(Packet pkt) {
     // Duplicate (a retransmission raced the ack): suppress and immediately
     // re-ack so the sender resynchronizes without waiting out another RTO.
     counters().rel_dup_drops += 1;
-    telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
-    if (tr.enabled()) {
-      tr.record({now(), pkt.span, ctx_->id(), telemetry::Phase::DupDrop,
-                 trace_label(), pkt.wire_size(), peer});
+    if (ctx_->observing()) {
+      ctx_->observe({now(), pkt.span, ctx_->id(), telemetry::Phase::DupDrop,
+                     trace_label(), pkt.wire_size(), peer, 0, pkt.trace});
     }
     flush_ack(peer, rs);
     return;
@@ -379,7 +379,6 @@ void ReliableModule::drain_inbox() {
 
 void ReliableModule::service_timers() {
   const Time t = now();
-  telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
   for (auto& [peer, st] : send_states_) {
     // The watermark makes the fault-free fast path O(1): no live entry can
     // be due before it, so the window scan is skipped until the clock gets
@@ -409,6 +408,9 @@ void ReliableModule::service_timers() {
                          std::to_string(peer) + " exceeded " +
                          std::to_string(max_retries_) +
                          " retries; escalating to failover");
+          // First latch for this peer: preserve the flight rings before the
+          // failover machinery churns them (no-op without NEXUS_FLIGHT_DIR).
+          ctx_->dump_flight("rel-dead-latch");
         }
         // Keep probing at the capped cadence: accepted packets are never
         // abandoned, and a late ack clears the latch.
@@ -416,9 +418,12 @@ void ReliableModule::service_timers() {
       Packet copy = e.pkt;
       stamp_piggyback(peer, copy);  // refresh the piggybacked ack fields
       counters().rel_retransmits += 1;
-      if (tr.enabled()) {
-        tr.record({t, copy.span, ctx_->id(), telemetry::Phase::Retransmit,
-                   trace_label(), copy.wire_size(), peer});
+      if (ctx_->observing()) {
+        // A retransmit re-sends the SAME span under the same trace: the
+        // receiver dedups by sequence number, so re-using the span keeps
+        // the stitched trace free of duplicate dispatch spans.
+        ctx_->observe({t, copy.span, ctx_->id(), telemetry::Phase::Retransmit,
+                       trace_label(), copy.wire_size(), peer, 0, copy.trace});
       }
       const SendResult r = inner_send(*st.conn, std::move(copy));
       if (r.status == DeliveryStatus::Dead) st.dead = true;

@@ -82,10 +82,10 @@ SendResult RtQueueModule::consult_hook(ContextId dst, Packet& packet,
   if (!hook) return {DeliveryStatus::Ok, wire};
   const simnet::FaultVerdict v = hook(name_, ctx_->id(), dst);
   if (v.failed()) {
-    telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
-    if (tr.enabled()) {
-      tr.record({ctx_->now(), packet.span, ctx_->id(),
-                 telemetry::Phase::Drop, trace_label(), wire, dst});
+    if (ctx_->observing()) {
+      ctx_->observe({ctx_->now(), packet.span, ctx_->id(),
+                     telemetry::Phase::Drop, trace_label(), wire, dst, 0,
+                     packet.trace});
     }
     return {v.dead ? DeliveryStatus::Dead : DeliveryStatus::Transient, wire};
   }
@@ -98,10 +98,10 @@ SendResult RtQueueModule::enqueue(ContextId landing, Packet packet) {
   const SendResult verdict = consult_hook(landing, packet, wire);
   if (!verdict.ok()) return verdict;
   RtHost& host = fabric().host(landing);
-  telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
-  if (tr.enabled()) {
-    tr.record({ctx_->now(), packet.span, ctx_->id(),
-               telemetry::Phase::Enqueue, trace_label(), wire, landing});
+  if (ctx_->observing()) {
+    ctx_->observe({ctx_->now(), packet.span, ctx_->id(),
+                   telemetry::Phase::Enqueue, trace_label(), wire, landing, 0,
+                   packet.trace});
   }
   host.queue(name()).push(std::move(packet));
   host.activity->notify();
@@ -114,10 +114,10 @@ SendResult RtQueueModule::send(CommObject& conn, Packet packet) {
   const SendResult verdict = consult_hook(c.landing(), packet, wire);
   if (!verdict.ok()) return verdict;
   RtHost& host = route_host(c);
-  telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
-  if (tr.enabled()) {
-    tr.record({ctx_->now(), packet.span, ctx_->id(),
-               telemetry::Phase::Enqueue, trace_label(), wire, c.landing()});
+  if (ctx_->observing()) {
+    ctx_->observe({ctx_->now(), packet.span, ctx_->id(),
+                   telemetry::Phase::Enqueue, trace_label(), wire,
+                   c.landing(), 0, packet.trace});
   }
   route(c).push(std::move(packet));
   host.activity->notify();
@@ -151,11 +151,10 @@ SendResult RtUdpModule::send(CommObject& conn, Packet packet) {
                                "-byte payload over the " +
                                std::to_string(mtu_) + "-byte MTU");
     const std::uint64_t oversized_wire = packet.wire_size();
-    telemetry::Tracer& tr = context().runtime().telemetry().tracer();
-    if (tr.enabled()) {
-      tr.record({context().now(), packet.span, context().id(),
-                 telemetry::Phase::Drop, trace_label(), oversized_wire,
-                 packet.dst});
+    if (context().observing()) {
+      context().observe({context().now(), packet.span, context().id(),
+                         telemetry::Phase::Drop, trace_label(),
+                         oversized_wire, packet.dst, 0, packet.trace});
     }
     return {DeliveryStatus::Dead, oversized_wire};
   }
@@ -166,10 +165,10 @@ SendResult RtUdpModule::send(CommObject& conn, Packet packet) {
                                " dropped a " + std::to_string(wire) +
                                "-byte datagram to context " +
                                std::to_string(packet.dst));
-    telemetry::Tracer& tr = context().runtime().telemetry().tracer();
-    if (tr.enabled()) {
-      tr.record({context().now(), packet.span, context().id(),
-                 telemetry::Phase::Drop, trace_label(), wire, packet.dst});
+    if (context().observing()) {
+      context().observe({context().now(), packet.span, context().id(),
+                         telemetry::Phase::Drop, trace_label(), wire,
+                         packet.dst, 0, packet.trace});
     }
     // Undetectable loss: the sender sees Ok (udp is unreliable by
     // contract); detected failures come from the fault hook underneath.

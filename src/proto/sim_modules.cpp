@@ -24,10 +24,12 @@ std::uint32_t unpack_u32(const util::Bytes& data) {
 /// arrival).  Call before the packet is moved into the mailbox.
 void trace_enqueue(Context& ctx, const CommModule& m, const Packet& pkt,
                    std::uint64_t wire, Time arrival) {
-  telemetry::Tracer& tr = ctx.runtime().telemetry().tracer();
-  if (!tr.enabled()) return;
-  tr.record({ctx.now(), pkt.span, ctx.id(), telemetry::Phase::Enqueue,
-             m.trace_label(), wire, static_cast<std::uint64_t>(arrival)});
+  // Enqueue is transport detail, not causal structure: it is sampled only
+  // when span tracing is on, keeping the always-on flight path lean.
+  if (!ctx.telemetry().tracer().enabled()) return;
+  ctx.observe({ctx.now(), pkt.span, ctx.id(), telemetry::Phase::Enqueue,
+               m.trace_label(), wire, static_cast<std::uint64_t>(arrival), 0,
+               pkt.trace});
 }
 }  // namespace
 
@@ -90,10 +92,9 @@ SendResult SimModuleBase::post_faulted(ContextId dst,
         name_, my_partition(), f.topology().partition_of(dst), now(),
         f.fault_rng());
     if (v.failed()) {
-      telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
-      if (tr.enabled()) {
-        tr.record({now(), packet.span, ctx_->id(), telemetry::Phase::Drop,
-                   trace_label(), wire, dst});
+      if (ctx_->observing()) {
+        ctx_->observe({now(), packet.span, ctx_->id(), telemetry::Phase::Drop,
+                       trace_label(), wire, dst, 0, packet.trace});
       }
       return {v.dead ? DeliveryStatus::Dead : DeliveryStatus::Transient,
               wire};
@@ -298,10 +299,9 @@ SendResult UdpSimModule::send(CommObject& conn, Packet packet) {
                                "-byte payload over the " +
                                std::to_string(mtu_) + "-byte MTU");
     const std::uint64_t wire = packet.wire_size();
-    telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
-    if (tr.enabled()) {
-      tr.record({now(), packet.span, ctx_->id(), telemetry::Phase::Drop,
-                 trace_label(), wire, packet.dst});
+    if (ctx_->observing()) {
+      ctx_->observe({now(), packet.span, ctx_->id(), telemetry::Phase::Drop,
+                     trace_label(), wire, packet.dst, 0, packet.trace});
     }
     return {DeliveryStatus::Dead, wire};
   }
@@ -313,10 +313,9 @@ SendResult UdpSimModule::send(CommObject& conn, Packet packet) {
                                " dropped a " + std::to_string(wire) +
                                "-byte datagram to context " +
                                std::to_string(packet.dst));
-    telemetry::Tracer& tr = ctx_->runtime().telemetry().tracer();
-    if (tr.enabled()) {
-      tr.record({now(), packet.span, ctx_->id(), telemetry::Phase::Drop,
-                 trace_label(), wire, packet.dst});
+    if (ctx_->observing()) {
+      ctx_->observe({now(), packet.span, ctx_->id(), telemetry::Phase::Drop,
+                     trace_label(), wire, packet.dst, 0, packet.trace});
     }
     // Undetectable loss: it left the host and the network ate it.  The
     // sender sees Ok -- this is exactly why udp reports reliable()==false.

@@ -8,6 +8,7 @@
 // NEXUS_TEST_SEED environment variable.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <functional>
 #include <string>
@@ -62,6 +63,38 @@ inline std::uint64_t test_seed() {
     if (v != 0) return static_cast<std::uint64_t>(v);
   }
   return 1;
+}
+
+/// Chaos-run options: like opts_with, but seeded from test_seed() so the
+/// CI chaos job varies the stochastic models via NEXUS_TEST_SEED.
+inline RuntimeOptions chaos_opts(std::vector<std::string> modules,
+                                 simnet::Topology topo) {
+  RuntimeOptions opts = opts_with(std::move(modules), std::move(topo));
+  opts.seed = test_seed();
+  return opts;
+}
+
+/// Distinct nonzero trace ids among the tracer's retained events, in first
+/// -appearance order (the causal-propagation suites assert on these).
+inline std::vector<std::uint64_t> trace_ids(Runtime& rt) {
+  std::vector<std::uint64_t> out;
+  for (const auto& ev : rt.telemetry().tracer().events()) {
+    if (ev.trace != 0 &&
+        std::find(out.begin(), out.end(), ev.trace) == out.end()) {
+      out.push_back(ev.trace);
+    }
+  }
+  return out;
+}
+
+/// Retained tracer events carrying `trace`, in recording order.
+inline std::vector<telemetry::Event> events_of_trace(Runtime& rt,
+                                                     std::uint64_t trace) {
+  std::vector<telemetry::Event> out;
+  for (const auto& ev : rt.telemetry().tracer().events()) {
+    if (ev.trace == trace) out.push_back(ev);
+  }
+  return out;
 }
 
 }  // namespace nexus::testing

@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "nexus/runtime.hpp"
+#include "nexus/telemetry/export.hpp"
+#include "nexus/telemetry/stitch.hpp"
 #include "nexus/telemetry/telemetry.hpp"
 #include "proto/sim_modules.hpp"
 
@@ -453,6 +456,276 @@ TEST(ExplainSelection, UnreliableMethodsReportedAsFallback) {
     }
   }
   EXPECT_TRUE(saw_udp);
+}
+
+// --------------------------------------------------------- causal tracing ---
+
+TEST(TracerUnit, SpanAndTraceIdsAreNonzeroAndMonotonic) {
+  Tracer tr;
+  const auto s1 = tr.next_span();
+  const auto s2 = tr.next_span();
+  const auto t1 = tr.next_trace();
+  const auto t2 = tr.next_trace();
+  EXPECT_NE(s1, 0u);
+  EXPECT_NE(t1, 0u);
+  EXPECT_LT(s1, s2);
+  EXPECT_LT(t1, t2);
+}
+
+TEST(TracerUnit, ChromeJsonReportsRingOverflowDrops) {
+  Tracer tr(8);
+  tr.enable();
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    tr.record(Event{static_cast<telemetry::Time>(i), i + 1, 0, Phase::Custom,
+                    0, 0, 0});
+  }
+  const std::string json = tr.chrome_json();
+  ASSERT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"trace_recorded\":20"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_dropped\":12"), std::string::npos);
+}
+
+// --------------------------------------------------------- flight recorder ---
+
+TEST(FlightRecorderUnit, RingRetainsNewestAndCountsDrops) {
+  telemetry::FlightRecorder fr(10);
+  EXPECT_TRUE(fr.enabled());  // always on by default
+  EXPECT_EQ(fr.capacity(), 16u);  // rounded up to a power of two
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    fr.record(Event{static_cast<telemetry::Time>(i), i + 1, 0, Phase::Custom,
+                    0, 0, 0});
+  }
+  EXPECT_EQ(fr.recorded(), 25u);
+  EXPECT_EQ(fr.dropped(), 9u);
+  const auto evs = fr.events();
+  ASSERT_EQ(evs.size(), 16u);
+  EXPECT_EQ(evs.front().span, 10u);  // oldest retained
+  EXPECT_EQ(evs.back().span, 25u);   // newest
+  fr.clear();
+  EXPECT_EQ(fr.recorded(), 0u);
+  EXPECT_TRUE(fr.events().empty());
+}
+
+TEST(FlightRecorderUnit, CapacityClampsToMinimumEight) {
+  telemetry::FlightRecorder fr(1);
+  EXPECT_EQ(fr.capacity(), 8u);
+}
+
+// ----------------------------------------------------------- trace stitch ---
+
+TEST(StitchUnit, PhaseNamesRoundTrip) {
+  using telemetry::phase_from_name;
+  EXPECT_EQ(phase_from_name("send"), Phase::Send);
+  EXPECT_EQ(phase_from_name("forward"), Phase::Forward);
+  EXPECT_EQ(phase_from_name("retransmit"), Phase::Retransmit);
+  EXPECT_EQ(phase_from_name("failover"), Phase::Failover);
+  EXPECT_EQ(phase_from_name("no-such-phase"), Phase::Custom);
+}
+
+TEST(StitchUnit, RebuildsSpanTreeFromForwardEvents) {
+  // Synthetic two-hop trace: root span 5 at context 0, Forward at context 2
+  // opens child span 6, Dispatch at context 3 under span 6.
+  std::vector<Event> evs;
+  evs.push_back(Event{10, 5, 0, Phase::Send, 0, 64, 3, 0, 42});
+  evs.push_back(Event{20, 6, 2, Phase::Forward, 0, 64, 3, 5, 42});
+  evs.push_back(Event{30, 6, 3, Phase::Dispatch, 1, 64, 0, 0, 42});
+  // A second, unrelated single-span trace.
+  evs.push_back(Event{15, 9, 1, Phase::Send, 0, 8, 0, 0, 43});
+
+  telemetry::TraceStitcher st;
+  st.add_events(evs, {"mpl", "sink"});
+  EXPECT_EQ(st.event_count(), 4u);
+  const auto traces = st.traces();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0], 42u);
+  EXPECT_EQ(traces[1], 43u);
+
+  const auto spans = st.spans(42);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].id, 5u);        // root first
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].context, 0u);
+  EXPECT_EQ(spans[1].id, 6u);
+  EXPECT_EQ(spans[1].parent, 5u);    // parent link from the Forward event
+  EXPECT_EQ(spans[1].context, 2u);
+  EXPECT_EQ(spans[1].events, 2u);    // Forward + Dispatch
+
+  const std::string json = st.chrome_json();
+  ASSERT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"stitched\":true"), std::string::npos);
+}
+
+// ---------------------------------------------------------- metrics export ---
+
+TEST(MetricsText, HistogramRowsCarryPercentileColumns) {
+  auto rt = run_one_rsr(/*tracing=*/false);
+  const std::string text = rt->telemetry().metrics().to_text();
+  EXPECT_NE(text.find(" p50="), std::string::npos);
+  EXPECT_NE(text.find(" p90="), std::string::npos);
+  EXPECT_NE(text.find(" p99="), std::string::npos);
+  EXPECT_NE(text.find(" p999="), std::string::npos);
+}
+
+TEST(MetricsText, EmptyHistogramsAreOmittedNotRendered) {
+  telemetry::MetricsRegistry reg;
+  const std::string text = reg.to_text();
+  EXPECT_EQ(text.find("p50="), std::string::npos);
+}
+
+TEST(MetricsText, PrometheusExpositionHasTypesAndInfBucket) {
+  auto rt = run_one_rsr(/*tracing=*/false);
+  const std::string prom = rt->telemetry().metrics().to_prometheus();
+  EXPECT_NE(prom.find("# TYPE nexus_sends_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE nexus_rsr_oneway_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(prom.find("nexus_sends_total{context=\"1\",method=\"mpl\"}"),
+            std::string::npos);
+}
+
+TEST(MetricsExporterUnit, WritesOneWellFormedJsonLinePerSample) {
+  const std::string jsonl = testing::TempDir() + "nexus_export_unit.jsonl";
+  const std::string prom = testing::TempDir() + "nexus_export_unit.prom";
+  std::remove(jsonl.c_str());
+  {
+    telemetry::Telemetry tele;
+    tele.metrics().context(0).failovers += 3;
+    telemetry::MetricsExporter::Options eopts;
+    eopts.jsonl_path = jsonl;
+    eopts.prom_path = prom;
+    eopts.interval = 1000;
+    telemetry::MetricsExporter ex(&tele, eopts);
+    ASSERT_TRUE(ex.active());
+    ex.add_provider("answer", [] { return std::string("{\"n\":42}"); });
+    ex.maybe_sample(10);  // first call is always due
+    ex.maybe_sample(500);  // inside the interval: a no-op
+    EXPECT_EQ(ex.samples_taken(), 1u);
+    ex.maybe_sample(2000);  // past the deadline: fires again
+    EXPECT_EQ(ex.samples_taken(), 2u);
+  }
+  std::ifstream in(jsonl);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_TRUE(json_well_formed(line)) << line;
+    EXPECT_NE(line.find("\"trace_dropped\":"), std::string::npos);
+    EXPECT_NE(line.find("\"answer\":{\"n\":42}"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2);
+  std::ifstream pin(prom);
+  ASSERT_TRUE(pin.good());
+  std::stringstream ps;
+  ps << pin.rdbuf();
+  EXPECT_NE(ps.str().find("nexus_failovers_total{context=\"0\"} 3"),
+            std::string::npos);
+  std::remove(jsonl.c_str());
+  std::remove(prom.c_str());
+}
+
+TEST(MetricsExporterUnit, RuntimeExportsHealthAndCostModelProviders) {
+  const std::string jsonl = testing::TempDir() + "nexus_export_rt.jsonl";
+  std::remove(jsonl.c_str());
+  {
+    RuntimeOptions opts;
+    opts.topology = simnet::Topology::single_partition(2);
+    opts.modules = {"local", "mpl", "tcp"};
+    opts.export_jsonl = jsonl;
+    Runtime rt(opts);
+    rt.run([&](Context& ctx) {
+      std::uint64_t done = 0;
+      ctx.register_handler("ev",
+                           [&](Context&, Endpoint&, util::UnpackBuffer&) {
+                             ++done;
+                           });
+      if (ctx.id() == 1) {
+        Startpoint sp = ctx.world_startpoint(0);
+        ctx.rsr(sp, "ev");
+      } else {
+        ctx.wait_count(done, 1);
+      }
+    });
+    // The runtime takes a final sample at shutdown, so even a short run
+    // leaves at least one line.
+    ASSERT_GE(rt.exporter()->samples_taken(), 1u);
+  }
+  std::ifstream in(jsonl);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_TRUE(json_well_formed(line)) << line;
+  EXPECT_NE(line.find("\"health\":"), std::string::npos);
+  EXPECT_NE(line.find("\"cost_model\":"), std::string::npos);
+  EXPECT_NE(line.find("\"metrics\":"), std::string::npos);
+  std::remove(jsonl.c_str());
+}
+
+// ------------------------------------------------- environment overrides ---
+
+TEST(TelemetryEnv, NexusTraceTurnsTracingOnAndOff) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(1);
+  opts.modules = {"local"};
+
+  ::setenv("NEXUS_TRACE", "on", 1);
+  {
+    Runtime rt(opts);
+    EXPECT_TRUE(rt.telemetry().tracer().enabled());
+  }
+  ::setenv("NEXUS_TRACE", "0", 1);
+  {
+    RuntimeOptions traced = opts;
+    traced.tracing = true;  // env override wins over the option
+    Runtime rt(traced);
+    EXPECT_FALSE(rt.telemetry().tracer().enabled());
+  }
+  ::setenv("NEXUS_TRACE", "banana", 1);
+  {
+    Runtime rt(opts);  // unrecognized: warn, keep the option (off)
+    EXPECT_FALSE(rt.telemetry().tracer().enabled());
+  }
+  ::unsetenv("NEXUS_TRACE");
+}
+
+TEST(TelemetryEnv, NexusFlightDirFillsUnsetOption) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(1);
+  opts.modules = {"local"};
+
+  ::setenv("NEXUS_FLIGHT_DIR", "/tmp/nexus-env-flight", 1);
+  {
+    Runtime rt(opts);
+    EXPECT_EQ(rt.telemetry().flight_dir(), "/tmp/nexus-env-flight");
+  }
+  {
+    RuntimeOptions explicit_dir = opts;
+    explicit_dir.flight_dir = "/tmp/nexus-opt-flight";
+    Runtime rt(explicit_dir);  // an explicit option beats the environment
+    EXPECT_EQ(rt.telemetry().flight_dir(), "/tmp/nexus-opt-flight");
+  }
+  ::unsetenv("NEXUS_FLIGHT_DIR");
+}
+
+TEST(TelemetryEnv, FlightRecordersAreOnByDefaultAndSizable) {
+  RuntimeOptions opts;
+  opts.topology = simnet::Topology::single_partition(2);
+  opts.modules = {"local", "mpl"};
+  opts.flight_capacity = 64;
+  Runtime rt(opts);
+  ASSERT_EQ(rt.telemetry().flight_count(), 2u);
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    auto* fr = rt.telemetry().flight(c);
+    ASSERT_NE(fr, nullptr);
+    EXPECT_TRUE(fr->enabled());
+    EXPECT_EQ(fr->capacity(), 64u);
+  }
+  RuntimeOptions off = opts;
+  off.flight = false;
+  Runtime rt2(off);
+  auto* fr = rt2.telemetry().flight(0);
+  ASSERT_NE(fr, nullptr);
+  EXPECT_FALSE(fr->enabled());
 }
 
 }  // namespace

@@ -1,0 +1,353 @@
+// Distributed causal tracing: one trace id per RSR, child spans on
+// forwarding hops, span reuse across retransmits and failover retries, the
+// trace stitcher's span-tree reconstruction, and flight-recorder dumps
+// carrying the failing RSR's trace id.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fixture_runtime.hpp"
+#include "nexus/runtime.hpp"
+#include "nexus/telemetry/stitch.hpp"
+
+namespace {
+
+using namespace nexus;
+using nexus::testing::chaos_opts;
+using nexus::testing::events_of_trace;
+using nexus::testing::opts_with;
+using nexus::testing::trace_ids;
+using simnet::kMs;
+using simnet::kSec;
+using simnet::kUs;
+using telemetry::Event;
+using telemetry::Phase;
+
+/// One traced RSR from context 0 to context 3 across the forwarding relay
+/// at context 2 (partition 1's forwarder).  Three contexts touch the
+/// packet: the startpoint, the relay, and the destination.
+std::unique_ptr<Runtime> run_forwarded_rsr() {
+  RuntimeOptions opts = opts_with({"local", "mpl", "tcp"},
+                                  simnet::Topology::two_partitions(2, 2));
+  opts.forwarders[1] = 2;
+  opts.tracing = true;
+  auto rt = std::make_unique<Runtime>(opts);
+  std::uint64_t done = 0;
+  rt->run({[&](Context& ctx) {
+             Startpoint sp = ctx.world_startpoint(3);
+             ctx.rsr(sp, "sink");
+           },
+           [&](Context&) {},
+           [&](Context& ctx) {
+             // The relay just polls until the packet has transited.
+             for (int i = 0; i < 20000 && done == 0; ++i) {
+               ctx.progress();
+               if (ctx.now() > 10 * kSec) break;
+             }
+           },
+           [&](Context& ctx) {
+             nexus::testing::register_counter(ctx, "sink", done);
+             ctx.wait_count(done, 1);
+           }});
+  return rt;
+}
+
+TEST(TracePropagation, ForwardedRsrHasOneTraceWithParentedSpans) {
+  auto rt = run_forwarded_rsr();
+
+  const auto ids = trace_ids(*rt);
+  ASSERT_EQ(ids.size(), 1u);  // exactly one RSR, exactly one trace
+  const std::uint64_t trace = ids[0];
+  const auto evs = events_of_trace(*rt, trace);
+
+  const Event* send = nullptr;
+  const Event* forward = nullptr;
+  const Event* dispatch = nullptr;
+  int dispatches = 0;
+  for (const Event& ev : evs) {
+    if (ev.phase == Phase::Send) send = &ev;
+    if (ev.phase == Phase::Forward) forward = &ev;
+    if (ev.phase == Phase::Dispatch) {
+      dispatch = &ev;
+      ++dispatches;
+    }
+  }
+  ASSERT_NE(send, nullptr);
+  ASSERT_NE(forward, nullptr);
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_EQ(dispatches, 1);  // no span duplication
+
+  // The root span opens at the startpoint; the relay opens a child span
+  // parented on it; the dispatch happens under the relay's span.
+  EXPECT_EQ(send->context, 0u);
+  EXPECT_EQ(send->parent, 0u);
+  EXPECT_NE(send->span, 0u);
+  EXPECT_EQ(forward->context, 2u);
+  EXPECT_EQ(forward->parent, send->span);
+  EXPECT_NE(forward->span, send->span);
+  EXPECT_EQ(dispatch->context, 3u);
+  EXPECT_EQ(dispatch->span, forward->span);
+
+  // Events from at least three distinct contexts carry the trace.
+  std::vector<std::uint32_t> ctxs;
+  for (const Event& ev : evs) {
+    if (std::find(ctxs.begin(), ctxs.end(), ev.context) == ctxs.end()) {
+      ctxs.push_back(ev.context);
+    }
+  }
+  EXPECT_GE(ctxs.size(), 3u);
+
+  // The stitcher reconstructs the same two-span tree, root first.
+  telemetry::TraceStitcher st;
+  st.add_tracer(rt->telemetry().tracer());
+  const auto traces = st.traces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0], trace);
+  const auto spans = st.spans(trace);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].id, send->span);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].context, 0u);
+  EXPECT_EQ(spans[1].id, forward->span);
+  EXPECT_EQ(spans[1].parent, send->span);
+  EXPECT_EQ(spans[1].context, 2u);
+}
+
+TEST(TracePropagation, StitchedChromeTraceLinksThreeContexts) {
+  auto rt = run_forwarded_rsr();
+  const std::string path = ::testing::TempDir() + "nexus_stitched.json";
+  rt->write_stitched_trace(path);
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  std::remove(path.c_str());
+
+  EXPECT_NE(json.find("\"stitched\":true"), std::string::npos);
+  // Flow arrows follow the RSR across the relay hop.
+  EXPECT_NE(json.find("\"cat\":\"rsrflow\""), std::string::npos);
+  // All three contexts the packet touched appear as process rows.
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+  // Parent/child linkage: the relay's Forward closes the root span (async
+  // end with the parent id) and opens the child span on the same row.
+  const auto ids = trace_ids(*rt);
+  ASSERT_EQ(ids.size(), 1u);
+  const auto spans =
+      [&] {
+        telemetry::TraceStitcher st;
+        st.add_tracer(rt->telemetry().tracer());
+        return st.spans(ids[0]);
+      }();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(json.find("\"id\":" + std::to_string(spans[0].id)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"id\":" + std::to_string(spans[1].id)),
+            std::string::npos);
+}
+
+TEST(TracePropagation, RetransmitReusesSpanWithoutDuplicateDispatch) {
+  // Drop every udp datagram for the first 5 ms: the initial transmission
+  // is lost and the rel wrapper's RTO repairs it.  The retransmission is
+  // the SAME span and trace, and the receiver dispatches exactly once.
+  RuntimeOptions opts = chaos_opts({"local", "rel+udp"},
+                                   simnet::Topology::single_partition(2));
+  opts.tracing = true;
+  opts.faults.drop("udp", 1.0, /*from=*/0, /*until=*/5 * kMs);
+  opts.db.set("rel.rto_initial_us", "2000");
+  opts.db.set("rel.rto_min_us", "1000");
+  Runtime rt(opts);
+  std::uint64_t done = 0;
+  rt.run({[&](Context& ctx) {
+            Startpoint sp = ctx.world_startpoint(1);
+            ctx.rsr(sp, "sink");
+            ctx.compute_with_polling(20 * kMs, 100 * kUs);
+          },
+          [&](Context& ctx) {
+            nexus::testing::register_counter(ctx, "sink", done);
+            ctx.wait_count(done, 1);
+          }});
+
+  const auto ids = trace_ids(rt);
+  ASSERT_EQ(ids.size(), 1u);
+  const auto evs = events_of_trace(rt, ids[0]);
+  const Event* send = nullptr;
+  const Event* retransmit = nullptr;
+  int dispatches = 0;
+  for (const Event& ev : evs) {
+    if (ev.phase == Phase::Send) send = &ev;
+    if (ev.phase == Phase::Retransmit && retransmit == nullptr) {
+      retransmit = &ev;
+    }
+    if (ev.phase == Phase::Dispatch) ++dispatches;
+  }
+  ASSERT_NE(send, nullptr);
+  ASSERT_NE(retransmit, nullptr);  // the drop window forced at least one
+  EXPECT_EQ(retransmit->span, send->span);  // same span: no new segment
+  EXPECT_EQ(retransmit->trace, send->trace);
+  EXPECT_EQ(dispatches, 1);  // exactly-once survives the retry
+}
+
+TEST(TracePropagation, FailoverRetryStaysOnOneTrace) {
+  // aal5 is blackholed outright: the first attempt dies, the health
+  // tracker quarantines it, and the failover loop re-sends on tcp -- all
+  // under the same trace id.
+  RuntimeOptions opts = chaos_opts({"local", "aal5", "tcp"},
+                                   simnet::Topology::single_partition(2));
+  opts.tracing = true;
+  opts.faults.blackhole("aal5", /*from=*/0);
+  Runtime rt(opts);
+  std::uint64_t done = 0;
+  rt.run({[&](Context& ctx) {
+            Startpoint sp = ctx.world_startpoint(1);
+            ctx.rsr(sp, "sink");
+            ctx.compute_with_polling(5 * kMs, 100 * kUs);
+          },
+          [&](Context& ctx) {
+            nexus::testing::register_counter(ctx, "sink", done);
+            ctx.wait_count(done, 1);
+          }});
+
+  const auto ids = trace_ids(rt);
+  ASSERT_EQ(ids.size(), 1u);
+  const auto evs = events_of_trace(rt, ids[0]);
+  bool saw_failover = false;
+  bool saw_drop = false;
+  int dispatches = 0;
+  const Event* root = nullptr;
+  for (const Event& ev : evs) {
+    if (ev.phase == Phase::Send && root == nullptr) root = &ev;
+    if (ev.phase == Phase::Failover) saw_failover = true;
+    if (ev.phase == Phase::Drop) saw_drop = true;
+    if (ev.phase == Phase::Dispatch) ++dispatches;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_TRUE(saw_drop);      // the blackholed attempt is on the trace
+  EXPECT_TRUE(saw_failover);  // so is the quarantine decision
+  EXPECT_EQ(dispatches, 1);   // and the tcp retry delivered exactly once
+}
+
+TEST(FlightDump, RelDeadLatchDumpCarriesTheFailingTraceId) {
+  // Every udp datagram silently vanishes forever; with max_retries=2 the
+  // rel wrapper latches the peer Dead and triggers a flight dump.  Tracing
+  // stays OFF: the flight recorder alone must capture the trace.
+  const std::string dir =
+      ::testing::TempDir() + "nexus_flight_latch_" +
+      std::to_string(nexus::testing::test_seed());
+  std::filesystem::create_directories(dir);
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    std::filesystem::remove(e.path());
+  }
+
+  RuntimeOptions opts = chaos_opts({"local", "rel+udp"},
+                                   simnet::Topology::single_partition(2));
+  opts.faults.drop("udp", 1.0, /*from=*/0);  // undetectable, permanent
+  opts.db.set("rel.rto_initial_us", "1000");
+  opts.db.set("rel.rto_min_us", "500");
+  opts.db.set("rel.max_retries", "2");
+  opts.flight_dir = dir;
+  Runtime rt(opts);
+  rt.run({[&](Context& ctx) {
+            Startpoint sp = ctx.world_startpoint(1);
+            ctx.rsr(sp, "sink");  // accepted by the wrapper, never delivered
+            ctx.compute_with_polling(50 * kMs, 100 * kUs);
+          },
+          [&](Context& ctx) {
+            std::uint64_t done = 0;
+            nexus::testing::register_counter(ctx, "sink", done);
+            ctx.compute_with_polling(50 * kMs, 100 * kUs);
+          }});
+
+  std::string dump_path;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().filename().string().find("rel-dead-latch") !=
+        std::string::npos) {
+      dump_path = e.path().string();
+    }
+  }
+  ASSERT_FALSE(dump_path.empty()) << "no rel-dead-latch dump in " << dir;
+
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"flight\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"reason\":\"rel-dead-latch\""), std::string::npos);
+
+  // The failing RSR's send and its retransmissions share one nonzero
+  // trace id, and the dump contains them.
+  std::uint64_t send_trace = 0;
+  std::uint64_t retransmit_trace = 0;
+  auto field_u64 = [](const std::string& s, const char* key) -> std::uint64_t {
+    const auto pos = s.find(key);
+    if (pos == std::string::npos) return 0;
+    return std::strtoull(s.c_str() + pos + std::string(key).size(), nullptr,
+                         10);
+  };
+  while (std::getline(in, line)) {
+    if (line.find("\"phase\":\"send\"") != std::string::npos &&
+        send_trace == 0) {
+      send_trace = field_u64(line, "\"trace\":");
+    }
+    if (line.find("\"phase\":\"retransmit\"") != std::string::npos) {
+      retransmit_trace = field_u64(line, "\"trace\":");
+    }
+  }
+  EXPECT_NE(send_trace, 0u);
+  EXPECT_EQ(retransmit_trace, send_trace);
+
+  // The stitcher ingests the dump directly.
+  telemetry::TraceStitcher st;
+  ASSERT_TRUE(st.add_flight_dump(dump_path));
+  EXPECT_GT(st.event_count(), 0u);
+  const auto traces = st.traces();
+  ASSERT_FALSE(traces.empty());
+  EXPECT_NE(std::find(traces.begin(), traces.end(), send_trace),
+            traces.end());
+}
+
+TEST(FlightDump, QuarantineTriggersADumpOnce) {
+  const std::string dir =
+      ::testing::TempDir() + "nexus_flight_quarantine_" +
+      std::to_string(nexus::testing::test_seed());
+  std::filesystem::create_directories(dir);
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    std::filesystem::remove(e.path());
+  }
+
+  RuntimeOptions opts = chaos_opts({"local", "aal5", "tcp"},
+                                   simnet::Topology::single_partition(2));
+  opts.faults.blackhole("aal5", /*from=*/0);
+  opts.flight_dir = dir;
+  Runtime rt(opts);
+  std::uint64_t done = 0;
+  rt.run({[&](Context& ctx) {
+            Startpoint sp = ctx.world_startpoint(1);
+            ctx.rsr(sp, "sink");
+            ctx.rsr(sp, "sink");  // second quarantine path must not re-dump
+            ctx.compute_with_polling(5 * kMs, 100 * kUs);
+          },
+          [&](Context& ctx) {
+            nexus::testing::register_counter(ctx, "sink", done);
+            ctx.wait_count(done, 2);
+          }});
+
+  int dumps = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().filename().string().find("quarantine") !=
+        std::string::npos) {
+      ++dumps;
+    }
+  }
+  EXPECT_EQ(dumps, 1);  // once per reason per runtime
+  EXPECT_EQ(done, 2u);
+}
+
+}  // namespace

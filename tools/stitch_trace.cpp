@@ -1,0 +1,63 @@
+// stitch_trace: merge flight-recorder JSONL dumps into one Chrome trace.
+//
+// Usage: stitch_trace <dump.jsonl>... [-o out.json]
+//
+// Each input is a flight dump written by the runtime (telemetry.cpp format,
+// one JSON object per line).  The merged output is a causally-linked Chrome
+// about://tracing JSON: every context becomes a process row, every span an
+// async begin/end pair, and flow arrows follow each trace id across hops,
+// retries, and retransmits.  Open the result in chrome://tracing or
+// https://ui.perfetto.dev.  The CI chaos job runs this over whatever the
+// failing run dumped, so a red seed ships with its own post-mortem trace.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nexus/telemetry/stitch.hpp"
+
+int main(int argc, char** argv) {
+  std::string out_path = "stitched-trace.json";
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "stitch_trace: -o requires a path\n");
+        return 2;
+      }
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "-h") == 0 ||
+               std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: stitch_trace <dump.jsonl>... [-o out.json]\n");
+      return 0;
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "stitch_trace: no input dumps given\n");
+    return 2;
+  }
+
+  nexus::telemetry::TraceStitcher st;
+  int loaded = 0;
+  for (const std::string& path : inputs) {
+    if (st.add_flight_dump(path)) {
+      ++loaded;
+    } else {
+      std::fprintf(stderr, "stitch_trace: cannot read %s (skipped)\n",
+                   path.c_str());
+    }
+  }
+  if (loaded == 0) {
+    std::fprintf(stderr, "stitch_trace: no readable inputs\n");
+    return 1;
+  }
+  if (!st.write(out_path)) {
+    std::fprintf(stderr, "stitch_trace: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("stitched %d dump(s), %zu events, %zu trace(s) -> %s\n", loaded,
+              st.event_count(), st.traces().size(), out_path.c_str());
+  return 0;
+}
