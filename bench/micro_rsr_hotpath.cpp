@@ -1,12 +1,19 @@
 // RSR hot-path microbenchmark: ns/RSR and allocations/RSR for unicast,
-// 8-way multicast, and forwarded sends at payload sizes 16B..64KiB.
+// 8-way multicast, and forwarded sends at payload sizes 16B..64KiB, plus
+// sharded-runtime scaling cases (threads=1/2/4) for a cross-shard unicast
+// ring and a fully contended multicast.
 //
-// The whole simulated workload is single-threaded (the conservative
-// scheduler runs exactly one context at a time), so wall-clock time
-// measured from the driver covers the full send -> fabric -> deliver path
-// of every context involved.  Allocations are counted with a global
-// operator new hook; the per-phase constant overhead (one mark RSR plus
-// one ack per receiver) is amortized over the round count.
+// The classic cases run the single-shard engine (threads=1): the
+// conservative scheduler runs exactly one context at a time, so wall-clock
+// time measured from the driver covers the full send -> fabric -> deliver
+// path of every context involved.  The scaling cases run the same world on
+// N shard threads and measure aggregate wall time from outside the run;
+// their rows carry `threads` and `cpus` params because the speedup is
+// bounded by the physical cores the host actually has (ISSUE 7 measures
+// were taken on a 1-CPU container -- the curve is recorded honestly, not
+// extrapolated).  Allocations are counted with a global operator new hook;
+// the per-phase constant overhead (one mark RSR plus one ack per receiver)
+// is amortized over the round count.
 //
 // Usage: micro_rsr_hotpath [rounds] [output.json]
 //   rounds defaults to 20000 (64KiB cases use rounds/5); CI passes a small
@@ -17,9 +24,11 @@
 #include <cstdlib>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "proto/sim_modules.hpp"
 #include "simnet/topology.hpp"
 
 // ----------------------------------------------------------------------
@@ -225,6 +234,131 @@ CaseResult run_case(Pattern pattern, std::size_t payload_size, long rounds,
   return result;
 }
 
+/// Sharded-runtime scaling case: 8 contexts on `threads` shard threads.
+///
+/// `Ring`: every context streams `rounds` RSRs to its clockwise neighbour
+/// (at threads=1 this stays on the classic same-shard hot path; at
+/// threads=4 with shard = id % 4 every hop crosses a shard boundary, so
+/// the whole stream rides the MPSC router).  `McastAll`: all 8 contexts
+/// join one group and every context multicasts `rounds / 8` RSRs into it,
+/// contending on the COW membership snapshot and all eight mailboxes at
+/// once.  Returns aggregate ns and allocs per *delivered* RSR: each
+/// configuration is run twice, once with zero data rounds (world
+/// construction, shard-thread spawn, the mcast join barrier) and once with
+/// the real workload, and the calibration run's wall time and allocation
+/// count are subtracted so the per-RSR figures are independent of how many
+/// rounds amortize the fixed setup (the CI smoke job runs tiny counts).
+enum class ScalePattern { Ring, McastAll };
+
+/// One full Runtime lifetime of the scaling world; returns (wall ns,
+/// allocs) for the whole run.
+std::pair<std::uint64_t, std::uint64_t> run_scaling_world(
+    ScalePattern pattern, unsigned threads, const nexus::util::Bytes& src,
+    long per_sender) {
+  constexpr ContextId kWorld = 8;
+  RuntimeOptions opts;
+  opts.metrics = false;
+  opts.flight = true;
+  opts.sim_slack = 10 * nexus::simnet::kSec;
+  opts.threads = threads;
+  opts.topology = nexus::simnet::Topology::single_partition(kWorld);
+  if (pattern == ScalePattern::McastAll) {
+    opts.modules = {"local", "mpl", "tcp", "mcast"};
+  }
+  // Deliveries per context: the ring receives its neighbour's stream; the
+  // mcast world receives every member's stream (self included).
+  const std::uint64_t per_recv =
+      pattern == ScalePattern::Ring
+          ? static_cast<std::uint64_t>(per_sender)
+          : static_cast<std::uint64_t>(per_sender) * kWorld;
+
+  Runtime rt(std::move(opts));
+  std::uint64_t got[kWorld] = {};
+
+  std::vector<std::function<void(Context&)>> fns(kWorld);
+  for (ContextId id = 0; id < kWorld; ++id) {
+    fns[id] = [&, id](Context& ctx) {
+      const nexus::HandlerId h_sink = nexus::Context::resolve_handler("sink");
+      ctx.register_handler("sink", [&](Context&, nexus::Endpoint&,
+                                       nexus::util::UnpackBuffer&) {
+        ++got[id];
+      });
+      if (pattern == ScalePattern::Ring) {
+        Startpoint next = ctx.world_startpoint((id + 1) % kWorld);
+        for (long i = 0; i < per_sender; ++i) {
+          ctx.rsr(next, h_sink, nexus::util::SharedBytes::copy_of(src));
+        }
+      } else {
+        // Join, then rendezvous through the "go" fan-out from context 0 so
+        // no member multicasts into a half-built group (shard clocks are
+        // decoupled; only causality orders the join before the send).
+        std::uint64_t go = 0;
+        nexus::Endpoint& ep = ctx.create_endpoint();
+        ctx.register_handler("go", [&](Context&, nexus::Endpoint&,
+                                       nexus::util::UnpackBuffer&) { ++go; });
+        nexus::proto::multicast_join(ctx, 1, ep);
+        if (id == 0) {
+          std::uint64_t joined = 0;
+          ctx.register_handler("joined", [&](Context&, nexus::Endpoint&,
+                                             nexus::util::UnpackBuffer&) {
+            ++joined;
+          });
+          ctx.wait_count(joined, kWorld - 1);
+          for (ContextId peer = 1; peer < kWorld; ++peer) {
+            Startpoint sp = ctx.world_startpoint(peer);
+            ctx.rsr(sp, "go");
+          }
+        } else {
+          Startpoint home = ctx.world_startpoint(0);
+          ctx.rsr(home, "joined");
+          ctx.wait_count(go, 1);
+        }
+        Startpoint group = nexus::proto::multicast_startpoint(ctx, 1);
+        for (long i = 0; i < per_sender; ++i) {
+          ctx.rsr(group, h_sink, nexus::util::SharedBytes::copy_of(src));
+        }
+      }
+      ctx.wait_count(got[id], per_recv);
+    };
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  rt.run(std::move(fns));
+  const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+  const auto t1 = std::chrono::steady_clock::now();
+  return {static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()),
+          a1 - a0};
+}
+
+CaseResult run_scaling_case(ScalePattern pattern, unsigned threads,
+                            std::size_t payload_size, long rounds) {
+  constexpr long kWorld = 8;
+  const nexus::util::Bytes src(payload_size, 0xa5);
+  const long per_sender =
+      pattern == ScalePattern::Ring ? rounds : std::max(rounds / kWorld, 1L);
+  const std::uint64_t total_deliveries =
+      pattern == ScalePattern::Ring
+          ? static_cast<std::uint64_t>(per_sender) * kWorld
+          : static_cast<std::uint64_t>(per_sender) * kWorld * kWorld;
+
+  const auto calib = run_scaling_world(pattern, threads, src, 0);
+  const auto run = run_scaling_world(pattern, threads, src, per_sender);
+  const std::uint64_t ns = run.first > calib.first ? run.first - calib.first
+                                                   : 0;
+  const std::uint64_t allocs =
+      run.second > calib.second ? run.second - calib.second : 0;
+
+  CaseResult result;
+  result.ns_per_rsr =
+      static_cast<double>(ns) / static_cast<double>(total_deliveries);
+  result.allocs_per_rsr =
+      static_cast<double>(allocs) / static_cast<double>(total_deliveries);
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -259,6 +393,7 @@ int main(int argc, char** argv) {
                   {"payload_bytes", std::to_string(bytes)},
                   {"links", std::to_string(links)},
                   {"rounds", std::to_string(case_rounds)},
+                  {"threads", "1"},
                   {"flight", "1"}},
                  r.ns_per_rsr, r.allocs_per_rsr);
     }
@@ -278,8 +413,39 @@ int main(int argc, char** argv) {
                 {"payload_bytes", std::to_string(bytes)},
                 {"links", "1"},
                 {"rounds", std::to_string(case_rounds)},
+                {"threads", "1"},
                 {"flight", "0"}},
                r.ns_per_rsr, r.allocs_per_rsr);
+  }
+
+  // Sharded-runtime scaling curve: the same 8-context worlds on 1, 2, and
+  // 4 shard threads.  ns/RSR here is aggregate (wall time over all
+  // deliveries), so on a multi-core host it *drops* as threads rise; the
+  // `cpus` param records how many cores this host could actually use.
+  const unsigned cpus = std::thread::hardware_concurrency();
+  const struct {
+    ScalePattern pattern;
+    const char* name;
+  } scale_cases[] = {{ScalePattern::Ring, "ring8"},
+                     {ScalePattern::McastAll, "mcast_contended"}};
+  for (const auto& sc : scale_cases) {
+    for (unsigned threads : {1u, 2u, 4u}) {
+      const long case_rounds = std::max(rounds / 2, 100L);
+      CaseResult r =
+          run_scaling_case(sc.pattern, threads, 1024, case_rounds);
+      const std::string row =
+          std::string(sc.name) + "/t" + std::to_string(threads);
+      std::printf("%-10s %10d %6u %14.1f %12.3f\n", sc.name, 1024, threads,
+                  r.ns_per_rsr, r.allocs_per_rsr);
+      writer.add(row,
+                 {{"pattern", sc.name},
+                  {"payload_bytes", "1024"},
+                  {"rounds", std::to_string(case_rounds)},
+                  {"threads", std::to_string(threads)},
+                  {"cpus", std::to_string(cpus)},
+                  {"flight", "1"}},
+                 r.ns_per_rsr, r.allocs_per_rsr);
+    }
   }
 
   if (!writer.write(out_path)) {

@@ -1,6 +1,7 @@
 // Context clock strategies: virtual time (simulated fabric) or wall time.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <memory>
@@ -42,25 +43,35 @@ class SimClock final : public ContextClock {
 /// whenever they enqueue traffic so idle_wait() can park cheaply.
 class RtActivity {
  public:
+  /// Hot path: one atomic increment; the mutex/condvar is touched only
+  /// while a waiter is actually parked (seq_cst pairing with the waiter's
+  /// flag, Dekker-style, so no wakeup is lost).
   void notify() {
-    {
+    events_.fetch_add(1, std::memory_order_seq_cst);
+    if (waiting_.load(std::memory_order_seq_cst)) {
       std::lock_guard<std::mutex> lock(mutex_);
-      ++events_;
+      cv_.notify_all();
     }
-    cv_.notify_all();
   }
 
   /// Wait until notify() has been called since the last wait, or timeout.
   void wait(std::chrono::microseconds timeout) {
     std::unique_lock<std::mutex> lock(mutex_);
-    const std::uint64_t seen = events_;
-    cv_.wait_for(lock, timeout, [&] { return events_ != seen; });
+    const std::uint64_t seen = events_.load(std::memory_order_seq_cst);
+    waiting_.store(true, std::memory_order_seq_cst);
+    // Re-check after publishing the flag: a notify whose increment predates
+    // the flag store is visible here; a later one sees the flag.
+    cv_.wait_for(lock, timeout, [&] {
+      return events_.load(std::memory_order_seq_cst) != seen;
+    });
+    waiting_.store(false, std::memory_order_seq_cst);
   }
 
  private:
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::uint64_t events_ = 0;
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<bool> waiting_{false};
 };
 
 /// Wall-clock time relative to runtime start.  advance() really sleeps, so

@@ -1187,7 +1187,7 @@ void Context::update_interference() {
       drag += static_cast<double>(costs_.tcp_interference) / denom;
     }
   }
-  fabric->host(id_).inbound_drag = drag;
+  fabric->host(id_).inbound_drag.store(drag, std::memory_order_relaxed);
 }
 
 }  // namespace nexus

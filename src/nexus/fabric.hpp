@@ -1,11 +1,23 @@
 // Fabric state shared by the per-context communication modules.
 //
-// The simulated fabric owns the discrete-event scheduler and, per context,
-// a SimHost with one arrival-ordered mailbox per method.  The realtime
-// fabric owns, per context, a RtHost with one thread-safe queue per method
-// and an activity channel for idle waits.
+// The simulated fabric owns one conservative scheduler per *shard* (threads=1
+// collapses to the classic single-scheduler layout, bit-identical to the
+// pre-sharding runtime) and, per context, a SimHost with one arrival-ordered
+// mailbox per method.  Contexts are assigned to shards round-robin
+// (shard = ctx % shards); a context's process, mailboxes, and handlers live
+// on its home shard and are touched by that shard's thread only.
+// Cross-shard traffic is routed through a per-shard lock-free MPSC queue
+// (SimFabric::post) and drained by the receiving shard's scheduler loop; the
+// ShardGroup parked-mask protocol decides global termination.
+//
+// The realtime fabric owns, per context, a RtHost with one lock-free MPSC
+// packet queue per method (single consumer = the context's polling engine or
+// its blocking-poller thread, never both -- the handoff is serialized by
+// thread create/join) and an activity channel for idle waits.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -20,9 +32,12 @@
 #include "simnet/fault.hpp"
 #include "simnet/mailbox.hpp"
 #include "simnet/scheduler.hpp"
+#include "simnet/shard.hpp"
 #include "simnet/topology.hpp"
 #include "util/error.hpp"
+#include "util/mpsc_queue.hpp"
 #include "util/queues.hpp"
+#include "util/rng.hpp"
 
 namespace nexus {
 
@@ -32,10 +47,14 @@ struct SimHost {
   std::map<std::string, simnet::Mailbox<Packet>, std::less<>> boxes;
   /// Interference drag on inbound MPL-class transfers caused by this host's
   /// expensive polls (1.0 = none); see Context::update_interference().
-  double inbound_drag = 1.0;
+  /// Atomic: written by the owning context, read by senders on any shard.
+  /// Relaxed suffices -- it is a scalar performance-model knob, not a
+  /// synchronization edge.
+  std::atomic<double> inbound_drag{1.0};
   /// Bytes currently in flight toward this host over the TCP-class method;
-  /// maintained by TcpSimModule for the incast-collapse model.
-  std::uint64_t tcp_inflight_bytes = 0;
+  /// maintained by TcpSimModule for the incast-collapse model.  Atomic for
+  /// the same reason: senders on every shard add, the receiver subtracts.
+  std::atomic<std::uint64_t> tcp_inflight_bytes{0};
 
   simnet::Mailbox<Packet>& box(std::string_view method) {
     auto it = boxes.find(method);
@@ -49,52 +68,157 @@ struct SimHost {
 
 class SimFabric {
  public:
-  explicit SimFabric(simnet::Topology topology)
-      : topology_(std::move(topology)) {}
+  using McastMembers = std::vector<std::pair<ContextId, EndpointId>>;
+  using McastMap = std::map<std::uint32_t, McastMembers>;
 
-  simnet::Scheduler& scheduler() noexcept { return scheduler_; }
+  explicit SimFabric(simnet::Topology topology);
+  ~SimFabric();
+
+  SimFabric(const SimFabric&) = delete;
+  SimFabric& operator=(const SimFabric&) = delete;
+
+  // ---- sharding ----------------------------------------------------------
+
+  /// Partition the fabric into `n` scheduler shards (1..ShardGroup::
+  /// kMaxShards).  Must be called before any process is spawned or mailbox
+  /// created; constructing the fabric leaves it at one shard.
+  void init_shards(std::size_t n);
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t shard_of(ContextId id) const noexcept {
+    return static_cast<std::size_t>(id) % shards_.size();
+  }
+  bool same_shard(ContextId a, ContextId b) const noexcept {
+    return shard_of(a) == shard_of(b);
+  }
+
+  /// The scheduler owning context `id`'s process and mailboxes.
+  simnet::Scheduler& scheduler_for(ContextId id) {
+    return shards_[shard_of(id)]->scheduler;
+  }
+  /// A specific shard's scheduler (shard 0 by default -- the whole fabric
+  /// under threads=1).
+  simnet::Scheduler& scheduler(std::size_t shard = 0) {
+    return shards_.at(shard)->scheduler;
+  }
+
+  /// Context -> SimProcess registry.  Under sharding, a process's index
+  /// within its shard's scheduler is unrelated to the context id, so the
+  /// runtime registers each spawned process here.
+  void register_process(ContextId id, simnet::SimProcess* proc);
+  simnet::SimProcess& process_of(ContextId id);
+
+  /// Deliver `pkt` into `box` (a mailbox of context `dst`) at virtual time
+  /// `arrival`.  Same-shard: a direct mailbox post (the unchanged 1-alloc
+  /// hot path).  Cross-shard: one MPSC enqueue (+1 node alloc) plus a
+  /// conditional wakeup; the receiving shard's scheduler drains it into the
+  /// mailbox on its own thread.  `src` names the posting context (the
+  /// caller must be running on src's home shard).
+  /// Deliver `pkt` into `box` (owned by `dst`).  Same-shard posts -- the
+  /// entire workload at threads=1 -- stay on the classic direct-mailbox
+  /// hot path, inlined; cross-shard posts take the out-of-line MPSC route.
+  void post(ContextId src, ContextId dst, simnet::Mailbox<Packet>& box,
+            simnet::Time arrival, Packet pkt) {
+    if (group_ == nullptr || same_shard(src, dst)) {
+      box.post(arrival, std::move(pkt));
+      return;
+    }
+    post_cross_shard(dst, box, arrival, std::move(pkt));
+  }
+
   const simnet::Topology& topology() const noexcept { return topology_; }
 
   SimHost& host(ContextId id) { return *hosts_.at(id); }
   void add_host(std::unique_ptr<SimHost> h) { hosts_.push_back(std::move(h)); }
   std::size_t host_count() const noexcept { return hosts_.size(); }
 
-  /// Multicast group membership (group id -> receiving endpoints), used by
-  /// the "mcast" module's one-send-many-deliveries path.
-  std::map<std::uint32_t, std::vector<std::pair<ContextId, EndpointId>>>&
-  multicast_groups() noexcept {
-    return multicast_groups_;
+  // ---- multicast ---------------------------------------------------------
+
+  /// Join `ctx`/`ep` to `group`.  Copy-on-write: the writer builds a fresh
+  /// snapshot under a mutex and publishes it with one atomic store; retired
+  /// snapshots stay alive until the fabric dies, so a concurrent sender's
+  /// snapshot pointer never dangles.
+  void multicast_join(std::uint32_t group, ContextId ctx, EndpointId ep);
+
+  /// Wait-free read of the current membership map.  The returned reference
+  /// is to an immutable snapshot: valid for the fabric's lifetime, possibly
+  /// stale by one join (exactly the semantics of a real network's
+  /// propagation delay).
+  const McastMap& multicast_snapshot() const {
+    return *mcast_snapshot_.load(std::memory_order_acquire);
   }
+
+  // ---- fault injection ---------------------------------------------------
 
   /// Deterministic fault-injection plan every simulated module consults at
-  /// send time.  Mutable mid-run (the scheduler serializes sim processes),
-  /// so tests can script partition/heal sequences.
-  void set_faults(simnet::FaultPlan plan, std::uint64_t seed) {
-    faults_ = std::move(plan);
-    fault_rng_ = util::Rng(seed ^ 0xfa171fab71c5ull);
-  }
+  /// send time.  Mutable between runs and, under threads=1, mid-run (the
+  /// scheduler serializes sim processes); threaded runs must install the
+  /// plan before run().
+  void set_faults(simnet::FaultPlan plan, std::uint64_t seed);
   simnet::FaultPlan& faults() noexcept { return faults_; }
   const simnet::FaultPlan& faults() const noexcept { return faults_; }
-  /// The single rng behind every probabilistic fault rule: one consumer
-  /// stream, deterministic under the scheduler's total event order.
-  util::Rng& fault_rng() noexcept { return fault_rng_; }
+
+  /// The rng behind probabilistic fault rules, sharded: each scheduler
+  /// thread draws from its own stream (shard 0 keeps the pre-sharding
+  /// stream, so threads=1 fault sequences are bit-identical to the
+  /// single-threaded runtime).
+  util::Rng& fault_rng_for(ContextId ctx) {
+    return shards_[shard_of(ctx)]->fault_rng;
+  }
+
+  /// The termination/wakeup group coordinating the shards' scheduler loops;
+  /// nullptr at one shard (plain DeadlockError semantics apply).
+  simnet::ShardGroup* shard_group() noexcept { return group_.get(); }
 
  private:
-  simnet::Scheduler scheduler_;
+  struct CrossShardPost {
+    simnet::Mailbox<Packet>* box = nullptr;
+    simnet::Time arrival = 0;
+    Packet pkt;
+  };
+
+  /// Slow path of post(): route through the destination shard's MPSC
+  /// queue with termination-protocol inflight accounting.
+  void post_cross_shard(ContextId dst, simnet::Mailbox<Packet>& box,
+                        simnet::Time arrival, Packet pkt);
+
+  /// ExternalSource a sharded fabric installs on each shard's scheduler.
+  class ShardSource;
+
+  struct Shard {
+    simnet::Scheduler scheduler;
+    util::MpscQueue<CrossShardPost> inbound;
+    util::Rng fault_rng;
+    std::unique_ptr<ShardSource> source;
+  };
+
+  void seed_fault_rngs();
+
   simnet::Topology topology_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<simnet::ShardGroup> group_;
   std::vector<std::unique_ptr<SimHost>> hosts_;
-  std::map<std::uint32_t, std::vector<std::pair<ContextId, EndpointId>>>
-      multicast_groups_;
+  std::vector<simnet::SimProcess*> procs_by_ctx_;
+
+  std::mutex mcast_write_mutex_;
+  std::atomic<const McastMap*> mcast_snapshot_;
+  std::vector<std::unique_ptr<McastMap>> mcast_retired_;
+
   simnet::FaultPlan faults_;
-  util::Rng fault_rng_;
+  std::uint64_t fault_seed_ = 0;
 };
 
-/// Per-context endpoint of the realtime fabric.
+/// Per-context endpoint of the realtime fabric.  Each method queue has many
+/// producers (sender threads) and exactly one consumer at a time: the
+/// context's polling engine, or the method's dedicated blocking-poller
+/// thread while one is installed (Context::set_blocking_poller disables the
+/// engine entry before starting the thread and re-enables it after joining,
+/// so the consumer role moves across a happens-before edge).
 struct RtHost {
   std::shared_ptr<RtActivity> activity = std::make_shared<RtActivity>();
-  std::map<std::string, util::ConcurrentQueue<Packet>, std::less<>> queues;
+  std::map<std::string, util::MpscQueue<Packet>, std::less<>> queues;
 
-  util::ConcurrentQueue<Packet>& queue(std::string_view method) {
+  util::MpscQueue<Packet>& queue(std::string_view method) {
     auto it = queues.find(method);
     if (it == queues.end()) {
       throw util::MethodError("context has no queue for method '" +

@@ -33,24 +33,27 @@ const char* phase_name(Phase p) noexcept {
 }
 
 Tracer::Tracer(std::size_t capacity) {
-  ring_.resize(std::max<std::size_t>(8, capacity));
+  cap_.store(std::max<std::size_t>(8, capacity), std::memory_order_relaxed);
   labels_.emplace_back("");  // id 0 = unnamed
 }
 
 void Tracer::set_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ring_.assign(std::max<std::size_t>(8, capacity), Event{});
-  head_ = 0;
-  warned_wrap_ = false;
+  cap_.store(std::max<std::size_t>(8, capacity), std::memory_order_relaxed);
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.ring.clear();
+    s.seqs.clear();
+    s.head = 0;
+    s.warned_wrap = false;
+  }
 }
 
 std::size_t Tracer::capacity() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return ring_.size();
+  return cap_.load(std::memory_order_relaxed);
 }
 
 std::uint16_t Tracer::intern(std::string_view label) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(label_mutex_);
   auto it = label_ids_.find(label);
   if (it != label_ids_.end()) return it->second;
   const auto id = static_cast<std::uint16_t>(labels_.size());
@@ -60,17 +63,29 @@ std::uint16_t Tracer::intern(std::string_view label) {
 }
 
 std::string Tracer::label_name(std::uint16_t id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(label_mutex_);
   return id < labels_.size() ? labels_[id] : std::string("?");
 }
 
 void Tracer::record(const Event& ev) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ring_[head_ % ring_.size()] = ev;
-  ++head_;
-  if (head_ == ring_.size() + 1 && !warned_wrap_) {
-    warned_wrap_ = true;
-    util::log_warn("telemetry", "trace ring wrapped after ", ring_.size(),
+  Stripe& s = stripes_[ev.context % kStripes];
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.ring.empty()) {
+    // First event of this stripe: allocate the full per-stripe ring (idle
+    // stripes never pay).
+    const std::size_t cap = cap_.load(std::memory_order_relaxed);
+    s.ring.resize(cap);
+    s.seqs.resize(cap);
+  }
+  const std::size_t slot =
+      static_cast<std::size_t>(s.head % s.ring.size());
+  s.ring[slot] = ev;
+  s.seqs[slot] = seq;
+  ++s.head;
+  if (s.head == s.ring.size() + 1 && !s.warned_wrap) {
+    s.warned_wrap = true;
+    util::log_warn("telemetry", "trace ring wrapped after ", s.ring.size(),
                    " events; oldest events are being overwritten");
   }
 }
@@ -86,38 +101,60 @@ void Tracer::record_custom(Time when, std::uint32_t context,
   record(ev);
 }
 
-std::vector<Event> Tracer::snapshot_locked() const {
-  const std::size_t cap = ring_.size();
-  const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
-      head_, cap));
-  std::vector<Event> out;
-  out.reserve(n);
-  const std::uint64_t first = head_ - n;
-  for (std::uint64_t i = first; i < head_; ++i) {
-    out.push_back(ring_[i % cap]);
-  }
-  return out;
+std::vector<std::string> Tracer::labels_snapshot() const {
+  std::lock_guard<std::mutex> lock(label_mutex_);
+  return labels_;
 }
 
 std::vector<Event> Tracer::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return snapshot_locked();
+  // Gather every stripe's retained (event, seq) pairs, then merge by the
+  // global sequence: exact record order, and under threads=1 bit-identical
+  // to the old single-ring snapshot.
+  std::vector<std::pair<std::uint64_t, Event>> tagged;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.ring.empty()) continue;
+    const std::size_t cap = s.ring.size();
+    const auto n =
+        static_cast<std::uint64_t>(std::min<std::uint64_t>(s.head, cap));
+    for (std::uint64_t i = s.head - n; i < s.head; ++i) {
+      tagged.emplace_back(s.seqs[i % cap], s.ring[i % cap]);
+    }
+  }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Event> out;
+  out.reserve(tagged.size());
+  for (auto& [seq, ev] : tagged) out.push_back(ev);
+  return out;
 }
 
 std::uint64_t Tracer::recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return head_;
+  std::uint64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    total += s.head;
+  }
+  return total;
 }
 
 std::uint64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return head_ > ring_.size() ? head_ - ring_.size() : 0;
+  std::uint64_t lost = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.ring.empty() && s.head > s.ring.size()) {
+      lost += s.head - s.ring.size();
+    }
+  }
+  return lost;
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  head_ = 0;
-  warned_wrap_ = false;
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.head = 0;
+    s.warned_wrap = false;
+  }
 }
 
 namespace {
@@ -128,17 +165,10 @@ std::string chrome_ts(Time ns) {
 }  // namespace
 
 std::string Tracer::chrome_json() const {
-  std::vector<Event> evs;
-  std::vector<std::string> labels;
-  std::uint64_t total = 0;
-  std::uint64_t lost = 0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    evs = snapshot_locked();
-    labels = labels_;
-    total = head_;
-    lost = head_ > ring_.size() ? head_ - ring_.size() : 0;
-  }
+  const std::vector<Event> evs = events();
+  const std::vector<std::string> labels = labels_snapshot();
+  const std::uint64_t total = recorded();
+  const std::uint64_t lost = dropped();
   auto name_of = [&](const Event& ev) {
     std::string n = phase_name(ev.phase);
     if (ev.label != 0 && ev.label < labels.size()) {
@@ -208,13 +238,8 @@ std::string Tracer::chrome_json() const {
 }
 
 std::string Tracer::text_timeline() const {
-  std::vector<Event> evs;
-  std::vector<std::string> labels;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    evs = snapshot_locked();
-    labels = labels_;
-  }
+  std::vector<Event> evs = events();
+  const std::vector<std::string> labels = labels_snapshot();
   std::stable_sort(evs.begin(), evs.end(),
                    [](const Event& a, const Event& b) { return a.when < b.when; });
   std::string out;

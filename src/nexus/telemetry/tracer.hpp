@@ -8,10 +8,15 @@
 // relays, retries, and retransmits.  The tracer is
 // runtime-off by default: every instrumented site pays exactly one relaxed
 // atomic load (enabled()) on the hot path.  When enabled, record() claims a
-// slot in a fixed-capacity ring under a mutex whose critical section is a
-// single struct copy -- safe to call from realtime context threads and
-// blocking pollers; when the ring wraps, the oldest events are overwritten
-// and dropped() counts what was lost (no allocation, no unbounded growth).
+// slot in a per-context-stripe ring (stripe = context % 16, each stripe its
+// own mutex + ring) so contexts on different scheduler shards or realtime
+// threads never contend on one tracer lock; a global sequence counter
+// stamped per event lets events() merge the stripes back into exact record
+// order (bit-identical to the old single ring under threads=1).  Stripe
+// rings are allocated lazily at full capacity on a stripe's first event --
+// an idle stripe costs nothing.  When a ring wraps, the oldest events of
+// that stripe are overwritten and dropped() counts what was lost (no
+// allocation after the first event, no unbounded growth).
 //
 // Exports: Chrome about://tracing JSON (spans become async begin/end pairs
 // matched by id across contexts) and a compact text timeline for terminals.
@@ -87,7 +92,9 @@ class Tracer {
     enabled_.store(on, std::memory_order_relaxed);
   }
 
-  /// Resize the ring (drops recorded events).  Capacity is clamped to >= 8.
+  /// Resize the rings (drops recorded events).  Capacity is per stripe and
+  /// clamped to >= 8: a single-context workload retains exactly `capacity`
+  /// newest events, same as the pre-striping tracer.
   void set_capacity(std::size_t capacity);
   std::size_t capacity() const;
 
@@ -132,15 +139,27 @@ class Tracer {
   std::string text_timeline() const;
 
  private:
-  std::vector<Event> snapshot_locked() const;
+  /// Contexts map to stripes round-robin; 16 stripes bound the worst-case
+  /// lock contention regardless of world size.
+  static constexpr std::size_t kStripes = 16;
+
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::vector<Event> ring;          ///< empty until the first event
+    std::vector<std::uint64_t> seqs;  ///< global sequence per ring slot
+    std::uint64_t head = 0;  ///< stripe total; next slot = head % ring.size()
+    bool warned_wrap = false;
+  };
+
+  std::vector<std::string> labels_snapshot() const;
 
   std::atomic<bool> enabled_{false};
   std::atomic<SpanId> next_span_{1};
   std::atomic<std::uint64_t> next_trace_{1};
-  mutable std::mutex mutex_;  // guards ring_, head_, labels_
-  std::vector<Event> ring_;
-  std::uint64_t head_ = 0;  // total recorded; next slot is head_ % capacity
-  bool warned_wrap_ = false;
+  std::atomic<std::uint64_t> seq_{0};  ///< global record order
+  std::atomic<std::size_t> cap_{kDefaultCapacity};  ///< per-stripe slots
+  mutable Stripe stripes_[kStripes];
+  mutable std::mutex label_mutex_;  // guards labels_, label_ids_
   std::vector<std::string> labels_;
   std::map<std::string, std::uint16_t, std::less<>> label_ids_;
 };

@@ -75,7 +75,7 @@ void ReliableModule::initialize(Context& ctx) {
     SimFabric& f = *ctx.runtime().sim();
     SimHost& host = f.host(cid);
     auto [it, inserted] = host.boxes.try_emplace(
-        name_, simnet::Mailbox<Packet>(f.scheduler(), *host.proc));
+        name_, simnet::Mailbox<Packet>(f.scheduler_for(cid), *host.proc));
     sim_inbox_ = &it->second;
   } else {
     RtHost& host = ctx.runtime().rt()->host(cid);

@@ -190,7 +190,7 @@ class ReliableModule final : public CommModule {
   // The wrapper's own inbox on this context's host (exactly one is set,
   // by fabric kind).
   simnet::Mailbox<Packet>* sim_inbox_ = nullptr;
-  util::ConcurrentQueue<Packet>* rt_inbox_ = nullptr;
+  util::MpscQueue<Packet>* rt_inbox_ = nullptr;
 
   std::uint64_t window_ = 32;
   int max_retries_ = 12;

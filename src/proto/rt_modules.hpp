@@ -46,7 +46,7 @@ class RtConn final : public CommObject {
   // map nodes are stable).  Never set for group-addressed (mcast)
   // connections, where landing_ is a group id.
   RtHost* host_ = nullptr;
-  util::ConcurrentQueue<Packet>* queue_ = nullptr;
+  util::MpscQueue<Packet>* queue_ = nullptr;
 };
 
 class RtQueueModule : public CommModule {
@@ -74,7 +74,7 @@ class RtQueueModule : public CommModule {
     return *conn.host_;
   }
   /// Destination queue for this method on the connection's landing host.
-  util::ConcurrentQueue<Packet>& route(RtConn& conn) {
+  util::MpscQueue<Packet>& route(RtConn& conn) {
     if (conn.queue_ == nullptr) conn.queue_ = &route_host(conn).queue(name_);
     return *conn.queue_;
   }
@@ -106,7 +106,7 @@ class RtQueueModule : public CommModule {
   Scope scope_;
   int rank_;
   bool blocking_capable_;
-  util::ConcurrentQueue<Packet>* inbox_ = nullptr;
+  util::MpscQueue<Packet>* inbox_ = nullptr;
 };
 
 /// Unreliable datagrams on the realtime fabric: same drop/MTU model as the

@@ -51,7 +51,8 @@ int SimModuleBase::my_partition() const {
 void SimModuleBase::initialize(Context& ctx) {
   SimHost& host = fabric().host(ctx.id());
   auto [it, inserted] = host.boxes.try_emplace(
-      name_, simnet::Mailbox<Packet>(fabric().scheduler(), *host.proc));
+      name_,
+      simnet::Mailbox<Packet>(fabric().scheduler_for(ctx.id()), *host.proc));
   inbox_ = &it->second;
 }
 
@@ -90,7 +91,7 @@ SendResult SimModuleBase::post_faulted(ContextId dst,
   if (!f.faults().empty()) {
     const simnet::FaultVerdict v = f.faults().consult(
         name_, my_partition(), f.topology().partition_of(dst), now(),
-        f.fault_rng());
+        f.fault_rng_for(ctx_->id()));
     if (v.failed()) {
       if (ctx_->observing()) {
         ctx_->observe({now(), packet.span, ctx_->id(), telemetry::Phase::Drop,
@@ -103,7 +104,9 @@ SendResult SimModuleBase::post_faulted(ContextId dst,
     arrival += v.extra_delay;
   }
   trace_enqueue(*ctx_, *this, packet, wire, arrival);
-  box.post(arrival, std::move(packet));
+  // Same-shard: a direct mailbox post (the 1-alloc hot path).  Cross-shard:
+  // the fabric routes through the destination shard's MPSC queue.
+  f.post(ctx_->id(), dst, box, arrival, std::move(packet));
   return {DeliveryStatus::Ok, wire};
 }
 
@@ -197,7 +200,8 @@ SendResult MplSimModule::send(CommObject& conn, Packet packet) {
   SimConn& c = static_cast<SimConn&>(conn);
   // Kernel-call interference (paper §3.3): the receiver's TCP polling slows
   // the drain of this transfer; modelled as a bandwidth divisor.
-  const double drag = route_host(c).inbound_drag;
+  const double drag =
+      route_host(c).inbound_drag.load(std::memory_order_relaxed);
   return transmit_into(c.landing(), route(c), std::move(packet), drag);
 }
 
@@ -221,17 +225,27 @@ SendResult TcpSimModule::send(CommObject& conn, Packet packet) {
   const std::uint64_t wire = packet.wire_size();
   Time arrival =
       now() + costs_.latency + simnet::transfer_time(wire, costs_.mb_s);
-  const std::uint64_t pending = box.pending();
-  if (incast_stall_ > 0 && pending > incast_threshold_ &&
-      dest.tcp_inflight_bytes > incast_bytes_) {
-    const auto excess = static_cast<Time>(pending - incast_threshold_);
-    arrival += excess * excess * incast_stall_;
+  // Incast model: box.pending() is owned by the destination's home shard,
+  // so the stall term applies only to same-shard senders (the per-shard
+  // congestion view; cross-shard senders still feed the atomic inflight
+  // counter the receiver's poll drains).
+  if (incast_stall_ > 0 &&
+      fabric().same_shard(ctx_->id(), c.landing())) {
+    const std::uint64_t pending = box.pending();
+    if (pending > incast_threshold_ &&
+        dest.tcp_inflight_bytes.load(std::memory_order_relaxed) >
+            incast_bytes_) {
+      const auto excess = static_cast<Time>(pending - incast_threshold_);
+      arrival += excess * excess * incast_stall_;
+    }
   }
   const SendResult r =
       post_faulted(c.landing(), box, std::move(packet), arrival, wire);
   // A failed send never reached the destination's receive window, so it
   // must not contribute to the incast inflight accounting.
-  if (r.ok()) dest.tcp_inflight_bytes += wire;
+  if (r.ok()) {
+    dest.tcp_inflight_bytes.fetch_add(wire, std::memory_order_relaxed);
+  }
   return r;
 }
 
@@ -240,8 +254,13 @@ std::optional<Packet> TcpSimModule::poll() {
   if (pkt) {
     SimHost& self = fabric().host(ctx_->id());
     const std::uint64_t wire = pkt->wire_size();
-    self.tcp_inflight_bytes =
-        self.tcp_inflight_bytes > wire ? self.tcp_inflight_bytes - wire : 0;
+    // Clamped subtract via CAS: concurrent senders may be adding, and the
+    // counter must never wrap below zero.
+    std::uint64_t cur =
+        self.tcp_inflight_bytes.load(std::memory_order_relaxed);
+    while (!self.tcp_inflight_bytes.compare_exchange_weak(
+        cur, cur > wire ? cur - wire : 0, std::memory_order_relaxed)) {
+    }
   }
   return pkt;
 }
@@ -450,8 +469,11 @@ std::unique_ptr<CommObject> McastSimModule::connect(
 
 SendResult McastSimModule::send(CommObject& conn, Packet packet) {
   const std::uint32_t group = static_cast<SimConn&>(conn).landing();
-  auto it = fabric().multicast_groups().find(group);
-  if (it == fabric().multicast_groups().end() || it->second.empty()) {
+  // Wait-free membership read: an immutable COW snapshot (possibly one
+  // join stale, like a real network's propagation delay).
+  const SimFabric::McastMap& groups = fabric().multicast_snapshot();
+  auto it = groups.find(group);
+  if (it == groups.end() || it->second.empty()) {
     throw util::MethodError("multicast group " + std::to_string(group) +
                             " has no members");
   }
@@ -477,7 +499,7 @@ void multicast_join(Context& ctx, std::uint32_t group, const Endpoint& ep) {
     throw util::UsageError("multicast_join: endpoint must be local");
   }
   if (SimFabric* fabric = ctx.runtime().sim()) {
-    fabric->multicast_groups()[group].emplace_back(ctx.id(), ep.id());
+    fabric->multicast_join(group, ctx.id(), ep.id());
   } else {
     ctx.runtime().rt()->multicast_join(group, ctx.id(), ep.id());
   }

@@ -61,6 +61,10 @@ Time Scheduler::horizon_for(const SimProcess& p) const {
 void Scheduler::run() {
   running_ = true;
   while (true) {
+    // Sharded runs: ingest cross-shard traffic before every dispatch so
+    // arrivals become timers/wakes visible to the pick below.
+    if (external_ != nullptr) external_->drain();
+
     // Pick the runnable process with the smallest clock (LRU on ties).
     SimProcess* next = nullptr;
     for (const auto& p : procs_) {
@@ -88,6 +92,20 @@ void Scheduler::run() {
           if (any_blocked) blocked_names << ", ";
           blocked_names << p->name();
           any_blocked = true;
+        }
+      }
+      if (external_ != nullptr) {
+        // Locally idle is not globally idle: park on the external source.
+        // Woken -> loop back (drain() at the top delivers the traffic);
+        // Terminated -> the whole group is done, so local Blocked procs
+        // really are deadlocked; Aborted -> another shard failed, unwind
+        // quietly (the failing shard rethrows its own exception).
+        const ExternalIdle verdict = external_->idle(!any_blocked);
+        if (verdict == ExternalIdle::Woken) continue;
+        if (verdict == ExternalIdle::Aborted) {
+          running_ = false;
+          shutdown();
+          return;
         }
       }
       if (any_blocked) {

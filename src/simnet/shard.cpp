@@ -1,0 +1,53 @@
+#include "simnet/shard.hpp"
+
+#include "util/error.hpp"
+
+namespace nexus::simnet {
+
+ShardGroup::ShardGroup(std::size_t shards)
+    : shards_(shards),
+      all_mask_(shards >= kMaxShards ? ~std::uint64_t{0}
+                                     : (std::uint64_t{1} << shards) - 1) {
+  if (shards == 0 || shards > kMaxShards) {
+    throw util::Error("ShardGroup: shard count must be in [1, 64]");
+  }
+}
+
+ExternalIdle ShardGroup::park(std::size_t shard,
+                              const std::function<bool()>& has_inbound) {
+  // Publish the parked bit FIRST, then re-check the inbound queue under the
+  // mutex: a producer either observes the bit (and notifies under the same
+  // mutex) or its seq_cst push precedes our seq_cst re-check, which then
+  // reports the item.  Either way no wakeup is lost.
+  parked_.fetch_or(bit(shard), std::memory_order_seq_cst);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (aborted_) {
+      parked_.fetch_and(~bit(shard), std::memory_order_seq_cst);
+      return ExternalIdle::Aborted;
+    }
+    if (terminated_) return ExternalIdle::Terminated;
+    if (has_inbound()) {
+      parked_.fetch_and(~bit(shard), std::memory_order_seq_cst);
+      return ExternalIdle::Woken;
+    }
+    if (parked_.load(std::memory_order_seq_cst) == all_mask_ &&
+        inflight_.load(std::memory_order_seq_cst) == 0) {
+      // Every shard is parked and no post is in flight.  A producer is a
+      // running process, so its own shard could not have parked during the
+      // (inflight > 0) window -- no further traffic can materialize.
+      terminated_ = true;
+      cv_.notify_all();
+      return ExternalIdle::Terminated;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void ShardGroup::abort() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  aborted_ = true;
+  cv_.notify_all();
+}
+
+}  // namespace nexus::simnet

@@ -1,0 +1,106 @@
+// Termination and wakeup protocol for a group of scheduler shards.
+//
+// A sharded simulation runs N conservative schedulers on N OS threads; the
+// fabric routes cross-shard traffic through per-shard MPSC queues.  The one
+// global question -- "is the whole simulation finished, or merely this
+// shard?" -- is answered here with a parked-mask + inflight-counter
+// handshake:
+//
+//   producer (a process on shard A posting toward shard B):
+//     note_enqueue()            inflight++, BEFORE pushing to B's queue
+//     <push to B's queue>
+//     wake(B)                   notify only if B's parked bit is set
+//
+//   consumer (shard B's scheduler loop, out of local work):
+//     park(B, has_inbound)      set parked bit, re-check the queue, then
+//                               either return Woken, sleep, or -- when every
+//                               bit is set and inflight == 0 -- declare the
+//                               group Terminated
+//
+// Soundness of the termination test: a producer is a *running* process, so
+// its own shard cannot be parked while the (inflight > 0) window is open --
+// "all parked" therefore implies no post is in flight anywhere.  The
+// parked-bit store and the queue push are both seq_cst, so a producer that
+// misses the bit is ordered before the consumer's queue re-check (which
+// then sees the item), and one that sees it notifies under the mutex.
+//
+// Virtual clocks are NOT coordinated across shards: a cross-shard packet
+// may land in its receiver's past and is delivered on the next poll (the
+// mailbox heap handles out-of-order arrivals).  Determinism is guaranteed
+// only at one shard; see docs/ARCHITECTURE.md §13.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "simnet/scheduler.hpp"
+
+namespace nexus::simnet {
+
+class ShardGroup {
+ public:
+  /// At most 64 shards (one bit each in the parked mask).
+  static constexpr std::size_t kMaxShards = 64;
+
+  explicit ShardGroup(std::size_t shards);
+
+  std::size_t size() const noexcept { return shards_; }
+
+  /// Producer side: account one cross-shard post.  Must be called BEFORE
+  /// the item is pushed into the target shard's queue.
+  void note_enqueue() noexcept {
+    inflight_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// Consumer side: account `n` drained posts.
+  void note_drained(std::size_t n) noexcept {
+    inflight_.fetch_sub(static_cast<std::uint64_t>(n),
+                        std::memory_order_seq_cst);
+  }
+
+  /// Producer side: wake `shard` if it is parked.  Call AFTER the push.
+  void wake(std::size_t shard) {
+    if ((parked_.load(std::memory_order_seq_cst) & bit(shard)) != 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cv_.notify_all();
+    }
+  }
+
+  /// Consumer side: this shard has no runnable process and no timer.
+  /// `has_inbound` must report whether the shard's inbound queue holds
+  /// undrained posts (consumer-exact).  Returns Woken when new traffic may
+  /// have landed (re-enter the scheduler loop), Terminated when the whole
+  /// group is provably done, Aborted after abort().
+  ExternalIdle park(std::size_t shard,
+                    const std::function<bool()>& has_inbound);
+
+  /// Wake every parked shard and make all future park() calls return
+  /// Aborted.  Called when any shard's run() throws, so the others unwind
+  /// instead of waiting for traffic that will never come.
+  void abort();
+
+  bool aborted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return aborted_;
+  }
+
+ private:
+  static std::uint64_t bit(std::size_t shard) noexcept {
+    return std::uint64_t{1} << shard;
+  }
+
+  const std::size_t shards_;
+  const std::uint64_t all_mask_;
+  /// Padded: every cross-shard post RMWs this from its producer thread.
+  alignas(64) std::atomic<std::uint64_t> inflight_{0};
+  alignas(64) std::atomic<std::uint64_t> parked_{0};
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool terminated_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace nexus::simnet

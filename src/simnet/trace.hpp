@@ -5,7 +5,9 @@
 // timestamps so tests can assert on ordering and latency.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,20 +34,37 @@ struct TraceEvent {
   std::string note;
 };
 
+/// The legacy whole-runtime recorder.  Thread-safe: contexts on different
+/// scheduler shards (or realtime threads) may record concurrently, so the
+/// enabled flag is a relaxed atomic branch and the event vector is guarded
+/// by a mutex on the (off-by-default) enabled path.  Reading events() /
+/// count() while a run is in flight is inherently racy and remains a
+/// test-time (post-run) operation.
 class TraceRecorder {
  public:
-  void enable(bool on = true) noexcept { enabled_ = on; }
-  bool enabled() const noexcept { return enabled_; }
+  void enable(bool on = true) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   void record(TraceEvent ev) {
-    if (enabled_) events_.push_back(std::move(ev));
+    if (enabled()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      events_.push_back(std::move(ev));
+    }
   }
 
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
-  void clear() { events_.clear(); }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+  }
 
   /// Count events matching a kind (and optionally a method name).
   std::size_t count(TraceKind kind, std::string_view method = {}) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::size_t n = 0;
     for (const auto& e : events_) {
       if (e.kind == kind && (method.empty() || e.method == method)) ++n;
@@ -54,7 +73,8 @@ class TraceRecorder {
   }
 
  private:
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
 };
 

@@ -11,6 +11,29 @@
 // only "modify" a payload by copying it first (UnpackBuffer::get_bytes), and
 // transform modules (secure/zrle) replace the whole buffer rather than
 // editing in place.  See docs/ARCHITECTURE.md §8.
+//
+// Memory-order contract (docs/ARCHITECTURE.md §13): the refcount lives in
+// the shared_ptr control block, whose standard-library implementation gives
+// exactly the ordering a cross-thread payload handoff needs --
+//
+//   * increments (copying a SharedBytes) are relaxed: creating a new
+//     reference needs no ordering of its own because the copier already
+//     holds a live reference, so the count cannot hit zero concurrently;
+//   * decrements (dropping one) are acq_rel: every release makes the
+//     dropping thread's reads of the buffer visible-before the count can
+//     reach zero, and the final decrement acquires all of them before the
+//     destructor frees the block.  No thread can observe the buffer after
+//     free, and no write to the control block is lost.
+//
+// Consequently a Packet whose payload crosses a shard boundary through the
+// MPSC router can be released by sender and receiver in any interleaving:
+// the last owner -- whichever thread that is -- frees the buffer exactly
+// once.  tests/test_shared_bytes.cpp (SharedBytesMt suite) stress-verifies
+// this under ThreadSanitizer: concurrent copy/view/drop storms across
+// threads, with the payload bytes re-verified on every side.  The class
+// itself stays free of explicit atomics by design; if data_ is ever
+// replaced with a hand-rolled refcount, it must reproduce the
+// relaxed-increment / acq_rel-decrement discipline above.
 #pragma once
 
 #include <cstring>

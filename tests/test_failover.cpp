@@ -259,6 +259,9 @@ TEST(Failover, AllMethodsQuarantinedProbesAndRecovers) {
   RuntimeOptions opts = opts_with({"local", "tcp"},
                                   simnet::Topology::two_partitions(1, 1));
   opts.faults.drop("tcp", 1.0, /*from=*/0, /*until=*/100 * kMs);
+  // Time-windowed fault plans + backoff windows assume one virtual clock
+  // across contexts: single-shard only (docs/ARCHITECTURE.md §13).
+  opts.threads = 1;
   Runtime rt(opts);
   std::uint64_t done = 0;
   rt.run([&](Context& ctx) {
