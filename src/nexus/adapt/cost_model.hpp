@@ -107,6 +107,21 @@ class CostModel {
   /// Claim the pending echo for `peer`, if any, emptying the slot.
   std::optional<Echo> take_echo(ContextId peer);
 
+  /// Drop every estimate and parked echo about `peer`.  Called when the
+  /// peer is declared dead: measurements of its previous life would poison
+  /// selection for its next incarnation.
+  void evict_peer(ContextId peer) {
+    std::erase_if(entries_,
+                  [peer](const auto& kv) { return kv.first.second == peer; });
+    pending_.erase(peer);
+  }
+
+  /// Forget everything (local crash/restart: in-memory state is lost).
+  void clear() {
+    entries_.clear();
+    pending_.clear();
+  }
+
   /// Total samples folded in (enquiry/tests).
   std::uint64_t samples() const noexcept { return samples_; }
 

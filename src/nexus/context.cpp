@@ -86,6 +86,16 @@ Context::Context(Runtime& runtime, ContextId id,
       db.get_scoped_int(id_, "adapt.rerank_ms", 200) * 1'000'000;
   adapt_rerank_bytes_ = static_cast<std::uint64_t>(
       db.get_scoped_int(id_, "adapt.rerank_bytes", 1024));
+  // Robustness layer (docs §14): redelivery budget per dead-lettered RSR
+  // (0 keeps the pre-robustness throw-on-exhaustion contract), dead-letter
+  // queue bound, and the grace every applicable method must stay Dead for
+  // before a peer is declared down.
+  retry_budget_ = static_cast<std::uint32_t>(
+      db.get_scoped_int(id_, "robust.retry_budget", 0));
+  deadletter_cap_ = static_cast<std::size_t>(
+      db.get_scoped_int(id_, "robust.deadletter_cap", 64));
+  peer_grace_ = db.get_scoped_int(id_, "robust.peer_grace_ms", 200) *
+                1'000'000;
   register_adapt_handlers();
   auto root = std::unique_ptr<Endpoint>(new Endpoint(id_, kRootEndpointId));
   root_ = root.get();
@@ -104,6 +114,7 @@ void Context::compute_with_polling(Time total, Time chunk) {
     throw util::UsageError("compute_with_polling requires a positive chunk");
   }
   while (total > 0) {
+    maybe_crash();
     const Time step = std::min(chunk, total);
     clock_->advance(step);
     total -= step;
@@ -177,7 +188,12 @@ Startpoint Context::world_startpoint(ContextId target) const {
   Startpoint::Link link;
   link.context = target;
   link.endpoint = kRootEndpointId;
-  link.table = runtime_->table_of(target);
+  // Unknown / never-registered targets get an empty table instead of a
+  // throw from deep in the descriptor registry: the rsr() path reports them
+  // as DeliveryStatus::Dead with a send_errors increment (both fabrics).
+  if (target < runtime_->world_size()) {
+    link.table = runtime_->table_of(target);
+  }
   sp.links_.push_back(std::move(link));
   return sp;
 }
@@ -435,6 +451,7 @@ SendResult Context::send_on_link(Startpoint::Link& link, HandlerId h,
   pkt.payload = payload;  // aliases the caller's buffer: two atomic ops
   pkt.span = span;
   pkt.trace = trace;
+  pkt.incarnation = incarnation_;
   if (adapt_enabled_) {
     // Piggyback any pending timing echo for this peer (docs §11): the
     // measurement the peer's model is waiting for rides home for free.
@@ -482,6 +499,16 @@ void Context::note_send_success(MethodId mid, ContextId target,
                target, 0, trace});
     }
   }
+  // Rebirth: any successful send to a declared-dead peer un-declares it and
+  // drains its parked dead letters.
+  if (!dead_peers_.empty() && dead_peers_.erase(target) != 0) {
+    ++cmetrics_->peer_reborns;
+    if (observing()) {
+      observe({now(), span, id_, telemetry::Phase::PeerReborn, trace_label, 0,
+               target, 0, trace});
+    }
+    redeliver_deadletters(target);
+  }
 }
 
 HealthTracker::FailAction Context::note_send_failure(MethodId mid,
@@ -510,15 +537,91 @@ HealthTracker::FailAction Context::note_send_failure(MethodId mid,
     // post-mortem should show what led up to the method being declared
     // dead.  No-op unless a flight dir is configured.
     tele_->dump_flight("quarantine");
+    // Escalation: a quarantine may have been the last method standing.
+    maybe_declare_peer_dead(target);
   }
   return action;
 }
 
-void Context::send_with_failover(Startpoint& sp, Startpoint::Link& link,
-                                 HandlerId h,
-                                 const util::SharedBytes& payload,
-                                 telemetry::SpanId span,
-                                 std::uint64_t trace) {
+void Context::maybe_declare_peer_dead(ContextId target) {
+  if (target == id_ || target >= world_size()) return;
+  if (dead_peers_.find(target) != dead_peers_.end()) return;
+  // Down only when EVERY applicable method to the peer has been raw-Dead
+  // (no Probation derivation -- an expired backoff means "will probe", not
+  // "recovered") continuously for at least the grace period.
+  const DescriptorTable& table = runtime_->table_of(target);
+  bool any_applicable = false;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const CommDescriptor& d = table.at(i);
+    CommModule* m = module(d.method);
+    if (m == nullptr || !m->applicable(d)) continue;
+    any_applicable = true;
+    const HealthTracker::Status s =
+        health_.raw_status(intern_method(d.method), d.context);
+    if (s.state != MethodHealth::Dead || s.died_at == 0 ||
+        s.died_at + peer_grace_ > now()) {
+      return;
+    }
+  }
+  if (!any_applicable) return;
+  dead_peers_.insert(target);
+  ++cmetrics_->peer_deaths;
+  if (observing()) {
+    observe({now(), 0, id_, telemetry::Phase::PeerDead, 0, 0, target});
+  }
+  // Peer death is a flight-recorder dump trigger: the post-mortem should
+  // show the failure cascade that killed every method.
+  tele_->dump_flight("peer-death");
+  // Evict everything cached about the dead peer: connections, forwarding
+  // routes, and cost-model rows (measurements of its previous life would
+  // poison selection for its next incarnation).
+  std::erase_if(connections_,
+                [target](const auto& kv) { return kv.first.second == target; });
+  forward_routes_.erase(target);
+  cost_model_->evict_peer(target);
+}
+
+void Context::redeliver_deadletters(ContextId target) {
+  if (deadletters_.empty()) return;
+  std::deque<DeadLetter> mine;
+  std::erase_if(deadletters_, [&](DeadLetter& dl) {
+    if (dl.target != target) return false;
+    mine.push_back(std::move(dl));
+    return true;
+  });
+  for (DeadLetter& dl : mine) {
+    if (dl.budget == 0) {
+      ++cmetrics_->deadletter_drops;
+      continue;
+    }
+    --dl.budget;
+    Startpoint sp;
+    Startpoint::Link link;
+    link.context = dl.target;
+    link.endpoint = dl.endpoint;
+    link.table = runtime_->table_of(dl.target);
+    sp.links_.push_back(std::move(link));
+    const bool obs = observing();
+    const telemetry::SpanId span = obs ? next_span() : 0;
+    const std::uint64_t trace = obs ? next_trace() : 0;
+    if (send_with_failover(sp, sp.links_[0], dl.handler, dl.payload, span,
+                           trace) == DeliveryStatus::Ok) {
+      ++cmetrics_->deadletter_redeliveries;
+    } else if (dl.budget == 0) {
+      ++cmetrics_->deadletter_drops;
+    } else if (deadletters_.size() >= deadletter_cap_) {
+      ++cmetrics_->deadletter_drops;
+    } else {
+      deadletters_.push_back(std::move(dl));
+    }
+  }
+}
+
+DeliveryStatus Context::send_with_failover(Startpoint& sp,
+                                           Startpoint::Link& link, HandlerId h,
+                                           const util::SharedBytes& payload,
+                                           telemetry::SpanId span,
+                                           std::uint64_t trace) {
   // Bounded by the worst case of every table entry walking through its full
   // failure threshold plus a few restore probes; a healthy fabric exits on
   // the first iteration.
@@ -536,7 +639,7 @@ void Context::send_with_failover(Startpoint& sp, Startpoint::Link& link,
       if (failures > 0 && tele_->metrics().enabled()) {
         cmetrics_->rsr_retries.add(failures);
       }
-      return;
+      return DeliveryStatus::Ok;
     }
     ++failures;
     const MethodId mid = intern_method(link.selected_method);
@@ -544,6 +647,12 @@ void Context::send_with_failover(Startpoint& sp, Startpoint::Link& link,
         mid, link.context, link.conn->module().trace_label(), r.status, span,
         trace);
     if (failures >= max_attempts) {
+      if (retry_budget_ > 0) {
+        // Dead-letter discipline (docs §14): hand the verdict back so the
+        // caller parks the RSR instead of retrying forever or throwing.
+        evict_connection(link);
+        return DeliveryStatus::Dead;
+      }
       throw util::MethodError(
           "rsr to context " + std::to_string(link.context) + " failed " +
           std::to_string(failures) + " times across every applicable method");
@@ -571,13 +680,56 @@ void Context::send_with_failover(Startpoint& sp, Startpoint::Link& link,
   }
 }
 
-void Context::rsr(Startpoint& sp, HandlerId handler,
-                  util::SharedBytes payload) {
+bool Context::try_send_once(Startpoint& sp, Startpoint::Link& link,
+                            HandlerId h, const util::SharedBytes& payload,
+                            telemetry::SpanId span, std::uint64_t trace) {
+  // One bounded attempt toward a declared-dead peer: the rebirth probe.
+  // Selection may throw (e.g. everything still quarantined with no
+  // fallback); that is just "still dead" here, never an RSR failure.
+  try {
+    ensure_connection(sp, link, payload.size());
+  } catch (const util::MethodError&) {
+    return false;
+  }
+  const SendResult r = send_on_link(link, h, payload, span, trace);
+  const MethodId mid = intern_method(link.selected_method);
+  const std::uint16_t label = link.conn->module().trace_label();
+  if (r.ok()) {
+    // Runs the restore path, which un-declares the peer and drains its
+    // dead letters (this RSR itself was already delivered, so it is NOT
+    // in the queue -- no duplicate delivery).
+    note_send_success(mid, link.context, label, span, trace);
+    return true;
+  }
+  note_send_failure(mid, link.context, label, r.status, span, trace);
+  evict_connection(link);
+  return false;
+}
+
+void Context::deadletter(const Startpoint::Link& link, HandlerId h,
+                         const util::SharedBytes& payload,
+                         telemetry::SpanId span, std::uint64_t trace) {
+  if (deadletters_.size() >= deadletter_cap_) {
+    deadletters_.pop_front();  // bounded queue: oldest letter is dropped
+    ++cmetrics_->deadletter_drops;
+  }
+  deadletters_.push_back(
+      DeadLetter{link.context, link.endpoint, h, payload, retry_budget_});
+  ++cmetrics_->deadletters;
+  if (observing()) {
+    observe({now(), span, id_, telemetry::Phase::Deadletter, 0,
+             payload.size(), link.context, 0, trace});
+  }
+}
+
+DeliveryStatus Context::rsr(Startpoint& sp, HandlerId handler,
+                            util::SharedBytes payload) {
   if (!sp.bound()) {
     throw util::UsageError("rsr on an unbound startpoint");
   }
   std::unique_lock<std::recursive_mutex> lock;
   if (rt_mutex_) lock = std::unique_lock<std::recursive_mutex>(*rt_mutex_);
+  maybe_crash();
 
   ++rsrs_sent_;
   // One root span and one trace id per RSR: every link of a multicast shares
@@ -586,40 +738,127 @@ void Context::rsr(Startpoint& sp, HandlerId handler,
   const bool obs = observing();
   const telemetry::SpanId span = obs ? next_span() : 0;
   const std::uint64_t trace = obs ? next_trace() : 0;
+  DeliveryStatus worst = DeliveryStatus::Ok;
   for (auto& link : sp.links_) {
-    send_with_failover(sp, link, handler, payload, span, trace);
+    // Unknown / never-registered target: report Dead instead of throwing
+    // from deep inside the descriptor registry (group pseudo-contexts at or
+    // above kGroupContextBase are real multicast addresses, not errors).
+    if (link.context >= world_size() && link.context < kGroupContextBase) {
+      ++cmetrics_->send_errors;
+      worst = DeliveryStatus::Dead;
+      continue;
+    }
+    if (retry_budget_ > 0 && is_peer_dead(link.context)) {
+      // Dead peer: one probe attempt with the real payload.  Success runs
+      // the rebirth path (and this RSR is delivered); failure parks it.
+      if (!try_send_once(sp, link, handler, payload, span, trace)) {
+        deadletter(link, handler, payload, span, trace);
+        if (worst == DeliveryStatus::Ok) worst = DeliveryStatus::Transient;
+      }
+      continue;
+    }
+    if (send_with_failover(sp, link, handler, payload, span, trace) !=
+        DeliveryStatus::Ok) {
+      deadletter(link, handler, payload, span, trace);
+      if (worst == DeliveryStatus::Ok) worst = DeliveryStatus::Transient;
+    }
   }
   // Paper §3.3: the polling function is called at least every time a Nexus
   // operation is performed.
   engine_->poll_once();
+  return worst;
 }
 
-void Context::rsr(Startpoint& sp, HandlerId handler,
-                  const util::PackBuffer& args) {
-  rsr(sp, handler, util::SharedBytes::copy_of(args.bytes()));
+DeliveryStatus Context::rsr(Startpoint& sp, HandlerId handler,
+                            const util::PackBuffer& args) {
+  return rsr(sp, handler, util::SharedBytes::copy_of(args.bytes()));
 }
 
-void Context::rsr(Startpoint& sp, HandlerId handler) {
-  rsr(sp, handler, util::SharedBytes{});
+DeliveryStatus Context::rsr(Startpoint& sp, HandlerId handler) {
+  return rsr(sp, handler, util::SharedBytes{});
 }
 
-void Context::rsr(Startpoint& sp, std::string_view handler,
-                  util::SharedBytes payload) {
-  rsr(sp, HandlerTable::id_of(handler), std::move(payload));
+DeliveryStatus Context::rsr(Startpoint& sp, std::string_view handler,
+                            util::SharedBytes payload) {
+  return rsr(sp, HandlerTable::id_of(handler), std::move(payload));
 }
 
-void Context::rsr(Startpoint& sp, std::string_view handler,
-                  util::Bytes payload) {
-  rsr(sp, HandlerTable::id_of(handler), util::SharedBytes(std::move(payload)));
+DeliveryStatus Context::rsr(Startpoint& sp, std::string_view handler,
+                            util::Bytes payload) {
+  return rsr(sp, HandlerTable::id_of(handler),
+             util::SharedBytes(std::move(payload)));
 }
 
-void Context::rsr(Startpoint& sp, std::string_view handler,
-                  const util::PackBuffer& args) {
-  rsr(sp, HandlerTable::id_of(handler), util::SharedBytes::copy_of(args.bytes()));
+DeliveryStatus Context::rsr(Startpoint& sp, std::string_view handler,
+                            const util::PackBuffer& args) {
+  return rsr(sp, HandlerTable::id_of(handler),
+             util::SharedBytes::copy_of(args.bytes()));
 }
 
-void Context::rsr(Startpoint& sp, std::string_view handler) {
-  rsr(sp, HandlerTable::id_of(handler), util::SharedBytes{});
+DeliveryStatus Context::rsr(Startpoint& sp, std::string_view handler) {
+  return rsr(sp, HandlerTable::id_of(handler), util::SharedBytes{});
+}
+
+void Context::crash_check() {
+  const simnet::FaultPlan& plan = *fault_plan_;
+  if (!plan.crashed(id_, my_partition_, now())) return;
+  const Time end = plan.crash_end(id_, my_partition_, now());
+  if (end == simnet::kInfinity) {
+    // The virtual clock can never reach infinity; a permanently-dead
+    // context is modelled with a finite `until` beyond the workload horizon.
+    throw util::UsageError("crash window for context " + std::to_string(id_) +
+                           " never ends; use a finite until");
+  }
+  // Model the outage: everything in memory is lost at the crash instant,
+  // the context is silent until the window closes, and traffic that landed
+  // mid-outage was addressed to a process that no longer exists -- wipe
+  // once on the way down and once on the way back up.
+  wipe_comm_state(end);
+  clock_->advance(end - now());
+  incarnation_ = plan.incarnation(id_, my_partition_, now());
+  wipe_comm_state(end);
+  if (observing()) {
+    // Local reincarnation event; aux carries the new epoch.
+    observe({now(), 0, id_, telemetry::Phase::PeerReborn, 0, 0,
+             incarnation_});
+  }
+}
+
+void Context::wipe_comm_state(Time cutoff) {
+  if (SimFabric* f = runtime_->sim()) {
+    // A crashed process's sockets are gone: drop everything that arrived
+    // (or will arrive) before the restart instant.
+    for (auto& [name, box] : f->host(id_).boxes) box.purge_before(cutoff);
+  }
+  connections_.clear();
+  forward_routes_.clear();
+  // Fresh health history (the old incarnation's quarantines died with it),
+  // on a jitter stream that differs per incarnation so reborn probers do
+  // not replay their previous life's schedule.
+  health_ = HealthTracker(
+      runtime_->options().health,
+      runtime_->options().seed ^ (0x48ea17ull * (id_ + 1)) ^
+          (0x9e3779b97f4a7c15ull * incarnation_));
+  cost_model_->clear();
+  dead_peers_.clear();
+  deadletters_.clear();
+  for (auto& m : modules_) m->on_crash_restart();
+}
+
+void Context::drain_forwarding(ContextId sibling) {
+  if (sibling >= world_size()) {
+    throw util::UsageError("drain_forwarding: sibling " +
+                           std::to_string(sibling) +
+                           " is not a real context");
+  }
+  draining_ = true;
+  drain_sibling_ = sibling;
+  // Cached routes send directly; drop them so every relayed packet from
+  // here on is re-routed via the sibling.
+  forward_routes_.clear();
+  // Flush everything already in our mailboxes before the caller kills us.
+  while (engine_->poll_once()) {
+  }
 }
 
 void Context::pack_startpoint(util::PackBuffer& pb,
@@ -753,13 +992,20 @@ void Context::forward(Packet pkt) {
   const telemetry::SpanId span = obs ? next_span() : parent;
   pkt.span = span;
   const ContextId dst = pkt.dst;
-  const DescriptorTable& table = runtime_->table_of(dst);
+  // A draining forwarder hands its relay duty to the sibling: the packet's
+  // next hop becomes the sibling (pkt.dst is untouched, so the sibling
+  // forwards it onward; kMaxForwardHops bounds any mis-configured loop).
+  const ContextId via = (draining_ && drain_sibling_ != kNoContext &&
+                         drain_sibling_ != dst && drain_sibling_ != id_)
+                            ? drain_sibling_
+                            : dst;
+  const DescriptorTable& table = runtime_->table_of(via);
   const std::uint64_t max_attempts =
       health_.params().fail_threshold * (table.size() + 1) + 8;
   std::uint64_t failures = 0;
   for (;;) {
     std::shared_ptr<CommObject> conn;
-    if (auto cached = forward_routes_.find(dst);
+    if (auto cached = forward_routes_.find(via);
         cached != forward_routes_.end()) {
       conn = cached->second;
     } else {
@@ -769,10 +1015,10 @@ void Context::forward(Packet pkt) {
       if (!idx) {
         throw util::MethodError("forwarder " + std::to_string(id_) +
                                 " has no applicable method to reach context " +
-                                std::to_string(dst));
+                                std::to_string(via));
       }
       conn = cached_connection(table.at(*idx));
-      forward_routes_.emplace(dst, conn);
+      forward_routes_.emplace(via, conn);
     }
     CommModule& m = conn->module();
     // Each attempt copies the packet (a SharedBytes refcount bump, no byte
@@ -783,7 +1029,7 @@ void Context::forward(Packet pkt) {
     if (r.ok()) {
       m.counters().bytes_sent += r.wire;
       if (!health_.empty()) {
-        note_send_success(intern_method(m.name()), dst, m.trace_label(), span,
+        note_send_success(intern_method(m.name()), via, m.trace_label(), span,
                           trace);
       }
       if (tele_->metrics().enabled() && m.metrics() != nullptr) {
@@ -802,12 +1048,12 @@ void Context::forward(Packet pkt) {
     m.counters().send_errors += 1;
     ++failures;
     const HealthTracker::FailAction action = note_send_failure(
-        intern_method(m.name()), dst, m.trace_label(), r.status, span, trace);
+        intern_method(m.name()), via, m.trace_label(), r.status, span, trace);
     if (failures >= max_attempts) {
       throw util::MethodError(
           "forwarder " + std::to_string(id_) + " failed " +
           std::to_string(failures) + " times relaying to context " +
-          std::to_string(dst));
+          std::to_string(via));
     }
     if (action == HealthTracker::FailAction::Failover) {
       // Evict the dead route and connection; the next iteration re-selects
@@ -1155,6 +1401,13 @@ void Context::finalize_modules() {
       engine_->set_enabled(method, *v == "true" || *v == "1" || *v == "on" ||
                                        *v == "yes");
     }
+  }
+  // Robustness wiring (docs §14): cache the simulated fabric's fault plan
+  // (stable address across set_faults) and this context's partition so
+  // maybe_crash() costs one pointer test + one vector-empty check.
+  if (SimFabric* f = runtime_->sim()) {
+    my_partition_ = f->topology().partition_of(id_);
+    fault_plan_ = &f->faults();
   }
   update_interference();
 }

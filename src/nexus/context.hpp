@@ -8,10 +8,12 @@
 // bytes through the fabric's mailboxes/queues.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -30,6 +32,7 @@
 #include "nexus/startpoint.hpp"
 #include "nexus/telemetry/telemetry.hpp"
 #include "nexus/types.hpp"
+#include "simnet/fault.hpp"
 #include "util/pack.hpp"
 #include "util/resource_db.hpp"
 
@@ -96,18 +99,28 @@ class Context {
   /// linked to `sp` and invoke `handler` there.  The shared buffer is
   /// aliased (never copied) by every link of a multicast and by forwarding
   /// hops; see docs/ARCHITECTURE.md §8.
-  void rsr(Startpoint& sp, HandlerId handler, util::SharedBytes payload);
-  void rsr(Startpoint& sp, HandlerId handler, const util::PackBuffer& args);
+  ///
+  /// Returns the worst per-link verdict: Ok when every link accepted the
+  /// packet; Transient when at least one link's RSR drained into the
+  /// dead-letter queue (robust.retry_budget > 0; it may still be delivered
+  /// after the peer's rebirth); Dead when a link addressed an unknown /
+  /// never-registered context (the RSR is counted in send_errors and
+  /// dropped, never thrown from deep in the descriptor table).
+  DeliveryStatus rsr(Startpoint& sp, HandlerId handler,
+                     util::SharedBytes payload);
+  DeliveryStatus rsr(Startpoint& sp, HandlerId handler,
+                     const util::PackBuffer& args);
   /// Zero-payload RSR by pre-resolved handler id.
-  void rsr(Startpoint& sp, HandlerId handler);
+  DeliveryStatus rsr(Startpoint& sp, HandlerId handler);
   /// Name-based conveniences: hash the handler name per call.
-  void rsr(Startpoint& sp, std::string_view handler,
-           util::SharedBytes payload);
-  void rsr(Startpoint& sp, std::string_view handler, util::Bytes payload);
-  void rsr(Startpoint& sp, std::string_view handler,
-           const util::PackBuffer& args);
+  DeliveryStatus rsr(Startpoint& sp, std::string_view handler,
+                     util::SharedBytes payload);
+  DeliveryStatus rsr(Startpoint& sp, std::string_view handler,
+                     util::Bytes payload);
+  DeliveryStatus rsr(Startpoint& sp, std::string_view handler,
+                     const util::PackBuffer& args);
   /// Zero-payload RSR.
-  void rsr(Startpoint& sp, std::string_view handler);
+  DeliveryStatus rsr(Startpoint& sp, std::string_view handler);
 
   // --- startpoint transfer ---
   /// Serialize a startpoint for transfer to another context.  Applies the
@@ -118,9 +131,21 @@ class Context {
 
   // --- progress ---
   /// One iteration of the unified polling function.
-  bool progress() { return engine_->poll_once(); }
+  bool progress() {
+    maybe_crash();
+    return engine_->poll_once();
+  }
   /// Poll until done() is satisfied.
-  void wait(const std::function<bool()>& done) { engine_->wait(done); }
+  void wait(const std::function<bool()>& done) {
+    if (fault_plan_ != nullptr && fault_plan_->has_crashes()) {
+      engine_->wait([this, &done] {
+        maybe_crash();
+        return done();
+      });
+      return;
+    }
+    engine_->wait(done);
+  }
   /// Poll until `counter` reaches at least `target` (common RSR-counting
   /// idiom for request/reply protocols).
   void wait_count(const std::uint64_t& counter, std::uint64_t target);
@@ -166,6 +191,36 @@ class Context {
   /// Telemetry hook for adapt::AdaptiveSelector decision changes.
   void note_adapt_switch(std::string_view method, ContextId target,
                          std::string_view payload_class);
+
+  // --- robustness: crash/restart fault domain (docs/ARCHITECTURE.md §14) ---
+  /// This context's incarnation epoch: 1 at first life, bumped on every
+  /// crash/restart scheduled by a FaultPlan crash rule.  Stamped into every
+  /// outgoing packet so peers can reject stale-incarnation traffic.
+  std::uint32_t incarnation() const noexcept { return incarnation_; }
+  /// If a crash window covers the current clock, model the outage: wipe all
+  /// in-memory communication state, sleep through to the window's end, wipe
+  /// again (dropping traffic that landed mid-outage), and come back with a
+  /// bumped incarnation.  One pointer + one vector-empty check when no
+  /// crash rules exist, so the fault-free hot path is unchanged.
+  void maybe_crash() {
+    if (fault_plan_ == nullptr || !fault_plan_->has_crashes()) return;
+    crash_check();
+  }
+  /// Has peer-death detection declared `peer` down (every applicable method
+  /// Dead past robust.peer_grace_ms)?  Cleared on the first successful send
+  /// to the peer (rebirth).
+  bool is_peer_dead(ContextId peer) const {
+    return dead_peers_.find(peer) != dead_peers_.end();
+  }
+  /// RSRs parked in the dead-letter queue awaiting peer rebirth.
+  std::size_t deadletter_count() const noexcept { return deadletters_.size(); }
+  /// Graceful drain of a forwarding node: stop accepting new relay work --
+  /// packets to forward are re-routed via `sibling` instead of being sent
+  /// onward directly -- and flush everything already in flight, so the node
+  /// can be killed (e.g. under a FaultPlan crash rule) without stranding
+  /// its clients' traffic.
+  void drain_forwarding(ContextId sibling);
+  bool draining() const noexcept { return draining_; }
 
   // --- enquiry interface (paper §2.1) ---
   std::vector<std::string> methods() const;
@@ -264,9 +319,15 @@ class Context {
                           telemetry::SpanId span, std::uint64_t trace);
   /// The failover loop around one link's send: feed outcomes to the health
   /// tracker, retry transient failures, evict + re-select dead methods.
-  void send_with_failover(Startpoint& sp, Startpoint::Link& link, HandlerId h,
-                          const util::SharedBytes& payload,
-                          telemetry::SpanId span, std::uint64_t trace);
+  /// Returns Ok on delivery.  When the attempt bound is exhausted: with a
+  /// dead-letter budget configured (robust.retry_budget > 0) returns Dead so
+  /// the caller can deadletter the RSR; otherwise throws MethodError (the
+  /// pre-robustness contract every existing caller relies on).
+  DeliveryStatus send_with_failover(Startpoint& sp, Startpoint::Link& link,
+                                    HandlerId h,
+                                    const util::SharedBytes& payload,
+                                    telemetry::SpanId span,
+                                    std::uint64_t trace);
   /// Drop a link's cached connection (and every cache entry sharing it) so
   /// the next attempt re-runs selection.
   void evict_connection(Startpoint::Link& link);
@@ -285,6 +346,40 @@ class Context {
   void note_send_success(MethodId mid, ContextId target,
                          std::uint16_t trace_label,
                          telemetry::SpanId span = 0, std::uint64_t trace = 0);
+
+  // --- robustness internals (docs/ARCHITECTURE.md §14) ---
+  /// Out-of-line body of maybe_crash(): evaluates the crash rules against
+  /// the current clock and models the outage + restart.
+  void crash_check();
+  /// Discard every piece of in-memory communication state and purge mailbox
+  /// traffic arriving before `cutoff` (the restart instant).
+  void wipe_comm_state(Time cutoff);
+  /// One RSR parked for a dead peer, waiting for its rebirth.
+  struct DeadLetter {
+    ContextId target = kNoContext;
+    EndpointId endpoint = 0;
+    HandlerId handler = 0;
+    util::SharedBytes payload;
+    std::uint32_t budget = 0;  ///< redelivery attempts left
+  };
+  /// Park one RSR in the bounded dead-letter queue (oldest dropped on
+  /// overflow).
+  void deadletter(const Startpoint::Link& link, HandlerId h,
+                  const util::SharedBytes& payload, telemetry::SpanId span,
+                  std::uint64_t trace);
+  /// Single bounded send attempt toward a declared-dead peer (the rebirth
+  /// probe).  Success runs the normal restore path, which un-declares the
+  /// peer and drains its dead letters; returns whether the send succeeded.
+  bool try_send_once(Startpoint& sp, Startpoint::Link& link, HandlerId h,
+                     const util::SharedBytes& payload, telemetry::SpanId span,
+                     std::uint64_t trace);
+  /// After a Failover verdict: if every applicable method to `target` has
+  /// been raw-Dead past the grace period, declare the peer down and evict
+  /// everything cached about it.
+  void maybe_declare_peer_dead(ContextId target);
+  /// After a rebirth: resend `target`'s parked dead letters (budget
+  /// permitting; re-parked on failure, dropped at budget exhaustion).
+  void redeliver_deadletters(ContextId target);
 
   Runtime* runtime_;
   ContextId id_;
@@ -317,6 +412,23 @@ class Context {
   bool adapt_enabled_ = false;
   Time adapt_rerank_interval_ = 0;       ///< 0 disables the periodic rerank
   std::uint64_t adapt_rerank_bytes_ = 1024;  ///< rerank reference payload
+
+  // Robustness state (crash/restart fault domain, docs §14).
+  /// The simulated fabric's fault plan, cached at finalize_modules() so the
+  /// crash check costs one pointer test when no plan exists (null on the
+  /// realtime fabric).  The plan object's address is stable across
+  /// set_faults() calls.
+  const simnet::FaultPlan* fault_plan_ = nullptr;
+  int my_partition_ = -1;
+  std::uint32_t incarnation_ = 1;
+  /// Peers declared down by peer-death detection.
+  std::set<ContextId> dead_peers_;
+  std::deque<DeadLetter> deadletters_;
+  std::uint32_t retry_budget_ = 0;     ///< robust.retry_budget (0 = DLQ off)
+  std::size_t deadletter_cap_ = 64;    ///< robust.deadletter_cap
+  Time peer_grace_ = 0;                ///< robust.peer_grace_ms
+  bool draining_ = false;
+  ContextId drain_sibling_ = kNoContext;
 
   std::uint64_t rsrs_sent_ = 0;
   std::uint64_t rsrs_delivered_ = 0;

@@ -63,6 +63,7 @@ void SimFabric::init_shards(std::size_t n) {
   shards_.clear();
   for (std::size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_[i]->scheduler.set_shard_index(i);
   }
   if (n > 1) {
     group_ = std::make_unique<simnet::ShardGroup>(n);

@@ -74,6 +74,10 @@ class HealthTracker {
     std::uint64_t failures = 0;   ///< total failed sends ever
     std::uint64_t failovers = 0;  ///< Healthy/Suspect -> Dead transitions
     std::uint64_t restores = 0;   ///< Dead/Probation -> Healthy transitions
+    /// When this entry first entered Dead (0 = never / since restored).
+    /// Failed restore probes do not refresh it, so peer-death detection can
+    /// measure how long a method has been continuously down.
+    Time died_at = 0;
   };
 
   explicit HealthTracker(HealthParams params = {}, std::uint64_t seed = 1)
@@ -111,6 +115,15 @@ class HealthTracker {
     return entries_.find(Key{method, target}) != entries_.end();
   }
 
+  /// Raw entry view WITHOUT the Probation derivation: peer-death detection
+  /// needs "still Dead and first died at T" even after the backoff expired
+  /// (an expired backoff only means the next send will probe, not that the
+  /// method recovered).
+  Status raw_status(std::uint32_t method, std::uint32_t target) const noexcept {
+    auto it = entries_.find(Key{method, target});
+    return it == entries_.end() ? Status{} : Status{it->second};
+  }
+
   /// Enumerate every tracked (method, target) entry -- the metrics export
   /// path uses this to snapshot health states; `fn` receives (key, status)
   /// with Probation derived exactly like status().
@@ -146,6 +159,7 @@ class HealthTracker {
     }
     e.state = MethodHealth::Dead;
     ++e.failovers;
+    if (e.died_at == 0) e.died_at = now;
     e.backoff = params_.backoff_initial;
     e.retry_at = now + jittered(e.backoff);
     return FailAction::Failover;
@@ -163,6 +177,7 @@ class HealthTracker {
     e.consecutive_failures = 0;
     e.backoff = 0;
     e.retry_at = 0;
+    e.died_at = 0;
     return restored;
   }
 

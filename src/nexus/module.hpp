@@ -69,6 +69,13 @@ class CommModule {
   /// Called once after the owning context is fully constructed.
   virtual void initialize(Context& ctx) { (void)ctx; }
 
+  /// Called when the owning context crash-restarts under a FaultPlan crash
+  /// rule: discard all in-memory protocol state (sequence windows, reorder
+  /// buffers, partial handshakes).  State a module models as living on
+  /// stable storage -- e.g. the reliable wrapper's committed-delivery log --
+  /// may survive; counters are cumulative and are never reset.
+  virtual void on_crash_restart() {}
+
   /// Descriptor telling remote contexts how to reach *this* context via
   /// this method.
   virtual CommDescriptor local_descriptor() const = 0;

@@ -148,6 +148,17 @@ std::string MetricsRegistry::to_text() const {
                  " reranks " + std::to_string(cm->adapt_reranks) +
                  " probes " + std::to_string(cm->adapt_probes) + "\n";
         }
+        if (cm->peer_deaths != 0 || cm->peer_reborns != 0 ||
+            cm->deadletters != 0 || cm->deadletter_drops != 0 ||
+            cm->deadletter_redeliveries != 0 || cm->send_errors != 0) {
+          out += "    robust: peer_deaths " + std::to_string(cm->peer_deaths) +
+                 " reborns " + std::to_string(cm->peer_reborns) +
+                 " deadletters " + std::to_string(cm->deadletters) +
+                 " dl_drops " + std::to_string(cm->deadletter_drops) +
+                 " dl_redelivered " +
+                 std::to_string(cm->deadletter_redeliveries) +
+                 " send_errors " + std::to_string(cm->send_errors) + "\n";
+        }
       }
     }
     const util::MethodCounters& c = mm.counters;
@@ -168,6 +179,8 @@ std::string MetricsRegistry::to_text() const {
                                      std::to_string(c.rel_acks_sent);
     if (c.rel_acks_received != 0) out += " rel_acks_received " +
                                          std::to_string(c.rel_acks_received);
+    if (c.rel_epoch_rejects != 0) out += " rel_epoch_rejects " +
+                                         std::to_string(c.rel_epoch_rejects);
     out += "\n";
     out += hist_summary("send_bytes", mm.send_bytes);
     out += hist_summary("recv_bytes", mm.recv_bytes);
@@ -194,7 +207,14 @@ std::string MetricsRegistry::to_json() const {
            ",\"restores\":" + std::to_string(cm.restores) +
            ",\"adapt_switches\":" + std::to_string(cm.adapt_switches) +
            ",\"adapt_reranks\":" + std::to_string(cm.adapt_reranks) +
-           ",\"adapt_probes\":" + std::to_string(cm.adapt_probes) + "}";
+           ",\"adapt_probes\":" + std::to_string(cm.adapt_probes) +
+           ",\"peer_deaths\":" + std::to_string(cm.peer_deaths) +
+           ",\"peer_reborns\":" + std::to_string(cm.peer_reborns) +
+           ",\"deadletters\":" + std::to_string(cm.deadletters) +
+           ",\"deadletter_drops\":" + std::to_string(cm.deadletter_drops) +
+           ",\"deadletter_redeliveries\":" +
+           std::to_string(cm.deadletter_redeliveries) +
+           ",\"send_errors\":" + std::to_string(cm.send_errors) + "}";
   }
   out += "],\"methods\":[";
   bool first_m = true;
@@ -216,6 +236,7 @@ std::string MetricsRegistry::to_json() const {
            ",\"rel_dup_drops\":" + std::to_string(c.rel_dup_drops) +
            ",\"rel_acks_sent\":" + std::to_string(c.rel_acks_sent) +
            ",\"rel_acks_received\":" + std::to_string(c.rel_acks_received) +
+           ",\"rel_epoch_rejects\":" + std::to_string(c.rel_epoch_rejects) +
            ",\"send_bytes\":" + hist_json(mm.send_bytes) +
            ",\"recv_bytes\":" + hist_json(mm.recv_bytes) +
            ",\"window_occupancy\":" + hist_json(mm.window_occupancy) + "}";
@@ -268,7 +289,10 @@ std::string MetricsRegistry::to_prometheus() const {
   static constexpr const char* kCtxCounters[] = {
       "nexus_failovers_total", "nexus_suspects_total", "nexus_restores_total",
       "nexus_adapt_switches_total", "nexus_adapt_reranks_total",
-      "nexus_adapt_probes_total"};
+      "nexus_adapt_probes_total", "nexus_peer_deaths_total",
+      "nexus_peer_reborns_total", "nexus_deadletters_total",
+      "nexus_deadletter_drops_total", "nexus_deadletter_redeliveries_total",
+      "nexus_ctx_send_errors_total"};
   for (const char* f : kCtxCounters) {
     out += std::string("# TYPE ") + f + " counter\n";
   }
@@ -287,6 +311,14 @@ std::string MetricsRegistry::to_prometheus() const {
                  cm.adapt_switches);
     prom_counter(out, "nexus_adapt_reranks_total", labels, cm.adapt_reranks);
     prom_counter(out, "nexus_adapt_probes_total", labels, cm.adapt_probes);
+    prom_counter(out, "nexus_peer_deaths_total", labels, cm.peer_deaths);
+    prom_counter(out, "nexus_peer_reborns_total", labels, cm.peer_reborns);
+    prom_counter(out, "nexus_deadletters_total", labels, cm.deadletters);
+    prom_counter(out, "nexus_deadletter_drops_total", labels,
+                 cm.deadletter_drops);
+    prom_counter(out, "nexus_deadletter_redeliveries_total", labels,
+                 cm.deadletter_redeliveries);
+    prom_counter(out, "nexus_ctx_send_errors_total", labels, cm.send_errors);
   }
 
   static constexpr const char* kMethodCounters[] = {
@@ -294,7 +326,7 @@ std::string MetricsRegistry::to_prometheus() const {
       "nexus_bytes_received_total", "nexus_polls_total",
       "nexus_poll_hits_total", "nexus_send_errors_total",
       "nexus_recv_corrupt_total", "nexus_rel_retransmits_total",
-      "nexus_rel_dup_drops_total"};
+      "nexus_rel_dup_drops_total", "nexus_rel_epoch_rejects_total"};
   for (const char* f : kMethodCounters) {
     out += std::string("# TYPE ") + f + " counter\n";
   }
@@ -318,6 +350,8 @@ std::string MetricsRegistry::to_prometheus() const {
     prom_counter(out, "nexus_rel_retransmits_total", labels,
                  c.rel_retransmits);
     prom_counter(out, "nexus_rel_dup_drops_total", labels, c.rel_dup_drops);
+    prom_counter(out, "nexus_rel_epoch_rejects_total", labels,
+                 c.rel_epoch_rejects);
     prom_histogram(out, "nexus_send_bytes", labels, mm.send_bytes);
     prom_histogram(out, "nexus_recv_bytes", labels, mm.recv_bytes);
     prom_histogram(out, "nexus_window_occupancy", labels,

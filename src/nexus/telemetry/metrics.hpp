@@ -113,6 +113,17 @@ struct ContextMetrics {
   std::uint64_t adapt_switches = 0;
   std::uint64_t adapt_reranks = 0;
   std::uint64_t adapt_probes = 0;
+  // Robustness-layer counters (crash/restart fault domain, §14): peers
+  // declared down / observed back up, RSRs drained into the dead-letter
+  // queue, dead letters dropped on cap overflow or budget exhaustion,
+  // dead letters successfully redelivered after rebirth, and rsr() calls
+  // rejected outright (unknown peer or exhausted budget).
+  std::uint64_t peer_deaths = 0;
+  std::uint64_t peer_reborns = 0;
+  std::uint64_t deadletters = 0;
+  std::uint64_t deadletter_drops = 0;
+  std::uint64_t deadletter_redeliveries = 0;
+  std::uint64_t send_errors = 0;
 };
 
 /// Poll intervals are sampled once per this many poll_once() iterations

@@ -27,6 +27,9 @@ const char* phase_name(Phase p) noexcept {
     case Phase::AdaptRerank: return "adapt.rerank";
     case Phase::AdaptSwitch: return "adapt.switch";
     case Phase::AdaptProbe: return "adapt.probe";
+    case Phase::PeerDead: return "peer.dead";
+    case Phase::PeerReborn: return "peer.reborn";
+    case Phase::Deadletter: return "rsr.deadletter";
     case Phase::Custom: return "custom";
   }
   return "?";

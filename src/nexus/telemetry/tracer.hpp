@@ -56,6 +56,10 @@ enum class Phase : std::uint8_t {
   AdaptRerank,  ///< adaptive engine reordered a link's descriptor table
   AdaptSwitch,  ///< adaptive selector changed a payload class's method
   AdaptProbe,   ///< adaptive engine sent an active timing probe
+  PeerDead,     ///< every method to a peer dead past grace; peer declared down
+  PeerReborn,   ///< a send to a declared-dead peer succeeded (or the local
+                ///< context itself reincarnated; aux = new epoch)
+  Deadletter,   ///< an RSR drained into the dead-letter queue
   Custom,       ///< application-recorded marker
 };
 

@@ -23,6 +23,12 @@ using Time = simnet::Time;
 inline constexpr ContextId kNoContext =
     std::numeric_limits<ContextId>::max();
 
+/// Pseudo-context ids at or above this base address groups (multicast)
+/// rather than real contexts; ids in [world_size, kGroupContextBase) name
+/// nothing and an RSR toward one fails with DeliveryStatus::Dead.  The
+/// proto modules alias this as kMulticastBase.
+inline constexpr ContextId kGroupContextBase = 0x8000'0000u;
+
 /// Outcome of handing one packet to a communication method, as observed by
 /// the sender (docs/ARCHITECTURE.md §9).  Ordered as a severity lattice:
 /// Ok < Transient < Dead.
@@ -107,6 +113,18 @@ struct Packet {
   /// Selective-ack bitmap: bit i set means sequence rel_ack + 1 + i was
   /// received out of order.
   std::uint64_t rel_sack = 0;
+
+  // --- incarnation epochs (crash/restart fault domain, §14) ---
+  /// Sender's incarnation epoch at send time (1 = first life; bumped on
+  /// every crash/restart).  A receiver rejects Data frames stamped with an
+  /// epoch older than the one it has locked onto for that peer.  Epochs fit
+  /// in the modelled fixed header alongside hops, so wire_size() is
+  /// unchanged.
+  std::uint32_t incarnation = 1;
+  /// Epoch of the *receiver-side* stream that this frame's rel_ack/rel_sack
+  /// fields describe (0 = no ack state carried).  A restarted sender uses it
+  /// to reject ghost acks addressed to its previous incarnation's window.
+  std::uint32_t rel_peer_inc = 0;
 
   // --- observability metadata (not modelled as wire bytes) ---
   /// Trace span id linking this RSR's send to its dispatch across contexts;

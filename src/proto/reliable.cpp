@@ -21,6 +21,7 @@ void strip_rel_header(Packet& pkt) {
   pkt.rel_seq = 0;
   pkt.rel_ack = 0;
   pkt.rel_sack = 0;
+  pkt.rel_peer_inc = 0;
 }
 
 }  // namespace
@@ -169,11 +170,15 @@ std::uint64_t ReliableModule::sack_bits(const RecvState& rs) const {
 void ReliableModule::stamp_piggyback(ContextId peer, Packet& pkt) {
   pkt.rel_ack = 0;
   pkt.rel_sack = 0;
+  pkt.rel_peer_inc = 0;  // no ack state carried unless a stream exists
   auto it = recv_states_.find(peer);
   if (it == recv_states_.end()) return;
   RecvState& rs = it->second;
   pkt.rel_ack = rs.next_expected;
   pkt.rel_sack = sack_bits(rs);
+  // Which incarnation of the peer these ack fields describe: a restarted
+  // peer rejects them as ghost acks instead of crediting its new window.
+  pkt.rel_peer_inc = rs.epoch;
   // The reverse-traffic ack settles any delayed-ack debt toward this peer.
   rs.acks_owed = 0;
   rs.ack_deadline = 0;
@@ -197,11 +202,45 @@ void ReliableModule::rtt_sample(SendState& st, Time sample) {
 }
 
 void ReliableModule::process_ack_fields(ContextId peer, const Packet& pkt) {
+  // Ghost-ack rejection (docs §14): ack fields describing a previous
+  // incarnation of *this* context must not credit the new incarnation's
+  // window -- sequence numbers restarted at zero, so the numeric ranges
+  // collide.  rel_peer_inc == 0 means the frame carries no ack state.
+  if (pkt.rel_peer_inc != 0 && pkt.rel_peer_inc != ctx_->incarnation()) {
+    counters().rel_epoch_rejects += 1;
+    return;
+  }
   auto it = send_states_.find(peer);
   if (it == send_states_.end()) return;
   SendState& st = it->second;
   bool progress = false;
   const Time t = now();
+  // Receiver-reincarnation handling (docs §14): a selective ack only proves
+  // the frame reached the *reorder buffer* of the life that sent it, and
+  // that buffer dies with the incarnation.  When the receiver's incarnation
+  // bumps, un-sack everything still outstanding so it is retransmitted into
+  // the new life (the stable floor dup-drops anything the old life had
+  // actually committed).  Cumulative acks advance only past committed
+  // frames, so they stay valid across lives: a stale-life ack may still
+  // move the base, but its sack bits are ignored.
+  bool sack_valid = true;
+  if (pkt.incarnation != 0) {
+    if (pkt.incarnation > st.peer_inc) {
+      if (st.peer_inc != 0) {
+        for (std::uint64_t seq = st.base; seq < st.next_seq; ++seq) {
+          SendEntry& e = slot(st, seq);
+          if (e.live && e.acked) {
+            e.acked = false;
+            e.deadline = t;  // retransmit on the next timer pass
+          }
+        }
+        st.next_timer = t;
+      }
+      st.peer_inc = pkt.incarnation;
+    } else if (pkt.incarnation < st.peer_inc) {
+      sack_valid = false;
+    }
+  }
   // Cumulative: everything below rel_ack is delivered.
   while (st.base < pkt.rel_ack && st.base < st.next_seq) {
     SendEntry& e = slot(st, st.base);
@@ -222,7 +261,7 @@ void ReliableModule::process_ack_fields(ContextId peer, const Packet& pkt) {
     ++st.base;
   }
   // Selective: bit i acknowledges sequence rel_ack + 1 + i.
-  if (pkt.rel_sack != 0) {
+  if (pkt.rel_sack != 0 && sack_valid) {
     for (int i = 0; i < 64; ++i) {
       if (((pkt.rel_sack >> i) & 1u) == 0) continue;
       const std::uint64_t seq = pkt.rel_ack + 1 + static_cast<std::uint64_t>(i);
@@ -237,8 +276,10 @@ void ReliableModule::process_ack_fields(ContextId peer, const Packet& pkt) {
                                            t);
           }
         }
+        // The payload is retained: if the receiver reincarnates before the
+        // base passes this entry, the sack is voided and the frame must be
+        // retransmitted into the new life.
         e.acked = true;
-        e.pkt = Packet{};  // the payload is no longer needed
         progress = true;
       }
     }
@@ -282,6 +323,8 @@ void ReliableModule::flush_ack(ContextId peer, RecvState& rs) {
   ack.rel_from = ctx_->id();
   ack.rel_ack = rs.next_expected;
   ack.rel_sack = sack_bits(rs);
+  ack.incarnation = ctx_->incarnation();
+  ack.rel_peer_inc = rs.epoch;  // which life of the peer this ack credits
   ack.sent_at = now();
   rs.acks_owed = 0;
   rs.ack_deadline = 0;
@@ -299,8 +342,29 @@ void ReliableModule::flush_ack(ContextId peer, RecvState& rs) {
 
 void ReliableModule::handle_data(Packet pkt) {
   const ContextId peer = pkt.rel_from;
-  process_ack_fields(peer, pkt);  // piggybacked ack state first
   RecvState& rs = recv_state(peer);
+  // Epoch handshake (docs §14).  Lock onto the sender's incarnation on
+  // first contact; reject Data from an older incarnation outright (its
+  // sequence numbers belong to a finished stream -- acking them would
+  // corrupt the new window); a newer incarnation resets the stream at that
+  // epoch's stable floor, discarding reorder buffers of the old life.
+  const std::uint32_t inc = pkt.incarnation;
+  if (rs.epoch == 0) {
+    rs.epoch = inc;
+    rs.next_expected = stable_floor_[{peer, inc}];
+  } else if (inc < rs.epoch) {
+    counters().rel_epoch_rejects += 1;
+    if (ctx_->observing()) {
+      ctx_->observe({now(), pkt.span, ctx_->id(), telemetry::Phase::DupDrop,
+                     trace_label(), pkt.wire_size(), peer, 0, pkt.trace});
+    }
+    return;  // no ack: never credit a stale incarnation's window
+  } else if (inc > rs.epoch) {
+    rs.epoch = inc;
+    rs.reorder.clear();
+    rs.next_expected = stable_floor_[{peer, inc}];
+  }
+  process_ack_fields(peer, pkt);  // piggybacked ack state
   const std::uint64_t seq = pkt.rel_seq;
   if (seq < rs.next_expected || rs.reorder.count(seq) != 0) {
     // Duplicate (a retransmission raced the ack): suppress and immediately
@@ -328,6 +392,10 @@ void ReliableModule::handle_data(Packet pkt) {
       ++rs.acks_owed;
       it = rs.reorder.erase(it);
     }
+    // WAL commit point: the floor advances the instant frames land in
+    // ready_, strictly before any ack can mention them.  A crash after the
+    // ack therefore never loses a frame the sender has already freed.
+    stable_floor_[{peer, rs.epoch}] = rs.next_expected;
     if (rs.acks_owed >= ack_every_) {
       flush_ack(peer, rs);
     } else if (rs.ack_deadline == 0) {

@@ -90,6 +90,15 @@ class ReliableModule final : public CommModule {
   int speed_rank() const override { return inner_->speed_rank(); }
   bool reliable() const override { return true; }
   std::optional<std::string> wraps() const override { return inner_name_; }
+  /// Crash/restart (docs §14): the in-flight window and per-peer stream
+  /// state die with the process; the stable floors (the write-ahead-logged
+  /// "acked only after commit" record) and the committed ready_ queue
+  /// survive, which is what extends exactly-once across reincarnations.
+  void on_crash_restart() override {
+    send_states_.clear();
+    recv_states_.clear();
+    inner_->on_crash_restart();
+  }
 
   // --- enquiry / test accessors ---
   CommModule& inner() noexcept { return *inner_; }
@@ -128,6 +137,12 @@ class ReliableModule final : public CommModule {
     /// Max-retries escalation latch: new sends fail Dead (feeding
     /// failover) until any ack proves the peer reachable again.
     bool dead = false;
+    /// Latest incarnation of the *receiver* observed on frames from it
+    /// (0 = none yet).  Selective acks only prove a frame reached the
+    /// reorder buffer of the life that sent them; when this bumps, every
+    /// sacked-but-not-cumulatively-acked entry is un-sacked so it is
+    /// retransmitted into the new life (docs §14).
+    std::uint32_t peer_inc = 0;
   };
   /// Receiver-side protocol state from one peer.
   struct RecvState {
@@ -136,6 +151,10 @@ class ReliableModule final : public CommModule {
     std::unique_ptr<CommObject> ack_conn;     ///< for standalone Ack frames
     std::uint64_t acks_owed = 0;
     Time ack_deadline = 0;  ///< 0 = delayed-ack timer not armed
+    /// Sender incarnation this stream is locked onto (0 = not yet locked).
+    /// Data stamped with an older epoch is rejected (rel_epoch_rejects);
+    /// a newer epoch resets the stream at that epoch's stable floor.
+    std::uint32_t epoch = 0;
   };
 
   CommDescriptor unwrap(const CommDescriptor& remote) const;
@@ -184,6 +203,14 @@ class ReliableModule final : public CommModule {
   /// failover, and exactly-once needs the window to survive that).
   std::map<ContextId, SendState> send_states_;
   std::map<ContextId, RecvState> recv_states_;
+  /// Write-ahead-logged delivery floor per (peer, sender incarnation):
+  /// the next sequence this context has NOT yet committed from that
+  /// stream.  Advanced at the instant a frame is committed into ready_
+  /// (before any ack can mention it), and deliberately NOT cleared by
+  /// on_crash_restart -- it is the stable-storage record that lets a
+  /// reincarnated receiver dup-drop retransmissions of frames it already
+  /// delivered in its previous life.
+  std::map<std::pair<ContextId, std::uint32_t>, std::uint64_t> stable_floor_;
   /// In-order Data packets (rel header already stripped) awaiting dispatch.
   std::deque<Packet> ready_;
 

@@ -88,6 +88,18 @@ SendResult SimModuleBase::post_faulted(ContextId dst,
                                        Packet packet, Time arrival,
                                        std::uint64_t wire) {
   SimFabric& f = fabric();
+  // Crash rules (docs §14): a send toward a context inside its crash window
+  // is the connection-refused analog -- a hard Dead verdict, independent of
+  // the link-fault rules.  Crash predicates are pure functions of
+  // (ctx, partition, time), so any shard can evaluate them race-free.
+  if (f.faults().has_crashes() && dst < kGroupContextBase &&
+      f.faults().crashed(dst, f.topology().partition_of(dst), now())) {
+    if (ctx_->observing()) {
+      ctx_->observe({now(), packet.span, ctx_->id(), telemetry::Phase::Drop,
+                     trace_label(), wire, dst, 0, packet.trace});
+    }
+    return {DeliveryStatus::Dead, wire};
+  }
   if (!f.faults().empty()) {
     const simnet::FaultVerdict v = f.faults().consult(
         name_, my_partition(), f.topology().partition_of(dst), now(),

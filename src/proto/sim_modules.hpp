@@ -216,7 +216,7 @@ class CompressSimModule final : public SimModuleBase {
 
 /// Multicast group addressing: group g is represented in startpoint links
 /// as the pseudo-context kMulticastBase + g.
-inline constexpr ContextId kMulticastBase = 0x8000'0000u;
+inline constexpr ContextId kMulticastBase = kGroupContextBase;
 
 class McastSimModule final : public SimModuleBase {
  public:

@@ -31,6 +31,29 @@ namespace nexus::simnet {
 
 enum class FaultKind : std::uint8_t { Drop, Delay, Corrupt, Blackhole };
 
+/// Whole-context failure schedule: the target context is *down* for the
+/// half-open window [from, until) -- it stops polling, its mailboxes are
+/// dropped, and every in-memory protocol state is lost.  At `until` the
+/// context restarts with its incarnation epoch bumped by one.  Unlike link
+/// rules, crash rules are pure functions of (context, partition, time): any
+/// shard can evaluate them against the immutable plan without drawing from
+/// an rng, which is what makes a crash on shard A observable from shard B
+/// without shared mutable state.  A permanent death is a window whose
+/// `until` lies beyond the workload's horizon.
+struct CrashRule {
+  /// Target context id; any context when < 0 (then `partition` scopes it).
+  std::int64_t context = -1;
+  /// Target partition; -1 = any (only consulted when context < 0).
+  int partition = -1;
+  Time from = 0;
+  Time until = kInfinity;
+
+  bool matches(std::uint32_t ctx, int part) const noexcept {
+    if (context >= 0) return static_cast<std::uint32_t>(context) == ctx;
+    return partition < 0 || partition == part;
+  }
+};
+
 /// One scoped fault schedule.  Empty method / -1 partitions mean "any";
 /// the window is half-open [from, until).
 struct FaultRule {
@@ -67,9 +90,77 @@ struct FaultVerdict {
 
 class FaultPlan {
  public:
+  /// True when no *link* rules exist.  Crash rules live in a separate list
+  /// (see has_crashes()) so the link-fault fast paths keep their guard.
   bool empty() const noexcept { return rules_.empty(); }
   std::size_t size() const noexcept { return rules_.size(); }
   const std::vector<FaultRule>& rules() const noexcept { return rules_; }
+
+  bool has_crashes() const noexcept { return !crash_rules_.empty(); }
+  const std::vector<CrashRule>& crash_rules() const noexcept {
+    return crash_rules_;
+  }
+
+  FaultPlan& add(CrashRule rule) {
+    crash_rules_.push_back(rule);
+    return *this;
+  }
+
+  /// Kill context `ctx` for [from, until); it restarts at `until` with a
+  /// bumped incarnation.  Leave `until` at kInfinity for a permanent death.
+  FaultPlan& crash(std::uint32_t ctx, Time from, Time until = kInfinity) {
+    CrashRule r;
+    r.context = static_cast<std::int64_t>(ctx);
+    r.from = from;
+    r.until = until;
+    return add(r);
+  }
+
+  /// Kill every context of `partition` for [from, until).
+  FaultPlan& crash_partition(int partition, Time from,
+                             Time until = kInfinity) {
+    CrashRule r;
+    r.partition = partition;
+    r.from = from;
+    r.until = until;
+    return add(r);
+  }
+
+  /// Is (ctx, partition) inside any crash window at `now`?  Pure: no rng,
+  /// so any shard may ask about any context.
+  bool crashed(std::uint32_t ctx, int partition, Time now) const noexcept {
+    for (const CrashRule& r : crash_rules_) {
+      if (r.matches(ctx, partition) && now >= r.from && now < r.until)
+        return true;
+    }
+    return false;
+  }
+
+  /// Latest `until` among the crash windows covering `now` -- the instant
+  /// the context restarts (kInfinity when it never does).
+  Time crash_end(std::uint32_t ctx, int partition, Time now) const noexcept {
+    Time end = now;
+    for (const CrashRule& r : crash_rules_) {
+      if (r.matches(ctx, partition) && now >= r.from && now < r.until &&
+          r.until > end) {
+        end = r.until;
+      }
+    }
+    return end;
+  }
+
+  /// Incarnation epoch of (ctx, partition) at `now`: 1 (first life) plus
+  /// one per crash window already fully behind it.  Deterministic, so the
+  /// wire protocol can stamp it without coordination.
+  std::uint32_t incarnation(std::uint32_t ctx, int partition,
+                            Time now) const noexcept {
+    std::uint32_t inc = 1;
+    for (const CrashRule& r : crash_rules_) {
+      if (r.matches(ctx, partition) && r.until != kInfinity && now >= r.until)
+        ++inc;
+    }
+    return inc;
+  }
 
   FaultPlan& add(FaultRule rule) {
     rules_.push_back(std::move(rule));
@@ -153,6 +244,7 @@ class FaultPlan {
 
  private:
   std::vector<FaultRule> rules_;
+  std::vector<CrashRule> crash_rules_;
 };
 
 }  // namespace nexus::simnet

@@ -114,6 +114,29 @@ class Mailbox {
     }
   }
 
+  /// Drop every queued item arriving before `cutoff`; returns the count.
+  /// Models a crashed owner losing its queue: traffic already in flight
+  /// *past* the restart instant survives (it arrives at the reborn
+  /// context), everything earlier evaporates with the old incarnation.
+  /// A stable erase preserves both FIFO sortedness and relative seq order;
+  /// heap mode just re-heapifies the survivors.
+  std::size_t purge_before(Time cutoff) {
+    if (head_ != 0) {
+      entries_.erase(entries_.begin(),
+                     entries_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    const std::size_t before = entries_.size();
+    std::erase_if(entries_,
+                  [cutoff](const Entry& e) { return e.arrival < cutoff; });
+    if (entries_.empty()) {
+      heap_ = false;
+    } else if (heap_) {
+      std::make_heap(entries_.begin(), entries_.end(), Later{});
+    }
+    return before - entries_.size();
+  }
+
   SimProcess& owner() noexcept { return *owner_; }
 
  private:

@@ -111,9 +111,9 @@ void Scheduler::run() {
       if (any_blocked) {
         running_ = false;
         shutdown();
-        throw DeadlockError("all live processes blocked with no pending "
-                            "timers: " +
-                            blocked_names.str());
+        throw DeadlockError(
+            "all live processes blocked with no pending timers on shard " +
+            std::to_string(shard_index_) + ": " + blocked_names.str());
       }
       break;  // all processes finished
     }

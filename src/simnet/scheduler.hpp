@@ -108,6 +108,12 @@ class Scheduler {
   void set_tie_window(Time w) { tie_window_ = w > 0 ? w : 1; }
   Time tie_window() const noexcept { return tie_window_; }
 
+  /// Which shard this scheduler drives (0 in single-shard runs).  Only used
+  /// to label diagnostics -- a DeadlockError names the blocked contexts
+  /// *and* the shard they were stranded on.
+  void set_shard_index(std::size_t i) noexcept { shard_index_ = i; }
+  std::size_t shard_index() const noexcept { return shard_index_; }
+
   /// Install a cross-shard traffic source (sharded runs only; see
   /// ExternalSource).  With a source installed, run() consults it instead
   /// of raising DeadlockError / returning when the shard goes locally idle.
@@ -144,6 +150,7 @@ class Scheduler {
   Time tie_window_ = 50 * kUs;
   std::vector<std::uint64_t> last_dispatch_;  ///< per-process, for LRU ties
   ExternalSource* external_ = nullptr;
+  std::size_t shard_index_ = 0;
   bool shutdown_ = false;
   bool running_ = false;
 };

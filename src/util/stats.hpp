@@ -120,6 +120,8 @@ struct MethodCounters {
   std::uint64_t rel_dup_drops = 0;      ///< duplicate Data frames suppressed
   std::uint64_t rel_acks_sent = 0;      ///< standalone Ack frames emitted
   std::uint64_t rel_acks_received = 0;  ///< standalone Ack frames consumed
+  std::uint64_t rel_epoch_rejects = 0;  ///< stale-incarnation Data frames and
+                                        ///< ghost acks rejected
 
   void merge(const MethodCounters& o) noexcept {
     sends += o.sends;
@@ -134,6 +136,7 @@ struct MethodCounters {
     rel_dup_drops += o.rel_dup_drops;
     rel_acks_sent += o.rel_acks_sent;
     rel_acks_received += o.rel_acks_received;
+    rel_epoch_rejects += o.rel_epoch_rejects;
   }
 };
 

@@ -102,6 +102,30 @@ TEST(Mailbox, PenalizePendingPushesOnlyInFlight) {
   sched.run();
 }
 
+TEST(Mailbox, PurgeBeforeDropsPreCutoffArrivals) {
+  // Crash modeling (docs/ARCHITECTURE.md §14): a restarting context purges
+  // everything that arrived (or was consumed) before the outage ended --
+  // traffic addressed to the dead incarnation is lost, not replayed.
+  Scheduler sched;
+  sched.spawn("owner", [&] {
+    auto* self = SimProcess::current();
+    Mailbox<int> box(self->scheduler(), *self);
+    box.post(10 * kUs, 1);
+    box.post(20 * kUs, 2);
+    box.post(50 * kUs, 3);
+    EXPECT_EQ(box.purge_before(30 * kUs), 2u);
+    EXPECT_EQ(box.pending(), 1u);
+    self->advance(100 * kUs);
+    EXPECT_EQ(*box.poll(self->now()), 3);  // only the post-cutoff arrival
+    EXPECT_FALSE(box.poll(self->now()).has_value());
+    // Purging everything leaves a clean, reusable mailbox.
+    box.post(200 * kUs, 4);
+    EXPECT_EQ(box.purge_before(kInfinity), 1u);
+    EXPECT_EQ(box.pending(), 0u);
+  });
+  sched.run();
+}
+
 TEST(Mailbox, PendingCount) {
   Scheduler sched;
   sched.spawn("owner", [&] {
