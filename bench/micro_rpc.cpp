@@ -1,0 +1,363 @@
+// RPC subsystem microbenchmark (docs/ARCHITECTURE.md §15): call RTT for
+// small eager requests, bulk-pull throughput for handle-described payloads,
+// and the admission-control shed fast path under overload.
+//
+//   * call/16        -- full request/reply round trip, 16-byte args, ns and
+//                       allocations per completed call;
+//   * bulk/65536,
+//     bulk/1048576   -- one call whose payload travels as a pulled bulk
+//                       region (rpc.bulk_chunk-sized pieces, windowed);
+//                       reports ns/call and the reassembled GB/s;
+//   * overload/shed  -- bursts into rpc.max_inflight=1 + shed: the typed
+//                       Rejected path must stay cheap while the one
+//                       admitted call proceeds.
+//
+// Single-threaded simulated workload over lossless tcp (methodology notes
+// in micro_rsr_hotpath.cpp); allocations counted with a global operator
+// new hook -- the figure spans BOTH sides of each call (client issue +
+// server dispatch run in one process), so it is an upper bound on either
+// half alone.
+//
+// Usage: micro_rpc [rounds] [output.json]
+//   rounds defaults to 4000; CI passes a small count for the smoke job.
+//   Results go to BENCH_rpc.json.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "proto/rpc/rpc.hpp"
+#include "simnet/topology.hpp"
+
+// ----------------------------------------------------------------------
+// Counting allocator hook (same shape as micro_rsr_hotpath.cpp).
+static std::atomic<std::uint64_t> g_allocs{0};
+
+static void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+static void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     n ? n : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(al));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+// ----------------------------------------------------------------------
+
+namespace {
+
+using bench::Context;
+using bench::Runtime;
+using bench::RuntimeOptions;
+using nexus::proto::rpc::BulkHandle;
+using nexus::proto::rpc::CallContext;
+using nexus::proto::rpc::CallResult;
+using nexus::proto::rpc::CallStatus;
+using nexus::proto::rpc::Client;
+using nexus::proto::rpc::Server;
+
+RuntimeOptions rpc_opts() {
+  RuntimeOptions opts;
+  opts.costs.udp_drop_prob = 0.0;  // fault-free steady state
+  opts.topology = nexus::simnet::Topology::single_partition(2);
+  opts.modules = {"local", "tcp"};
+  return opts;
+}
+
+struct CaseResult {
+  double ns_per_call = 0.0;
+  double allocs_per_call = 0.0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+};
+
+/// Small-args request/reply round trip: `rounds` sequential calls.
+CaseResult run_call_case(long rounds) {
+  Runtime rt(rpc_opts());
+  CaseResult result;
+  std::atomic<bool> done{false};
+  const long warmup = rounds / 4 + 1;
+
+  rt.run(std::vector<std::function<void(Context&)>>{
+      [&](Context& ctx) {  // client / driver
+        Client cl(ctx);
+        nexus::util::PackBuffer args(16);
+        args.put_u64(0x5a5a5a5a5a5a5a5aull);
+        args.put_u64(0xa5a5a5a5a5a5a5a5ull);
+        auto phase = [&](long n) {
+          for (long i = 0; i < n; ++i) {
+            const CallResult r = cl.wait(cl.call(1, "echo", args));
+            if (r.status == CallStatus::Ok) ++result.ok;
+          }
+        };
+        phase(warmup);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+        phase(rounds);
+        const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+        const auto t1 = std::chrono::steady_clock::now();
+        result.ns_per_call =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()) /
+            static_cast<double>(rounds);
+        result.allocs_per_call =
+            static_cast<double>(a1 - a0) / static_cast<double>(rounds);
+        done.store(true, std::memory_order_release);
+      },
+      [&](Context& ctx) {  // server
+        Server srv(ctx);
+        srv.serve("echo", [](CallContext& cc) {
+          auto ub = cc.args();
+          nexus::util::PackBuffer pb(16);
+          pb.put_u64(ub.get_u64());
+          cc.respond(pb);
+        });
+        while (!done.load(std::memory_order_acquire)) {
+          if (!ctx.progress()) {
+            ctx.compute_with_polling(50 * nexus::simnet::kUs,
+                                     50 * nexus::simnet::kUs);
+          }
+          srv.service();
+        }
+      }});
+  return result;
+}
+
+/// One bulk-described payload per call, pulled by the server.
+CaseResult run_bulk_case(std::size_t payload, long rounds) {
+  Runtime rt(rpc_opts());
+  CaseResult result;
+  std::atomic<bool> done{false};
+  const long warmup = rounds / 4 + 1;
+
+  rt.run(std::vector<std::function<void(Context&)>>{
+      [&](Context& ctx) {
+        Client cl(ctx);
+        const BulkHandle h = cl.register_bulk(
+            nexus::util::SharedBytes(nexus::util::Bytes(payload, 0x3c)));
+        nexus::util::PackBuffer args(8);
+        args.put_u64(payload);
+        auto phase = [&](long n) {
+          for (long i = 0; i < n; ++i) {
+            const CallResult r = cl.wait(cl.call_bulk(1, "sink", args, h));
+            if (r.status == CallStatus::Ok) ++result.ok;
+          }
+        };
+        phase(warmup);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+        phase(rounds);
+        const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+        const auto t1 = std::chrono::steady_clock::now();
+        result.ns_per_call =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()) /
+            static_cast<double>(rounds);
+        result.allocs_per_call =
+            static_cast<double>(a1 - a0) / static_cast<double>(rounds);
+        done.store(true, std::memory_order_release);
+      },
+      [&](Context& ctx) {
+        Server srv(ctx);
+        srv.serve("sink", [](CallContext& cc) {
+          nexus::util::PackBuffer pb(8);
+          pb.put_u64(cc.bulk().size());
+          cc.respond(pb);
+        });
+        while (!done.load(std::memory_order_acquire)) {
+          if (!ctx.progress()) {
+            ctx.compute_with_polling(50 * nexus::simnet::kUs,
+                                     50 * nexus::simnet::kUs);
+          }
+          srv.service();
+        }
+      }});
+  return result;
+}
+
+/// Overload: bursts of `kBurst` bulk calls into rpc.max_inflight=1 + shed.
+/// The bulk pull keeps the admitted call's slot held while the rest of the
+/// burst arrives, so all but one call per burst takes the Rejected path.
+CaseResult run_overload_case(long rounds) {
+  constexpr int kBurst = 8;
+  RuntimeOptions opts = rpc_opts();
+  opts.db.set("rpc.max_inflight", "1");
+  opts.db.set("rpc.queue_cap", "0");
+  opts.db.set("rpc.admission", "shed");
+  Runtime rt(opts);
+  CaseResult result;
+  std::atomic<bool> done{false};
+  const long warmup = rounds / 4 + 1;
+
+  rt.run(std::vector<std::function<void(Context&)>>{
+      [&](Context& ctx) {
+        Client cl(ctx);
+        const BulkHandle h = cl.register_bulk(
+            nexus::util::SharedBytes(nexus::util::Bytes(65536, 0x3c)));
+        nexus::util::PackBuffer args(8);
+        args.put_u64(0);
+        auto phase = [&](long n, bool count) {
+          for (long i = 0; i < n; ++i) {
+            std::vector<nexus::proto::rpc::CallId> ids;
+            ids.reserve(kBurst);
+            for (int b = 0; b < kBurst; ++b) {
+              ids.push_back(cl.call_bulk(1, "sink", args, h));
+            }
+            cl.wait_all();
+            for (const auto id : ids) {
+              const CallResult r = cl.take(id);
+              if (!count) continue;
+              if (r.status == CallStatus::Ok) ++result.ok;
+              if (r.status == CallStatus::Rejected) ++result.rejected;
+            }
+          }
+        };
+        phase(warmup, false);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+        phase(rounds, true);
+        const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double calls = static_cast<double>(rounds) * kBurst;
+        result.ns_per_call =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()) /
+            calls;
+        result.allocs_per_call = static_cast<double>(a1 - a0) / calls;
+        done.store(true, std::memory_order_release);
+      },
+      [&](Context& ctx) {
+        Server srv(ctx);
+        srv.serve("sink", [](CallContext& cc) {
+          nexus::util::PackBuffer pb(8);
+          pb.put_u64(cc.bulk().size());
+          cc.respond(pb);
+        });
+        while (!done.load(std::memory_order_acquire)) {
+          if (!ctx.progress()) {
+            ctx.compute_with_polling(50 * nexus::simnet::kUs,
+                                     50 * nexus::simnet::kUs);
+          }
+          srv.service();
+        }
+      }});
+  return result;
+}
+
+std::string fmt(double v, const char* spec) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long rounds = 4000;
+  std::string out_path = "BENCH_rpc.json";
+  if (argc > 1) rounds = std::strtol(argv[1], nullptr, 10);
+  if (argc > 2) out_path = argv[2];
+  if (rounds <= 0) {
+    std::fprintf(stderr, "invalid round count\n");
+    return 1;
+  }
+
+  bench::print_header("micro_rpc: call RTT, bulk-pull throughput, shed path");
+  std::printf("rounds=%ld  git_rev=%s\n\n", rounds, bench::git_rev());
+  bench::JsonResultWriter writer("rpc");
+
+  {
+    const CaseResult r = run_call_case(rounds);
+    std::printf("%-16s %12.1f ns/call %10.3f allocs/call\n", "call/16",
+                r.ns_per_call, r.allocs_per_call);
+    writer.add("call/16",
+               {{"args_bytes", "16"}, {"rounds", std::to_string(rounds)}},
+               r.ns_per_call, r.allocs_per_call);
+  }
+  for (const std::size_t payload : {std::size_t{65536}, std::size_t{1048576}}) {
+    // Scale rounds down for the big payload so the bench stays quick.
+    const long n = payload > 100000 ? std::max(rounds / 8, 1l) : rounds;
+    const CaseResult r = run_bulk_case(payload, n);
+    const double gb_s = r.ns_per_call > 0.0
+                            ? static_cast<double>(payload) / r.ns_per_call
+                            : 0.0;  // bytes/ns == GB/s
+    const std::string name = "bulk/" + std::to_string(payload);
+    std::printf("%-16s %12.1f ns/call %10.3f allocs/call %8s GB/s\n",
+                name.c_str(), r.ns_per_call, r.allocs_per_call,
+                fmt(gb_s, "%.2f").c_str());
+    writer.add(name,
+               {{"payload_bytes", std::to_string(payload)},
+                {"chunks", std::to_string((payload + 8191) / 8192)},
+                {"rounds", std::to_string(n)},
+                {"gb_s", fmt(gb_s, "%.3f")}},
+               r.ns_per_call, r.allocs_per_call);
+  }
+  {
+    const CaseResult r = run_overload_case(std::max(rounds / 8, 1l));
+    std::printf("%-16s %12.1f ns/call %10.3f allocs/call  ok=%llu rejected=%llu\n",
+                "overload/shed", r.ns_per_call, r.allocs_per_call,
+                static_cast<unsigned long long>(r.ok),
+                static_cast<unsigned long long>(r.rejected));
+    writer.add("overload/shed",
+               {{"burst", "8"},
+                {"ok", std::to_string(r.ok)},
+                {"rejected", std::to_string(r.rejected)}},
+               r.ns_per_call, r.allocs_per_call);
+  }
+
+  if (!writer.write(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

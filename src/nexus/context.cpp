@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstdio>
 #include <mutex>
 
 #include "nexus/adapt/adaptive_selector.hpp"
@@ -724,6 +723,25 @@ void Context::deadletter(const Startpoint::Link& link, HandlerId h,
 
 DeliveryStatus Context::rsr(Startpoint& sp, HandlerId handler,
                             util::SharedBytes payload) {
+  return rsr_impl(sp, handler, std::move(payload), 0);
+}
+
+DeliveryStatus Context::rsr_traced(Startpoint& sp, HandlerId handler,
+                                   util::SharedBytes payload,
+                                   std::uint64_t trace) {
+  return rsr_impl(sp, handler, std::move(payload), trace);
+}
+
+DeliveryStatus Context::rsr_traced(Startpoint& sp, HandlerId handler,
+                                   const util::PackBuffer& args,
+                                   std::uint64_t trace) {
+  return rsr_impl(sp, handler, util::SharedBytes::copy_of(args.bytes()),
+                  trace);
+}
+
+DeliveryStatus Context::rsr_impl(Startpoint& sp, HandlerId handler,
+                                 util::SharedBytes payload,
+                                 std::uint64_t trace_override) {
   if (!sp.bound()) {
     throw util::UsageError("rsr on an unbound startpoint");
   }
@@ -734,10 +752,12 @@ DeliveryStatus Context::rsr(Startpoint& sp, HandlerId handler,
   ++rsrs_sent_;
   // One root span and one trace id per RSR: every link of a multicast shares
   // them, and forwarding nodes allocate child spans under the same trace, so
-  // send and dispatch line up causally across contexts.
+  // send and dispatch line up causally across contexts.  A caller-supplied
+  // trace (the RPC layer) extends an existing causal chain instead.
   const bool obs = observing();
   const telemetry::SpanId span = obs ? next_span() : 0;
-  const std::uint64_t trace = obs ? next_trace() : 0;
+  const std::uint64_t trace =
+      trace_override != 0 ? trace_override : (obs ? next_trace() : 0);
   DeliveryStatus worst = DeliveryStatus::Ok;
   for (auto& link : sp.links_) {
     // Unknown / never-registered target: report Dead instead of throwing
@@ -919,6 +939,19 @@ void Context::deliver(Packet pkt, CommModule* via) {
                            std::to_string(id_));
   }
   Endpoint& ep = *it->second;
+  if (!handlers_.contains(pkt.handler)) {
+    // An RSR naming a handler this context never registered is a protocol
+    // error of the *sender*, not a reason to fault the receiver: count it,
+    // record a Drop, and move on (mirrors the unknown-peer contract of
+    // rsr()).  HandlerTable::lookup still throws the typed HandlerError for
+    // paths that want the exception.
+    ++cmetrics_->send_errors;
+    if (observing()) {
+      observe({now(), pkt.span, id_, telemetry::Phase::Drop, 0,
+               pkt.payload.size(), pkt.src, 0, pkt.trace});
+    }
+    return;
+  }
   const HandlerTable::Entry& entry = handlers_.lookup(pkt.handler);
   if (entry.kind == HandlerKind::Threaded) {
     clock_->advance(costs_.threaded_handler_switch);
@@ -959,7 +992,17 @@ void Context::deliver(Packet pkt, CommModule* via) {
   const std::uint16_t handler_label = entry.trace_label;
   const Time handler_start = now();
   util::UnpackBuffer ub(pkt.payload.span());
-  entry.fn(*this, ep, ub);
+  {
+    // Expose the packet to the handler body (Context::inbound_packet) and
+    // restore the outer packet afterwards: loopback dispatch nests.
+    struct InboundGuard {
+      const Packet** slot;
+      const Packet* prev;
+      ~InboundGuard() { *slot = prev; }
+    } guard{&inbound_pkt_, inbound_pkt_};
+    inbound_pkt_ = &pkt;
+    entry.fn(*this, ep, ub);
+  }
   const Time handler_end = now();
   const std::uint64_t handler_ns = static_cast<std::uint64_t>(
       handler_end > handler_start ? handler_end - handler_start : 0);
@@ -973,9 +1016,25 @@ void Context::deliver(Packet pkt, CommModule* via) {
 void Context::forward(Packet pkt) {
   // This context is acting as a forwarding node (paper §3.3): re-send the
   // packet toward its true destination over the best local method.
+  // A relay must never fault its own process over traffic it merely
+  // carries: an undeliverable packet (hop bound hit, destination's methods
+  // all dead -- e.g. a crash window) is dropped and counted like any other
+  // sender-side protocol error, and the *sender's* detectors (deadlines,
+  // peer death) report the loss.  Mirrors the unknown-handler contract in
+  // deliver().
+  auto drop_relayed = [&](const char* why) {
+    ++cmetrics_->send_errors;
+    if (observing()) {
+      observe({now(), pkt.span, id_, telemetry::Phase::Drop, 0,
+               pkt.payload.size(), pkt.dst, 0, pkt.trace});
+    }
+    util::log_warn("forward", "context " + std::to_string(id_) +
+                                  " dropped a relayed packet to context " +
+                                  std::to_string(pkt.dst) + " (" + why + ")");
+  };
   if (++pkt.hops > kMaxForwardHops) {
-    throw util::MethodError("forwarding loop detected (packet to context " +
-                            std::to_string(pkt.dst) + ")");
+    drop_relayed("hop bound");
+    return;
   }
   clock_->advance(costs_.dispatch_overhead);
   // Steady-state forwarding resolves the route (selection + connection)
@@ -999,9 +1058,26 @@ void Context::forward(Packet pkt) {
                          drain_sibling_ != dst && drain_sibling_ != id_)
                             ? drain_sibling_
                             : dst;
-  const DescriptorTable& table = runtime_->table_of(via);
+  const DescriptorTable& full = runtime_->table_of(via);
   const std::uint64_t max_attempts =
-      health_.params().fail_threshold * (table.size() + 1) + 8;
+      health_.params().fail_threshold * (full.size() + 1) + 8;
+  // Descriptors that land back on this relay (the destination's tcp-class
+  // entry names its partition forwarder -- us) are excluded from relay
+  // selection: when the direct methods die, failover must not pick the
+  // route through ourselves and ping-pong the packet into the hop bound.
+  std::optional<DescriptorTable> filtered;
+  auto relay_table = [&]() -> const DescriptorTable& {
+    if (!filtered) {
+      std::vector<CommDescriptor> usable;
+      for (const CommDescriptor& d : full.entries()) {
+        CommModule* m = module(d.method);
+        if (m != nullptr && m->landing_context(d) == id_) continue;
+        usable.push_back(d);
+      }
+      filtered.emplace(std::move(usable));
+    }
+    return *filtered;
+  };
   std::uint64_t failures = 0;
   for (;;) {
     std::shared_ptr<CommObject> conn;
@@ -1009,13 +1085,13 @@ void Context::forward(Packet pkt) {
         cached != forward_routes_.end()) {
       conn = cached->second;
     } else {
+      const DescriptorTable& table = relay_table();
       std::string reason;
       auto idx = selector_->select(table, *this, reason);
       if (!idx) idx = quarantined_fallback(table);
       if (!idx) {
-        throw util::MethodError("forwarder " + std::to_string(id_) +
-                                " has no applicable method to reach context " +
-                                std::to_string(via));
+        drop_relayed("no applicable relay method");
+        return;
       }
       conn = cached_connection(table.at(*idx));
       forward_routes_.emplace(via, conn);
@@ -1050,10 +1126,8 @@ void Context::forward(Packet pkt) {
     const HealthTracker::FailAction action = note_send_failure(
         intern_method(m.name()), via, m.trace_label(), r.status, span, trace);
     if (failures >= max_attempts) {
-      throw util::MethodError(
-          "forwarder " + std::to_string(id_) + " failed " +
-          std::to_string(failures) + " times relaying to context " +
-          std::to_string(via));
+      drop_relayed("every relay method exhausted");
+      return;
     }
     if (action == HealthTracker::FailAction::Failover) {
       // Evict the dead route and connection; the next iteration re-selects
@@ -1358,6 +1432,9 @@ telemetry::SelectionReport Context::explain_selection(const Startpoint& sp) {
       break;
     }
     rep.links.push_back(std::move(lr));
+  }
+  for (const auto& [peer, method] : rpc_last_method_) {
+    rep.rpc.push_back({peer, method});
   }
   return rep;
 }

@@ -121,6 +121,26 @@ class Context {
                      const util::PackBuffer& args);
   /// Zero-payload RSR.
   DeliveryStatus rsr(Startpoint& sp, std::string_view handler);
+  /// RSR riding an existing causal trace: layered protocols (the RPC
+  /// subsystem's request, bulk pull/chunk, and reply frames) pass the
+  /// call's trace id so every hop stitches into one end-to-end trace.
+  /// trace == 0 behaves exactly like rsr().
+  DeliveryStatus rsr_traced(Startpoint& sp, HandlerId handler,
+                            util::SharedBytes payload, std::uint64_t trace);
+  DeliveryStatus rsr_traced(Startpoint& sp, HandlerId handler,
+                            const util::PackBuffer& args, std::uint64_t trace);
+
+  /// The packet currently being dispatched to a handler on this context
+  /// (null outside handler dispatch).  Lets layered protocols alias the
+  /// zero-copy payload and read the envelope (src, span, trace) without
+  /// re-serializing it into the argument buffer.
+  const Packet* inbound_packet() const noexcept { return inbound_pkt_; }
+
+  /// Record the method the RPC layer's last call toward `peer` rode
+  /// (surfaced as explain_selection()'s rpc rows).
+  void note_rpc_method(ContextId peer, std::string_view method) {
+    rpc_last_method_[peer] = std::string(method);
+  }
 
   // --- startpoint transfer ---
   /// Serialize a startpoint for transfer to another context.  Applies the
@@ -302,6 +322,11 @@ class Context {
   /// e.g. loopback dispatch); the adaptive engine uses it to attribute
   /// one-way timing samples.
   void deliver(Packet pkt, CommModule* via = nullptr);
+  /// Shared body of rsr() / rsr_traced(): `trace_override` != 0 reuses an
+  /// existing causal chain instead of allocating a fresh trace id.
+  DeliveryStatus rsr_impl(Startpoint& sp, HandlerId handler,
+                          util::SharedBytes payload,
+                          std::uint64_t trace_override);
   void dispatch_local(Packet pkt);
   void forward(Packet pkt);
   void ensure_connection(const Startpoint& sp, Startpoint::Link& link,
@@ -429,6 +454,13 @@ class Context {
   Time peer_grace_ = 0;                ///< robust.peer_grace_ms
   bool draining_ = false;
   ContextId drain_sibling_ = kNoContext;
+
+  /// Packet under dispatch (deliver() sets/restores it around the handler
+  /// body; nested loopback dispatch restores the outer packet correctly).
+  const Packet* inbound_pkt_ = nullptr;
+  /// Last RPC call's selected method per peer (enquiry only; see
+  /// note_rpc_method / explain_selection).
+  std::map<ContextId, std::string> rpc_last_method_;
 
   std::uint64_t rsrs_sent_ = 0;
   std::uint64_t rsrs_delivered_ = 0;

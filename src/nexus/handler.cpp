@@ -22,8 +22,8 @@ HandlerId HandlerTable::add(std::string_view name, Handler fn,
 const HandlerTable::Entry& HandlerTable::lookup(HandlerId id) const {
   auto it = handlers_.find(id);
   if (it == handlers_.end()) {
-    throw util::UsageError("RSR names an unregistered handler (id " +
-                           std::to_string(id) + ")");
+    throw util::HandlerError("RSR names an unregistered handler (id " +
+                             std::to_string(id) + ")");
   }
   return it->second;
 }

@@ -49,7 +49,7 @@ class HandlerTable {
     std::uint16_t trace_label = 0;
   };
 
-  /// Lookup by wire id; throws UsageError for unknown ids.
+  /// Lookup by wire id; throws HandlerError for unknown ids.
   const Entry& lookup(HandlerId id) const;
   /// Mutable lookup for registration-time wiring (telemetry labels).
   Entry* find(HandlerId id) {

@@ -159,6 +159,20 @@ std::string MetricsRegistry::to_text() const {
                  std::to_string(cm->deadletter_redeliveries) +
                  " send_errors " + std::to_string(cm->send_errors) + "\n";
         }
+        if (cm->rpc_calls != 0 || cm->rpc_rejected != 0 ||
+            cm->rpc_bulk_pull_chunks != 0 || cm->rpc_bulk_errors != 0) {
+          out += "    rpc: calls " + std::to_string(cm->rpc_calls) +
+                 " deadline_exceeded " +
+                 std::to_string(cm->rpc_deadline_exceeded) + " cancelled " +
+                 std::to_string(cm->rpc_cancelled) + " rejected " +
+                 std::to_string(cm->rpc_rejected) + " peer_died " +
+                 std::to_string(cm->rpc_peer_died) + " late_replies " +
+                 std::to_string(cm->rpc_late_replies) + " bulk_chunks " +
+                 std::to_string(cm->rpc_bulk_pull_chunks) + " bulk_errors " +
+                 std::to_string(cm->rpc_bulk_errors) + "\n";
+        }
+        out += hist_summary("rpc_call_ns", cm->rpc_call_ns);
+        out += hist_summary("rpc_bulk_mb_s", cm->rpc_bulk_mb_s);
       }
     }
     const util::MethodCounters& c = mm.counters;
@@ -214,7 +228,19 @@ std::string MetricsRegistry::to_json() const {
            ",\"deadletter_drops\":" + std::to_string(cm.deadletter_drops) +
            ",\"deadletter_redeliveries\":" +
            std::to_string(cm.deadletter_redeliveries) +
-           ",\"send_errors\":" + std::to_string(cm.send_errors) + "}";
+           ",\"send_errors\":" + std::to_string(cm.send_errors) +
+           ",\"rpc_calls\":" + std::to_string(cm.rpc_calls) +
+           ",\"rpc_deadline_exceeded\":" +
+           std::to_string(cm.rpc_deadline_exceeded) +
+           ",\"rpc_cancelled\":" + std::to_string(cm.rpc_cancelled) +
+           ",\"rpc_rejected\":" + std::to_string(cm.rpc_rejected) +
+           ",\"rpc_peer_died\":" + std::to_string(cm.rpc_peer_died) +
+           ",\"rpc_late_replies\":" + std::to_string(cm.rpc_late_replies) +
+           ",\"rpc_bulk_pull_chunks\":" +
+           std::to_string(cm.rpc_bulk_pull_chunks) +
+           ",\"rpc_bulk_errors\":" + std::to_string(cm.rpc_bulk_errors) +
+           ",\"rpc_call_ns\":" + hist_json(cm.rpc_call_ns) +
+           ",\"rpc_bulk_mb_s\":" + hist_json(cm.rpc_bulk_mb_s) + "}";
   }
   out += "],\"methods\":[";
   bool first_m = true;
@@ -282,7 +308,8 @@ std::string MetricsRegistry::to_prometheus() const {
 
   static constexpr const char* kCtxHists[] = {
       "nexus_rsr_oneway_ns", "nexus_handler_ns", "nexus_poll_interval_ns",
-      "nexus_poll_batch", "nexus_rsr_retries"};
+      "nexus_poll_batch", "nexus_rsr_retries", "nexus_rpc_call_ns",
+      "nexus_rpc_bulk_mb_s"};
   for (const char* f : kCtxHists) {
     out += std::string("# TYPE ") + f + " histogram\n";
   }
@@ -292,7 +319,11 @@ std::string MetricsRegistry::to_prometheus() const {
       "nexus_adapt_probes_total", "nexus_peer_deaths_total",
       "nexus_peer_reborns_total", "nexus_deadletters_total",
       "nexus_deadletter_drops_total", "nexus_deadletter_redeliveries_total",
-      "nexus_ctx_send_errors_total"};
+      "nexus_ctx_send_errors_total", "nexus_rpc_calls_total",
+      "nexus_rpc_deadline_exceeded_total", "nexus_rpc_cancelled_total",
+      "nexus_rpc_rejected_total", "nexus_rpc_peer_died_total",
+      "nexus_rpc_late_replies_total", "nexus_rpc_bulk_pull_chunks_total",
+      "nexus_rpc_bulk_errors_total"};
   for (const char* f : kCtxCounters) {
     out += std::string("# TYPE ") + f + " counter\n";
   }
@@ -319,6 +350,20 @@ std::string MetricsRegistry::to_prometheus() const {
     prom_counter(out, "nexus_deadletter_redeliveries_total", labels,
                  cm.deadletter_redeliveries);
     prom_counter(out, "nexus_ctx_send_errors_total", labels, cm.send_errors);
+    prom_counter(out, "nexus_rpc_calls_total", labels, cm.rpc_calls);
+    prom_counter(out, "nexus_rpc_deadline_exceeded_total", labels,
+                 cm.rpc_deadline_exceeded);
+    prom_counter(out, "nexus_rpc_cancelled_total", labels, cm.rpc_cancelled);
+    prom_counter(out, "nexus_rpc_rejected_total", labels, cm.rpc_rejected);
+    prom_counter(out, "nexus_rpc_peer_died_total", labels, cm.rpc_peer_died);
+    prom_counter(out, "nexus_rpc_late_replies_total", labels,
+                 cm.rpc_late_replies);
+    prom_counter(out, "nexus_rpc_bulk_pull_chunks_total", labels,
+                 cm.rpc_bulk_pull_chunks);
+    prom_counter(out, "nexus_rpc_bulk_errors_total", labels,
+                 cm.rpc_bulk_errors);
+    prom_histogram(out, "nexus_rpc_call_ns", labels, cm.rpc_call_ns);
+    prom_histogram(out, "nexus_rpc_bulk_mb_s", labels, cm.rpc_bulk_mb_s);
   }
 
   static constexpr const char* kMethodCounters[] = {

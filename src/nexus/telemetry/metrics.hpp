@@ -124,6 +124,20 @@ struct ContextMetrics {
   std::uint64_t deadletter_drops = 0;
   std::uint64_t deadletter_redeliveries = 0;
   std::uint64_t send_errors = 0;
+  // RPC subsystem counters (src/proto/rpc, docs §15): calls issued, and
+  // their non-Ok terminal outcomes; late/duplicate replies dropped at the
+  // client; bulk chunks pulled by servers; bulk protocol errors (unknown /
+  // out-of-range handle).
+  std::uint64_t rpc_calls = 0;
+  std::uint64_t rpc_deadline_exceeded = 0;
+  std::uint64_t rpc_cancelled = 0;
+  std::uint64_t rpc_rejected = 0;
+  std::uint64_t rpc_peer_died = 0;
+  std::uint64_t rpc_late_replies = 0;
+  std::uint64_t rpc_bulk_pull_chunks = 0;
+  std::uint64_t rpc_bulk_errors = 0;
+  Histogram rpc_call_ns;    ///< client-observed call latency (Ok calls)
+  Histogram rpc_bulk_mb_s;  ///< bulk pull throughput per transfer, MB/s
 };
 
 /// Poll intervals are sampled once per this many poll_once() iterations

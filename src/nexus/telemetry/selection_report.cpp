@@ -64,6 +64,10 @@ std::string SelectionReport::to_text() const {
       }
     }
   }
+  for (const RpcRow& r : rpc) {
+    out += "  rpc: last call -> context " + std::to_string(r.peer) + " via " +
+           r.method + "\n";
+  }
   return out;
 }
 
@@ -103,6 +107,14 @@ std::string SelectionReport::to_json() const {
       out += "}";
     }
     out += "]}";
+  }
+  out += "],\"rpc\":[";
+  bool first_rpc = true;
+  for (const RpcRow& r : rpc) {
+    if (!first_rpc) out += ",";
+    first_rpc = false;
+    out += "{\"peer\":" + std::to_string(r.peer) +
+           ",\"method\":" + json_quote(r.method) + "}";
   }
   out += "]}";
   return out;

@@ -69,8 +69,16 @@ struct LinkReport {
 };
 
 struct SelectionReport {
+  /// RPC-layer note: the method the last rpc::Client call toward `peer`
+  /// actually rode (startpoint selection at request-send time).
+  struct RpcRow {
+    std::uint32_t peer = 0;
+    std::string method;
+  };
+
   std::string selector;  ///< name of the policy that was consulted
   std::vector<LinkReport> links;
+  std::vector<RpcRow> rpc;  ///< last rpc call's method, per peer
 
   std::string to_text() const;
   std::string to_json() const;

@@ -30,6 +30,13 @@ const char* phase_name(Phase p) noexcept {
     case Phase::PeerDead: return "peer.dead";
     case Phase::PeerReborn: return "peer.reborn";
     case Phase::Deadletter: return "rsr.deadletter";
+    case Phase::RpcCall: return "rpc.call";
+    case Phase::RpcReply: return "rpc.reply";
+    case Phase::RpcExpire: return "rpc.expire";
+    case Phase::RpcCancel: return "rpc.cancel";
+    case Phase::RpcReject: return "rpc.reject";
+    case Phase::RpcPull: return "rpc.pull";
+    case Phase::RpcChunk: return "rpc.chunk";
     case Phase::Custom: return "custom";
   }
   return "?";

@@ -60,6 +60,13 @@ enum class Phase : std::uint8_t {
   PeerReborn,   ///< a send to a declared-dead peer succeeded (or the local
                 ///< context itself reincarnated; aux = new epoch)
   Deadletter,   ///< an RSR drained into the dead-letter queue
+  RpcCall,      ///< rpc client sent a request (aux = call id)
+  RpcReply,     ///< rpc server sent (or client received) a reply
+  RpcExpire,    ///< rpc call completed DeadlineExceeded locally
+  RpcCancel,    ///< rpc call cancelled (client side or cancel frame seen)
+  RpcReject,    ///< rpc admission control shed a request
+  RpcPull,      ///< rpc server issued a bulk chunk pull
+  RpcChunk,     ///< rpc bulk chunk arrived at the puller
   Custom,       ///< application-recorded marker
 };
 

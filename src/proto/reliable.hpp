@@ -106,6 +106,13 @@ class ReliableModule final : public CommModule {
   RelBackpressure backpressure() const noexcept { return policy_; }
   /// Un-acked sequence count currently in flight toward `peer`.
   std::uint64_t in_flight(ContextId peer) const;
+  /// Free window credits toward `peer` (chunk-pull hook: the RPC bulk
+  /// plane clamps its outstanding pulls to this so it never drives the
+  /// reliable window into backpressure).
+  std::uint64_t free_credits(ContextId peer) const {
+    const std::uint64_t used = in_flight(peer);
+    return window_ > used ? window_ - used : 0;
+  }
 
  private:
   static constexpr Time kNever = std::numeric_limits<Time>::max();

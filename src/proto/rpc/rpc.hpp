@@ -1,0 +1,278 @@
+// Mercury-style RPC over the one-sided RSR (docs/ARCHITECTURE.md §15).
+//
+// The paper's RSR is fire-and-forget; this subsystem layers the service
+// shape Soumagne et al. describe for extreme-scale RPC on top of it:
+//
+//   * request/response correlation -- Client::call() allocates a call id,
+//     ships the request as an ordinary RSR (riding method selection,
+//     failover, adaptation, and the crash/restart fault domain unchanged),
+//     and completes when the reply RSR lands;
+//   * per-call deadlines -- expired calls complete DeadlineExceeded and
+//     late replies are dropped and counted (rpc_late_replies);
+//   * cancellation -- Client::cancel() completes the call locally and
+//     sends a best-effort cancel frame; server handlers poll
+//     CallContext::cancelled();
+//   * bulk data -- requests carry a BulkHandle descriptor; the server
+//     *pulls* the region in flow-controlled chunks (see bulk.hpp) before
+//     the handler runs, receiving it as one zero-copy SharedBytes;
+//   * admission control -- per-service concurrency limits plus a bounded
+//     pending queue; overload degrades to typed Rejected replies
+//     (rpc.admission reuses the reliable layer's block/shed vocabulary:
+//     "queue"/"block" park excess calls, "shed" rejects immediately).
+//
+// Exactly-once completion: every call reaches exactly one terminal status
+// in {Ok, DeadlineExceeded, Cancelled, PeerDied, Rejected, HandlerError,
+// BulkError} -- never zero (no hangs: deadlines, peer-death detection, and
+// Dead send verdicts each bound a silent server) and never two (the state
+// machine drops late/duplicate replies).
+//
+// Resource-database keys (context-scopable): rpc.deadline_ms (default
+// deadline when CallOptions leaves it 0; 0 = none), rpc.max_inflight (8),
+// rpc.queue_cap (16), rpc.admission ("queue" | "block" | "shed"),
+// rpc.bulk_chunk (8192), rpc.bulk_window (4).
+//
+// One Client and/or one Server per context (they own the rpc.* handler
+// registrations); construct them before the context starts serving and
+// keep them alive for the run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "nexus/context.hpp"
+#include "proto/rpc/bulk.hpp"
+#include "util/pack.hpp"
+#include "util/shared_bytes.hpp"
+
+namespace nexus::proto::rpc {
+
+// Wire handler names (FNV-hashed like every RSR handler).
+inline constexpr std::string_view kReqHandler = "rpc.req";
+inline constexpr std::string_view kRepHandler = "rpc.rep";
+inline constexpr std::string_view kCancelHandler = "rpc.cancel";
+inline constexpr std::string_view kBulkPullHandler = "rpc.bulk.pull";
+inline constexpr std::string_view kBulkChunkHandler = "rpc.bulk.chunk";
+inline constexpr std::string_view kBulkErrHandler = "rpc.bulk.err";
+
+using CallId = std::uint64_t;
+
+enum class CallStatus : std::uint8_t {
+  Pending = 0,
+  Ok,                ///< reply received
+  DeadlineExceeded,  ///< the per-call deadline passed first
+  Cancelled,         ///< cancelled locally (best-effort frame to the server)
+  PeerDied,          ///< server declared dead / send verdict Dead
+  Rejected,          ///< server admission control shed the call
+  HandlerError,      ///< server has no such service registered
+  BulkError,         ///< the server could not pull the request's bulk region
+};
+
+const char* call_status_name(CallStatus s) noexcept;
+
+struct CallOptions {
+  /// Relative deadline in ns; 0 = use rpc.deadline_ms (whose 0 = none).
+  Time timeout = 0;
+};
+
+struct CallResult {
+  CallStatus status = CallStatus::Pending;
+  util::SharedBytes payload;  ///< reply payload (zero-copy view)
+  std::string error;          ///< detail for non-Ok terminals
+};
+
+/// Client half: issue calls, drive completion.
+class Client {
+ public:
+  explicit Client(Context& ctx);
+
+  /// Intern a bulk region for pulling by servers.
+  BulkHandle register_bulk(util::SharedBytes data) {
+    return bulk_.register_region(std::move(data));
+  }
+  void release_bulk(BulkHandle h) { bulk_.release(h); }
+
+  CallId call(ContextId server, std::string_view service,
+              const util::PackBuffer& args, CallOptions opts = {});
+  CallId call_bulk(ContextId server, std::string_view service,
+                   const util::PackBuffer& args, BulkHandle bulk,
+                   CallOptions opts = {});
+
+  /// Has `id` reached a terminal status?
+  bool done(CallId id) const;
+  /// Remove and return a completed call's result (UsageError when the id
+  /// is unknown or still pending -- use wait()).
+  CallResult take(CallId id);
+  /// Drive progress (polling + virtual time) until `id` completes.
+  CallResult wait(CallId id);
+  /// Drive progress until every outstanding call completes.
+  void wait_all();
+  /// Complete `id` as Cancelled locally and tell the server (best effort).
+  void cancel(CallId id);
+  /// Housekeeping: expire deadlines, abort calls to dead peers.  wait()
+  /// calls this; call it from custom polling loops.
+  void service();
+
+  std::size_t outstanding() const;
+
+ private:
+  struct Call {
+    ContextId server = kNoContext;
+    std::string service;
+    Time issued_at = 0;
+    Time deadline = 0;  ///< absolute; 0 = none
+    std::uint64_t trace = 0;
+    CallStatus status = CallStatus::Pending;
+    util::SharedBytes reply;
+    std::string error;
+  };
+
+  CallId issue(ContextId server, std::string_view service,
+               const util::PackBuffer& args, BulkHandle bulk,
+               CallOptions opts);
+  /// Move a pending call to a terminal status (exactly-once: a call
+  /// already terminal is left untouched and the transition reported false).
+  bool complete(CallId id, CallStatus status, util::SharedBytes payload,
+                std::string error);
+  void on_reply(util::UnpackBuffer& ub);
+  Startpoint& route(ContextId server);
+
+  Context& ctx_;
+  BulkProvider bulk_;
+  std::map<CallId, Call> calls_;
+  std::map<ContextId, Startpoint> routes_;
+  std::uint64_t next_call_ = 0;
+  Time default_deadline_ = 0;  ///< rpc.deadline_ms, ns (0 = none)
+  std::uint32_t incarnation_ = 0;
+};
+
+/// Per-call view handed to server handlers.
+class CallContext {
+ public:
+  ContextId client() const noexcept { return client_; }
+  CallId call_id() const noexcept { return call_id_; }
+  const std::string& service() const noexcept { return service_; }
+  /// Unpack view over the request args (zero-copy into the request RSR).
+  util::UnpackBuffer args() const { return util::UnpackBuffer(args_.span()); }
+  bool has_bulk() const noexcept { return !bulk_.empty() || bulk_size_ != 0; }
+  /// The pulled bulk region (empty unless the request carried a handle).
+  const util::SharedBytes& bulk() const noexcept { return bulk_; }
+  /// Poll for cancellation: true once a cancel frame for this call has
+  /// been seen or the call's deadline budget is exhausted.  Handlers doing
+  /// long work should poll (Context::progress()) and check this.
+  bool cancelled() const;
+  /// Send the reply payload (at most once; later respond() calls throw).
+  void respond(const util::PackBuffer& payload);
+  void respond(util::SharedBytes payload);
+  bool replied() const noexcept { return replied_; }
+  Context& context() noexcept { return ctx_; }
+
+ private:
+  friend class Server;
+  CallContext(Context& ctx, class Server& srv, ContextId client,
+              CallId call_id, std::string service, util::SharedBytes args,
+              util::SharedBytes bulk, std::uint64_t bulk_size, Time deadline)
+      : ctx_(ctx), srv_(srv), client_(client), call_id_(call_id),
+        service_(std::move(service)), args_(std::move(args)),
+        bulk_(std::move(bulk)), bulk_size_(bulk_size), deadline_(deadline) {}
+
+  Context& ctx_;
+  Server& srv_;
+  ContextId client_;
+  CallId call_id_;
+  std::string service_;
+  util::SharedBytes args_;
+  util::SharedBytes bulk_;
+  std::uint64_t bulk_size_ = 0;
+  Time deadline_ = 0;
+  bool replied_ = false;
+  util::SharedBytes response_;
+};
+
+/// Server half: service registry, admission control, bulk pulls, replies.
+class Server {
+ public:
+  using HandlerFn = std::function<void(CallContext&)>;
+
+  explicit Server(Context& ctx);
+
+  /// Register the handler for `service` (UsageError on duplicates).
+  void serve(std::string_view service, HandlerFn fn);
+
+  /// Housekeeping: pump/abort bulk pulls, reset state after a crash
+  /// restart, expire queued calls.  Call it from the server's poll loop.
+  void service();
+
+  struct Stats {
+    std::uint64_t accepted = 0;   ///< admitted (ran or started a pull)
+    std::uint64_t queued = 0;     ///< parked in the pending queue
+    std::uint64_t rejected = 0;   ///< shed by admission control
+    std::uint64_t completed = 0;  ///< handler ran to completion
+    std::uint64_t expired = 0;    ///< queued entries dropped past deadline
+    std::uint64_t cancelled = 0;  ///< cancelled before/while running
+    std::uint64_t bulk_transfers = 0;
+    std::uint64_t bulk_failures = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  /// Receive-side reassembly allocations (one per bulk transfer).
+  std::uint64_t reassembly_allocs() const noexcept {
+    return puller_.reassembly_allocs();
+  }
+  std::size_t queue_depth() const noexcept { return queue_.size(); }
+
+ private:
+  struct Req {
+    CallId call_id = 0;
+    ContextId client = kNoContext;
+    std::string service;
+    util::SharedBytes args;
+    BulkHandle bulk;
+    Time deadline = 0;  ///< absolute server-side budget; 0 = none
+    std::uint64_t trace = 0;
+  };
+
+  void on_request(util::UnpackBuffer& ub);
+  void on_cancel(util::UnpackBuffer& ub);
+  void on_pull_done(std::uint64_t key, util::SharedBytes data, bool ok,
+                    std::string err);
+  /// Admission control: run, queue, or shed.
+  void admit(Req r);
+  /// Begin an admitted request: pull bulk first when present.
+  void begin(Req r);
+  void run_handler(Req r, util::SharedBytes bulk);
+  /// Release one admission slot and start queued work that now fits.
+  void release_slot(const std::string& service);
+  /// Drop expired/cancelled queue entries; start whatever fits now.
+  void pump_queue();
+  void reply(const Req& r, CallStatus status,
+             const util::SharedBytes& payload, std::string_view error);
+  bool is_cancelled(ContextId client, CallId id) const {
+    return cancelled_.count({client, id}) != 0;
+  }
+  /// Drop state from a previous incarnation after a crash restart.
+  void reincarnation_check();
+
+  friend class CallContext;
+
+  Context& ctx_;
+  BulkPuller puller_;
+  std::map<std::string, HandlerFn, std::less<>> services_;
+  std::map<std::string, std::size_t> inflight_;  ///< running, per service
+  std::deque<Req> queue_;
+  /// Bulk pulls in progress, keyed by pull key.
+  std::map<std::uint64_t, Req> pulling_;
+  std::set<std::pair<ContextId, CallId>> cancelled_;
+  std::map<ContextId, Startpoint> routes_;
+  std::uint64_t next_pull_ = 0;
+  std::size_t max_inflight_ = 8;  ///< rpc.max_inflight
+  std::size_t queue_cap_ = 16;    ///< rpc.queue_cap
+  bool shed_ = false;             ///< rpc.admission == "shed"
+  std::uint32_t incarnation_ = 0;
+  Stats stats_;
+};
+
+}  // namespace nexus::proto::rpc

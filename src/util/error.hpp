@@ -38,4 +38,12 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error("config: " + what) {}
 };
 
+/// Raised when an RSR names a handler id the destination never registered.
+/// Distinct from UsageError so dispatch paths can degrade gracefully (count
+/// and drop) while registration-time misuse still faults loudly.
+class HandlerError : public Error {
+ public:
+  explicit HandlerError(const std::string& what) : Error("handler: " + what) {}
+};
+
 }  // namespace nexus::util

@@ -1,0 +1,245 @@
+// Reliable-layer backpressure x dead-letter queue interaction
+// (docs/ARCHITECTURE.md §10.3 and §14.3).
+//
+// Both features are tested independently elsewhere; these cases pin the
+// seam between them under robust.retry_budget > 0.  The outage is a
+// detected-loss window (FaultPlan::drop with p=1), not a blackhole: a
+// blackhole yields hard Dead verdicts that the wrapper surfaces
+// immediately (recovery belongs to the failover layer), so the rel window
+// never engages.  Detected transient loss is the regime where the wrapper
+// accepts packets into its window and the overflow meets the DLQ:
+//
+//   * shed policy: window residents ride the wrapper's own probing
+//     retransmits through the outage; the overflow sheds Transient, walks
+//     the robust layer's bounded retry ladder, and parks in the bounded
+//     dead-letter queue (cap eviction included).  Rebirth after the outage
+//     redelivers exactly the retained letters.  No payload is ever
+//     delivered twice across the two recovery paths.
+//
+//   * block policy: a sender blocked on a full window toward an
+//     unreachable peer must NOT hang -- the wrapper's max-retries dead
+//     latch terminates the wait well inside the outage, and with a
+//     dead-letter budget the failed sends park instead of throwing.  After
+//     the outage every parked and windowed payload arrives exactly once
+//     (redelivery itself blocks on window credits instead of shedding).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <map>
+
+#include "fixture_runtime.hpp"
+#include "nexus/runtime.hpp"
+#include "proto/reliable.hpp"
+
+namespace {
+
+using namespace nexus;
+using nexus::testing::opts_with;
+using nexus::testing::run_mpmd;
+using simnet::kMs;
+using simnet::kUs;
+
+RuntimeOptions dlq_opts(const char* policy, const char* window,
+                        const char* cap) {
+  RuntimeOptions opts =
+      opts_with({"local", "rel+udp"}, simnet::Topology::single_partition(2));
+  // Latch timing and the block-mode wait ride the shared virtual clock;
+  // pin threads=1 so the NEXUS_THREADS=4 TSan leg runs the suite unsharded.
+  opts.threads = 1;
+  // Detected loss (Transient verdicts) for the first 5 ms, then clean:
+  // every data frame and ack is lost, but the wrapper keeps ownership of
+  // accepted packets and repairs them by retransmission after the window.
+  opts.faults.drop("udp", 1.0, 0, 5 * kMs);
+  opts.costs.udp_drop_prob = 0.0;  // no silent loss outside the fault rule
+  opts.db.set("rel.window", window);
+  opts.db.set("rel.backpressure", policy);
+  opts.db.set("rel.max_retries", "2");  // fast dead latch inside the outage
+  opts.db.set("rel.rto_initial_us", "500");
+  opts.db.set("rel.rto_min_us", "500");
+  opts.db.set("rel.rto_max_us", "2000");
+  opts.db.set("rel.ack_delay_us", "200");
+  opts.db.set("robust.retry_budget", "2");
+  opts.db.set("robust.deadletter_cap", cap);
+  opts.db.set("robust.peer_grace_ms", "0");  // declare death on first strike
+  return opts;
+}
+
+util::PackBuffer seq_payload(std::uint64_t i) {
+  util::PackBuffer pb(16);
+  pb.put_u64(i);
+  return pb;
+}
+
+TEST(ReliableBackpressureDlq, ShedOverflowParksAndRedeliversExactlyOnce) {
+  // cap 3 < window 4: the retained letters must fit the window next to the
+  // unacked rebirth probe, or redelivery itself would shed and re-park.
+  Runtime rt(dlq_opts("shed", "4", "3"));
+
+  std::map<std::uint64_t, int> delivered;
+  std::atomic<bool> done{false};
+  bool dead_mid_window = false;
+  std::size_t letters_at_peak = 0;
+
+  run_mpmd(
+      rt,
+      {[&](Context& ctx) {  // sender
+         Startpoint sp = ctx.world_startpoint(1);
+         auto* rel = dynamic_cast<proto::ReliableModule*>(ctx.module("rel+udp"));
+         ASSERT_NE(rel, nullptr);
+         // Payloads 0-3 are accepted into the rel window (they recover via
+         // the wrapper's probing retransmits once the loss window lifts);
+         // 4-9 hit the full window, shed Transient, exhaust the robust
+         // retry ladder, and park in the DLQ -- whose cap of 3 evicts the
+         // three oldest letters (payloads 4-6).  The first exhausted
+         // ladder also quarantines the only applicable method, which with
+         // a zero grace period declares the peer dead.
+         for (std::uint64_t i = 0; i < 10; ++i) {
+           const DeliveryStatus st = ctx.rsr(sp, "pay", seq_payload(i));
+           if (i < 4) {
+             EXPECT_EQ(st, DeliveryStatus::Ok) << "payload " << i;
+           } else {
+             EXPECT_EQ(st, DeliveryStatus::Transient) << "payload " << i;
+           }
+         }
+         dead_mid_window = ctx.is_peer_dead(1);
+         letters_at_peak = ctx.deadletter_count();
+         // Ride out the outage until the wrapper's probes drain the window
+         // (acked progress also clears its max-retries dead latch).
+         while (rel->in_flight(1) > 0 && ctx.now() < 200 * kMs) {
+           ctx.compute_with_polling(1 * kMs, 250 * kUs);
+         }
+         ASSERT_EQ(rel->in_flight(1), 0u);
+         // The peer stays declared dead until a Context-level send
+         // succeeds: wrapper-internal probe progress is invisible to the
+         // robust layer.  The first post-outage RSR is the rebirth probe;
+         // its success flushes the three retained letters back through the
+         // wrapper (they fit the window beside the probe's unacked slot).
+         EXPECT_TRUE(ctx.is_peer_dead(1));
+         EXPECT_EQ(ctx.rsr(sp, "pay", seq_payload(10)), DeliveryStatus::Ok);
+         EXPECT_FALSE(ctx.is_peer_dead(1));
+         EXPECT_EQ(ctx.deadletter_count(), 0u);
+         while (rel->in_flight(1) > 0 && ctx.now() < 400 * kMs) {
+           ctx.compute_with_polling(1 * kMs, 250 * kUs);
+         }
+         while (!done.load(std::memory_order_acquire) && ctx.now() < 600 * kMs) {
+           ctx.compute_with_polling(1 * kMs, 250 * kUs);
+         }
+       },
+       [&](Context& ctx) {  // receiver
+         std::uint64_t got = 0;
+         ctx.register_handler("pay",
+                              [&](Context&, Endpoint&, util::UnpackBuffer& ub) {
+                                ++delivered[ub.get_u64()];
+                                ++got;
+                              });
+         while (got < 8 && ctx.now() < 600 * kMs) {
+           ctx.compute_with_polling(1 * kMs, 250 * kUs);
+         }
+         done.store(true, std::memory_order_release);
+       }});
+
+  EXPECT_TRUE(dead_mid_window);
+  EXPECT_EQ(letters_at_peak, 3u);  // capped
+  // Window path (0-3), retained letters (7-9), rebirth probe (10): exactly
+  // once each.  The evicted letters (4-6) are gone by contract.
+  for (const std::uint64_t v :
+       {0ull, 1ull, 2ull, 3ull, 7ull, 8ull, 9ull, 10ull}) {
+    EXPECT_EQ(delivered[v], 1) << "payload " << v;
+  }
+  for (const std::uint64_t v : {4ull, 5ull, 6ull}) {
+    EXPECT_EQ(delivered[v], 0) << "payload " << v;
+  }
+  const auto& m = rt.telemetry().metrics().context(0);
+  EXPECT_EQ(m.peer_deaths, 1u);
+  EXPECT_EQ(m.peer_reborns, 1u);
+  EXPECT_EQ(m.deadletters, 6u);
+  EXPECT_EQ(m.deadletter_drops, 3u);
+  EXPECT_EQ(m.deadletter_redeliveries, 3u);
+  // The shed path (not loss) produced the parked letters: the wrapper must
+  // still have retransmitted the windowed frames through the outage.
+  const auto snap = rt.telemetry().metrics().snapshot();
+  const auto* wrapper = snap.find_method(0, "rel+udp");
+  ASSERT_NE(wrapper, nullptr);
+  EXPECT_GT(wrapper->counters.rel_retransmits, 0u);
+}
+
+TEST(ReliableBackpressureDlq, BlockedSenderUnblocksViaDeadLatchIntoDlq) {
+  Runtime rt(dlq_opts("block", "2", "8"));
+
+  std::map<std::uint64_t, int> delivered;
+  std::atomic<bool> done{false};
+
+  run_mpmd(
+      rt,
+      {[&](Context& ctx) {  // sender
+         Startpoint sp = ctx.world_startpoint(1);
+         auto* rel = dynamic_cast<proto::ReliableModule*>(ctx.module("rel+udp"));
+         ASSERT_NE(rel, nullptr);
+         // Payloads 0-1 fill the window; payload 2's send blocks on the
+         // full window until the max-retries dead latch terminates the
+         // wait (this is the no-hang property under test).  The latch
+         // quarantines the method, declares the peer dead, and 2-5 park in
+         // the DLQ instead of throwing.
+         for (std::uint64_t i = 0; i < 6; ++i) {
+           const DeliveryStatus st = ctx.rsr(sp, "pay", seq_payload(i));
+           if (i < 2) {
+             EXPECT_EQ(st, DeliveryStatus::Ok) << "payload " << i;
+           } else {
+             EXPECT_EQ(st, DeliveryStatus::Transient) << "payload " << i;
+           }
+           // The latch must fire well inside the outage: a blocked send
+           // that waited for the loss window to lift would sit here to
+           // 5 ms (retry schedule: 0.5 + 1 + 2 ms < 5 ms).
+           EXPECT_LT(ctx.now(), 5 * kMs) << "payload " << i;
+         }
+         EXPECT_TRUE(ctx.is_peer_dead(1));
+         EXPECT_EQ(ctx.deadletter_count(), 4u);
+         while (rel->in_flight(1) > 0 && ctx.now() < 200 * kMs) {
+           ctx.compute_with_polling(1 * kMs, 250 * kUs);
+         }
+         ASSERT_EQ(rel->in_flight(1), 0u);
+         // Rebirth probe.  Redelivering four letters through a window of
+         // two works under block policy: each overflow send waits for ack
+         // credits instead of shedding.
+         EXPECT_EQ(ctx.rsr(sp, "pay", seq_payload(6)), DeliveryStatus::Ok);
+         EXPECT_FALSE(ctx.is_peer_dead(1));
+         EXPECT_EQ(ctx.deadletter_count(), 0u);
+         while (rel->in_flight(1) > 0 && ctx.now() < 400 * kMs) {
+           ctx.compute_with_polling(1 * kMs, 250 * kUs);
+         }
+         while (!done.load(std::memory_order_acquire) && ctx.now() < 600 * kMs) {
+           ctx.compute_with_polling(1 * kMs, 250 * kUs);
+         }
+       },
+       [&](Context& ctx) {  // receiver
+         std::uint64_t got = 0;
+         ctx.register_handler("pay",
+                              [&](Context&, Endpoint&, util::UnpackBuffer& ub) {
+                                ++delivered[ub.get_u64()];
+                                ++got;
+                              });
+         while (got < 7 && ctx.now() < 600 * kMs) {
+           ctx.compute_with_polling(1 * kMs, 250 * kUs);
+         }
+         done.store(true, std::memory_order_release);
+       }});
+
+  // Every payload -- windowed, parked, and the rebirth probe -- exactly
+  // once.
+  for (std::uint64_t v = 0; v < 7; ++v) {
+    EXPECT_EQ(delivered[v], 1) << "payload " << v;
+  }
+  const auto& m = rt.telemetry().metrics().context(0);
+  // Redelivery through the tiny window can spuriously re-latch (a fresh
+  // probe's RTO races the receiver's polling cadence) and cycle the peer
+  // through another death+rebirth; the invariant is that every death is
+  // matched by a rebirth and the letters still land exactly once.
+  EXPECT_GE(m.peer_deaths, 1u);
+  EXPECT_EQ(m.peer_deaths, m.peer_reborns);
+  EXPECT_EQ(m.deadletters, 4u);
+  EXPECT_EQ(m.deadletter_drops, 0u);
+  EXPECT_EQ(m.deadletter_redeliveries, 4u);
+}
+
+}  // namespace

@@ -92,14 +92,17 @@ TEST(ContextRsr, UnboundStartpointThrows) {
   });
 }
 
-TEST(ContextRsr, UnknownHandlerThrowsAtReceiver) {
+TEST(ContextRsr, UnknownHandlerDropsAndCountsAtReceiver) {
+  // A sender naming a handler the receiver never registered is the
+  // sender's protocol error, not a reason to fault the receiver: the RSR
+  // is dropped and counted in send_errors (docs/ARCHITECTURE.md §15).
   Runtime rt(sim_opts(simnet::Topology::single_partition(1)));
-  EXPECT_THROW(rt.run([&](Context& ctx) {
-                 Startpoint sp = ctx.startpoint_to(ctx.root_endpoint());
-                 ctx.rsr(sp, "never-registered");
-                 ctx.wait([&] { return false; });  // poll until delivery
-               }),
-               util::UsageError);
+  rt.run([&](Context& ctx) {
+    Startpoint sp = ctx.startpoint_to(ctx.root_endpoint());
+    EXPECT_EQ(ctx.rsr(sp, "never-registered"), DeliveryStatus::Ok);
+    ctx.compute_with_polling(1 * kMs, 100 * kUs);  // let delivery happen
+  });
+  EXPECT_EQ(rt.telemetry().metrics().context(0).send_errors, 1u);
 }
 
 TEST(ContextRsr, MultiBindIsMulticast) {

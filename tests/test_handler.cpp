@@ -33,9 +33,12 @@ TEST(HandlerTable, DuplicateNameThrows) {
   EXPECT_THROW(t.add("ping", noop()), nexus::util::UsageError);
 }
 
-TEST(HandlerTable, UnknownIdThrows) {
+TEST(HandlerTable, UnknownIdThrowsTypedHandlerError) {
+  // The delivery path drops unknown ids without faulting (see
+  // ContextRsr.UnknownHandlerDropsAndCountsAtReceiver); lookup() keeps a
+  // typed exception for callers that want the hard contract.
   HandlerTable t;
-  EXPECT_THROW(t.lookup(12345), nexus::util::UsageError);
+  EXPECT_THROW(t.lookup(12345), nexus::util::HandlerError);
 }
 
 TEST(HandlerTable, WireIdIsStableHash) {
